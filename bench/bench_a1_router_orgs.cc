@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A1 (extension ablation, DESIGN.md "design choices in the detailed
+ * component"): virtual-channel versus bufferless deflection router
+ * organisations, swept over offered load — the latency/energy
+ * trade-off study the detailed component model enables.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "noc/cycle_network.hh"
+#include "noc/deflection_network.hh"
+#include "noc/power.hh"
+#include "sim/simulation.hh"
+#include "workload/traffic.hh"
+
+using namespace rasim;
+using namespace benchutil;
+
+namespace
+{
+
+struct OrgResult
+{
+    double latency = 0.0;
+    double energy_pj = 0.0;
+    double deflections = 0.0;
+};
+
+OrgResult
+runOrg(bool deflection, double rate)
+{
+    Simulation sim;
+    noc::NocParams p;
+    OrgResult r;
+    const Tick cycles = 15000;
+
+    auto drive = [&](noc::NetworkModel &net) {
+        workload::TrafficGenerator::Options o;
+        o.rate = rate;
+        o.size_bytes = 8;
+        o.data_frac = 0.4;
+        workload::TrafficGenerator gen(net, p.columns, p.rows, o,
+                                       sim.makeRng(11));
+        for (Tick t = 128; t <= cycles; t += 128) {
+            gen.generateTo(t);
+            net.advanceTo(t);
+        }
+        net.advanceTo(cycles + 100000);
+    };
+
+    if (deflection) {
+        noc::DeflectionNetwork net(sim, "dnoc", p);
+        drive(net);
+        r.latency = net.totalLatency.mean();
+        r.deflections = net.flitsDeflected.value();
+        // Bufferless energy: no buffer writes; price hops as switch +
+        // link events.
+        noc::PowerParams pw;
+        noc::NocActivity a;
+        a.routers = 64;
+        a.cycles = cycles;
+        auto hops = static_cast<std::uint64_t>(
+            net.flitsEjected.value() + net.flitsDeflected.value());
+        a.switch_traversals = hops;
+        a.link_traversals = hops;
+        r.energy_pj = noc::NocPowerModel(pw).estimate(a).totalPj();
+    } else {
+        noc::CycleNetwork net(sim, "noc", p);
+        drive(net);
+        r.latency = net.totalLatency.mean();
+        r.energy_pj = noc::NocPowerModel()
+                          .estimate(noc::activityOf(net))
+                          .totalPj();
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("A1: VC router vs bufferless deflection router "
+                "(8x8 mesh, uniform random)");
+    printRow({"rate", "vc_lat", "defl_lat", "vc_energy_nJ",
+              "defl_energy_nJ", "deflections"});
+    for (double rate : {0.01, 0.03, 0.06, 0.10, 0.14}) {
+        OrgResult vc = runOrg(false, rate);
+        OrgResult dn = runOrg(true, rate);
+        printRow({fmt(rate, 3), fmt(vc.latency), fmt(dn.latency),
+                  fmt(vc.energy_pj / 1000.0), fmt(dn.energy_pj / 1000.0),
+                  fmt(dn.deflections, 0)});
+    }
+    std::printf("\n(bufferless wins energy at low load — no buffers to "
+                "write — and loses latency as deflections grow)\n");
+    return 0;
+}

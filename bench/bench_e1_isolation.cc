@@ -1,0 +1,212 @@
+/**
+ * @file
+ * E1 (Fig. 1): "We demonstrate the potential inaccuracies of isolated
+ * component simulation."
+ *
+ * Part A: classic latency-vs-load curves of the standalone NoC under
+ * synthetic patterns — the isolated methodology itself.
+ *
+ * Part B: for each application preset, compare the packet latency the
+ * NoC shows (1) in system context (reciprocal co-simulation), (2)
+ * isolated under uniform synthetic traffic matched in average offered
+ * load and size mix, and (3) isolated replaying the co-simulation's
+ * own packet trace (spatial/temporal mix preserved, closed loop
+ * lost). The mismatch columns are the paper's point.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "noc/cycle_network.hh"
+#include "sim/simulation.hh"
+#include "workload/app_profiles.hh"
+#include "workload/trace.hh"
+#include "workload/traffic.hh"
+
+using namespace rasim;
+using namespace benchutil;
+
+namespace
+{
+
+struct NetStats
+{
+    double mean_latency = 0.0;
+    double packets = 0.0;
+    Tick cycles = 0;
+};
+
+NetStats
+runSynthetic(workload::TrafficGenerator::Options opts, Tick cycles,
+             const noc::NocParams &p)
+{
+    Simulation sim;
+    noc::CycleNetwork net(sim, "noc", p);
+    workload::TrafficGenerator gen(net, p.columns, p.rows, opts,
+                                   sim.makeRng(0xe1));
+    for (Tick t = 256; t <= cycles; t += 256) {
+        gen.generateTo(t);
+        net.advanceTo(t);
+    }
+    net.advanceTo(cycles + 50000); // drain
+    NetStats s;
+    s.mean_latency = net.totalLatency.mean();
+    s.packets = net.packetsDelivered.value();
+    s.cycles = cycles;
+    return s;
+}
+
+NetStats
+runReplay(const workload::PacketTrace &trace, Tick cycles,
+          const noc::NocParams &p)
+{
+    Simulation sim;
+    noc::CycleNetwork net(sim, "noc", p);
+    workload::TraceReplayer rep(net, trace);
+    for (Tick t = 256; t <= cycles; t += 256) {
+        rep.replayTo(t);
+        net.advanceTo(t);
+    }
+    rep.replayTo(cycles + 1);
+    net.advanceTo(cycles + 50000);
+    NetStats s;
+    s.mean_latency = net.totalLatency.mean();
+    s.packets = net.packetsDelivered.value();
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("E1-A: isolated NoC latency vs offered load (8x8 mesh)");
+    printRow({"pattern", "rate", "mean_lat", "delivered"});
+    for (const char *pattern : {"uniform", "transpose", "hotspot"}) {
+        for (double rate : {0.005, 0.02, 0.05, 0.10, 0.20}) {
+            workload::TrafficGenerator::Options o;
+            o.pattern = workload::patternFromName(pattern);
+            o.rate = rate;
+            o.size_bytes = 8;
+            o.data_frac = 0.4;
+            NetStats s = runSynthetic(o, 20000, noc::NocParams());
+            printRow({pattern, fmt(rate, 3), fmt(s.mean_latency),
+                      fmt(s.packets, 0)});
+        }
+    }
+
+    printHeader("E1-B: in-context vs isolated per application");
+    printRow({"app", "cosim_lat", "synth_lat", "synth_err", "replay_lat",
+              "replay_err"});
+    double synth_err_sum = 0.0, replay_err_sum = 0.0;
+    int apps = 0;
+    for (const auto &app : workload::appProfiles()) {
+        // In-context: reciprocal co-simulation; capture the traffic the
+        // detailed network actually saw.
+        cosim::FullSystemOptions o =
+            accuracyOptions(cosim::Mode::CosimCycle, app.name, 200);
+        cosim::FullSystem sys(Config(), o);
+        workload::PacketTrace trace;
+        // Record the traffic the detailed network actually carried:
+        // every clone the bridge forwarded, with real injection times.
+        sys.bridge().setDeliveryObserver(
+            [&trace](const noc::PacketPtr &pkt) { trace.record(pkt); });
+        sys.run();
+        double cosim_lat = sys.cycleNetwork()->totalLatency.mean();
+        Tick cycles = sys.cycleNetwork()->curTime();
+        double n_pkts = sys.cycleNetwork()->packetsDelivered.value();
+
+        // Isolated synthetic: uniform random at the matched average
+        // rate with the matched control/data mix.
+        workload::TrafficGenerator::Options so;
+        so.pattern = workload::TrafficPattern::UniformRandom;
+        so.rate = n_pkts / static_cast<double>(cycles) / 64.0;
+        so.size_bytes = 8;
+        so.data_frac =
+            sys.cycleNetwork()->flitsDelivered.value() / n_pkts > 2.0
+                ? 0.5
+                : 0.3;
+        so.data_bytes = 72;
+        NetStats synth = runSynthetic(so, cycles, o.noc);
+
+        // Isolated replay of the recorded in-context trace.
+        trace.sortByTime();
+        NetStats replay = runReplay(trace, cycles, o.noc);
+
+        double synth_err = relErr(synth.mean_latency, cosim_lat);
+        double replay_err = relErr(replay.mean_latency, cosim_lat);
+        synth_err_sum += synth_err;
+        replay_err_sum += replay_err;
+        ++apps;
+        printRow({app.name, fmt(cosim_lat), fmt(synth.mean_latency),
+                  pct(synth_err), fmt(replay.mean_latency),
+                  pct(replay_err)});
+    }
+    std::printf("\nmean synthetic-isolation error: %s\n",
+                pct(synth_err_sum / apps).c_str());
+    std::printf("mean trace-replay error:        %s\n",
+                pct(replay_err_sum / apps).c_str());
+    std::printf("(replay keeps the spatial and temporal mix; synthetic "
+                "loses both)\n");
+
+    // Part C: the closed-loop pitfall. Evaluate a *modified* network
+    // (deeper router pipeline) with each methodology. In context the
+    // cores slow down and offered load adapts; an old trace or a fixed
+    // synthetic rate keeps injecting at the old pace and overstates
+    // congestion.
+    printHeader("E1-C: evaluating a slower router design (pipeline 2->5)"
+                " per methodology");
+    printRow({"app", "cosim_lat", "stale_replay", "replay_err",
+              "stale_synth", "synth_err"});
+    double stale_replay_sum = 0.0, stale_synth_sum = 0.0;
+    int apps_c = 0;
+    for (const char *name : {"fft", "radix", "ocean"}) {
+        // Record the trace and the rate on the ORIGINAL design.
+        cosim::FullSystemOptions base =
+            accuracyOptions(cosim::Mode::CosimCycle, name, 200);
+        cosim::FullSystem rec(Config(), base);
+        workload::PacketTrace trace;
+        rec.bridge().setDeliveryObserver(
+            [&trace](const noc::PacketPtr &pkt) { trace.record(pkt); });
+        rec.run();
+        Tick cycles = rec.cycleNetwork()->curTime();
+        double rate = rec.cycleNetwork()->packetsDelivered.value() /
+                      static_cast<double>(cycles) / 64.0;
+        trace.sortByTime();
+
+        // The modified design, evaluated in context (ground truth).
+        cosim::FullSystemOptions mod = base;
+        mod.noc.pipeline_stages = 5;
+        cosim::FullSystem truth(Config(), mod);
+        truth.run();
+        double truth_lat = truth.cycleNetwork()->totalLatency.mean();
+        Tick mod_cycles = truth.cycleNetwork()->curTime();
+
+        // The modified design, evaluated with the stale trace and the
+        // stale synthetic rate.
+        NetStats replay = runReplay(trace, mod_cycles, mod.noc);
+        workload::TrafficGenerator::Options so;
+        so.rate = rate;
+        so.size_bytes = 8;
+        so.data_frac = 0.4;
+        so.data_bytes = 72;
+        NetStats synth = runSynthetic(so, mod_cycles, mod.noc);
+
+        double r_err = relErr(replay.mean_latency, truth_lat);
+        double s_err = relErr(synth.mean_latency, truth_lat);
+        stale_replay_sum += r_err;
+        stale_synth_sum += s_err;
+        ++apps_c;
+        printRow({name, fmt(truth_lat), fmt(replay.mean_latency),
+                  pct(r_err), fmt(synth.mean_latency), pct(s_err)});
+    }
+    std::printf("\nmean stale-trace error under design change:     %s\n",
+                pct(stale_replay_sum / apps_c).c_str());
+    std::printf("mean stale-synthetic error under design change: %s\n",
+                pct(stale_synth_sum / apps_c).c_str());
+    std::printf("(without the closed loop, isolated evaluation cannot "
+                "track how the system adapts to the design)\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * E2 (Fig. 2 / Table 2) — the headline claim: "co-simulation using
+ * reciprocal abstraction of the cycle-level network model reduces
+ * packet latency error compared to the more abstract network model by
+ * 69% on average."
+ *
+ * For every application preset, run the 64-core target three ways:
+ *   monolithic  — cycle-level network, quantum 1 (the reference),
+ *   abstract    — static analytical model (the paper's baseline),
+ *   cosim       — reciprocal-abstraction co-simulation (quantum 256).
+ * Report each model's mean-packet-latency error against the reference
+ * and the average error reduction.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/app_profiles.hh"
+
+using namespace rasim;
+using namespace benchutil;
+
+int
+main()
+{
+    printHeader("E2: packet latency error vs monolithic reference "
+                "(8x8 mesh, 64 cores)");
+    printRow({"app", "ref_lat", "abs_lat", "abs_err", "cosim_lat",
+              "cosim_err", "reduction"});
+
+    double abs_err_sum = 0.0, cosim_err_sum = 0.0;
+    int apps = 0;
+    for (const auto &app : workload::appProfiles()) {
+        cosim::FullSystem mono(
+            Config(), accuracyOptions(cosim::Mode::Monolithic, app.name));
+        mono.run();
+        double ref = mono.meanPacketLatency();
+
+        cosim::FullSystem abs(
+            Config(), accuracyOptions(cosim::Mode::Abstract, app.name));
+        abs.run();
+        double abs_lat = abs.meanPacketLatency();
+        double abs_err = relErr(abs_lat, ref);
+
+        cosim::FullSystem cs(
+            Config(), accuracyOptions(cosim::Mode::CosimCycle, app.name));
+        cs.run();
+        double cs_lat = cs.meanPacketLatency();
+        double cs_err = relErr(cs_lat, ref);
+
+        double reduction =
+            abs_err > 0.0 ? 1.0 - cs_err / abs_err : 0.0;
+        abs_err_sum += abs_err;
+        cosim_err_sum += cs_err;
+        ++apps;
+        printRow({app.name, fmt(ref), fmt(abs_lat), pct(abs_err),
+                  fmt(cs_lat), pct(cs_err), pct(reduction)});
+    }
+
+    double mean_abs = abs_err_sum / apps;
+    double mean_cosim = cosim_err_sum / apps;
+    std::printf("\nmean abstract-model error:     %s\n",
+                pct(mean_abs).c_str());
+    std::printf("mean cosim error:              %s\n",
+                pct(mean_cosim).c_str());
+    std::printf("average error reduction:       %s  (paper: 69%%)\n",
+                pct(mean_abs > 0 ? 1.0 - mean_cosim / mean_abs : 0)
+                    .c_str());
+    return 0;
+}

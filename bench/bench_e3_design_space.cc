@@ -1,0 +1,80 @@
+/**
+ * @file
+ * E3 (Fig. 3): "reciprocal abstraction ... allows an exploration of
+ * the impact on the full system resulting from design choices in the
+ * detailed component model."
+ *
+ * Sweep detailed-router design knobs (VCs per vnet, buffer depth,
+ * routing algorithm) and report the *full-system runtime* each choice
+ * yields under reciprocal co-simulation, next to the abstract model's
+ * prediction — which is blind to these knobs by construction.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+
+using namespace rasim;
+using namespace benchutil;
+
+namespace
+{
+
+Tick
+runWith(cosim::Mode mode, int vcs, int depth, const std::string &routing)
+{
+    cosim::FullSystemOptions o =
+        accuracyOptions(mode, "radix", 200); // contended workload
+    o.noc.vcs_per_vnet = vcs;
+    o.noc.buffer_depth = depth;
+    o.noc.routing = routing;
+    cosim::FullSystem sys(Config(), o);
+    return sys.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("E3: full-system runtime vs detailed NoC design knobs "
+                "(radix, 8x8)");
+    printRow({"vcs", "buffers", "routing", "cosim_rt", "abstract_rt"});
+
+    Tick cs_min = max_tick, cs_max = 0;
+    Tick abs_min = max_tick, abs_max = 0;
+    const struct
+    {
+        int vcs;
+        int depth;
+        const char *routing;
+    } configs[] = {
+        {1, 2, "xy"},  {1, 4, "xy"},        {2, 4, "xy"},
+        {4, 4, "xy"},  {4, 8, "xy"},        {2, 4, "yx"},
+        {2, 4, "westfirst"}, {8, 8, "westfirst"},
+    };
+    for (const auto &cfg : configs) {
+        Tick cs = runWith(cosim::Mode::CosimCycle, cfg.vcs, cfg.depth,
+                          cfg.routing);
+        Tick abs = runWith(cosim::Mode::Abstract, cfg.vcs, cfg.depth,
+                           cfg.routing);
+        cs_min = std::min(cs_min, cs);
+        cs_max = std::max(cs_max, cs);
+        abs_min = std::min(abs_min, abs);
+        abs_max = std::max(abs_max, abs);
+        printRow({std::to_string(cfg.vcs), std::to_string(cfg.depth),
+                  cfg.routing, std::to_string(cs), std::to_string(abs)});
+    }
+
+    double cs_spread =
+        static_cast<double>(cs_max - cs_min) / static_cast<double>(cs_min);
+    double abs_spread = static_cast<double>(abs_max - abs_min) /
+                        static_cast<double>(abs_min);
+    std::printf("\nco-simulation runtime spread across designs: %s\n",
+                pct(cs_spread).c_str());
+    std::printf("abstract-model runtime spread:               %s "
+                "(blind to the knobs)\n",
+                pct(abs_spread).c_str());
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * E4 (Fig. 4 / Table 3): "The CPU+GPU can reduce simulation time for
+ * the reciprocal abstraction co-simulation by 16% for a 256-core
+ * target machine and 65% for a 512-core target machine."
+ *
+ * For 64-, 256- and 512-core targets, measure the host wall-clock of
+ * a reciprocal co-simulation split into its full-system and network
+ * components, then apply the GPU coprocessor timing model (DESIGN.md
+ * substitution: this machine has one CPU core and no CUDA device, so
+ * the device is modelled, not measured):
+ *
+ *   CPU-only   = host_ns + serial network ns      (both measured)
+ *   CPU+GPU    = quanta * max(host/quantum, device quantum time)
+ *                                                  (device modelled)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+#include "gpu/gpu_model.hh"
+
+using namespace rasim;
+using namespace benchutil;
+
+namespace
+{
+
+struct Measured
+{
+    double host_ns = 0.0;
+    double net_ns = 0.0;
+    std::uint64_t quanta = 0;
+    Tick quantum = 0;
+    int routers = 0;
+};
+
+Measured
+measure(int cols, int rows)
+{
+    cosim::FullSystemOptions o;
+    o.mode = cosim::Mode::CosimCycle;
+    o.app = "fft";
+    o.ops_per_core = 120;
+    o.quantum = 256;
+    o.noc.columns = cols;
+    o.noc.rows = rows;
+    cosim::FullSystem sys(Config(), o);
+    sys.run();
+    Measured m;
+    m.host_ns = sys.bridge().hostNs();
+    m.net_ns = sys.bridge().netNs();
+    m.quanta = sys.bridge().quantaRun();
+    m.quantum = o.quantum;
+    m.routers = cols * rows;
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    gpu::GpuTimingModel device;
+
+    printHeader("E4: co-simulation wall-clock, CPU-only vs CPU+GPU "
+                "(fft, quantum 256)");
+    printRow({"target", "quanta", "host_ms", "net_ms", "cpu_only_ms",
+              "cpu_gpu_ms", "reduction"});
+
+    const struct
+    {
+        int cols, rows;
+        const char *label;
+        const char *paper;
+    } targets[] = {
+        {8, 8, "64-core", "-"},
+        {16, 16, "256-core", "16%"},
+        {16, 32, "512-core", "65%"},
+    };
+
+    for (const auto &t : targets) {
+        Measured m = measure(t.cols, t.rows);
+        double cpu_only = m.host_ns + m.net_ns;
+        double cpu_gpu = device.overlappedRunNs(m.host_ns, m.quanta,
+                                                m.quantum, m.routers);
+        double reduction = 1.0 - cpu_gpu / cpu_only;
+        printRow({t.label, std::to_string(m.quanta),
+                  fmt(m.host_ns / 1e6), fmt(m.net_ns / 1e6),
+                  fmt(cpu_only / 1e6), fmt(cpu_gpu / 1e6),
+                  pct(reduction)});
+        std::printf("%14s paper-reported reduction: %s\n", "", t.paper);
+    }
+
+    std::printf(
+        "\n(device side modelled: launch %.0f ns, %.0f ns/router-wave, "
+        "width %d, transfer %.0f ns/quantum — see DESIGN.md)\n",
+        device.params().kernel_launch_ns, device.params().router_slot_ns,
+        device.params().parallel_width,
+        device.params().boundary_transfer_ns);
+    return 0;
+}

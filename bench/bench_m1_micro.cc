@@ -1,0 +1,149 @@
+/**
+ * @file
+ * M1: google-benchmark microbenchmarks of the simulation substrates —
+ * event queue throughput, router pipeline cost vs network size,
+ * cache access cost, engine dispatch overhead, abstract-model cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "abstractnet/abstract_network.hh"
+#include "gpu/thread_pool_engine.hh"
+#include "mem/memory_system.hh"
+#include "noc/cycle_network.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "workload/traffic.hh"
+
+using namespace rasim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleService(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t processed = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleLambda(eq.curTick() + 1 + (i % 7),
+                              [&processed] { ++processed; });
+        while (eq.serviceOne()) {
+        }
+    }
+    benchmark::DoNotOptimize(processed);
+    state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+}
+BENCHMARK(BM_EventQueueScheduleService);
+
+void
+BM_RngUniform(benchmark::State &state)
+{
+    Rng rng(1, 2);
+    double sum = 0;
+    for (auto _ : state)
+        sum += rng.uniform();
+    benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_RngUniform);
+
+void
+BM_NetworkCyclePerSize(benchmark::State &state)
+{
+    int side = static_cast<int>(state.range(0));
+    Simulation sim;
+    noc::NocParams p;
+    p.columns = side;
+    p.rows = side;
+    noc::CycleNetwork net(sim, "noc", p);
+    workload::TrafficGenerator::Options o;
+    o.rate = 0.05;
+    workload::TrafficGenerator gen(net, side, side, o,
+                                   sim.makeRng(0xbe));
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 16;
+        gen.generateTo(t);
+        net.advanceTo(t);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(net.cyclesRun.value()) * side * side);
+    state.counters["routers"] = side * side;
+}
+BENCHMARK(BM_NetworkCyclePerSize)->Arg(4)->Arg(8)->Arg(16)->Arg(23);
+
+void
+BM_AbstractModelInject(benchmark::State &state)
+{
+    Simulation sim;
+    noc::NocParams p;
+    abstractnet::AbstractNetwork net(
+        sim, "abs", p, abstractnet::AbstractNetwork::Mode::Static);
+    Rng rng(7, 7);
+    PacketId id = 1;
+    Tick t = 0;
+    for (auto _ : state) {
+        ++t;
+        net.inject(noc::makePacket(id++, rng.range(64), rng.range(64),
+                                   noc::MsgClass::Request, 8, t));
+        net.advanceTo(t);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(id));
+}
+BENCHMARK(BM_AbstractModelInject);
+
+void
+BM_L1HitPath(benchmark::State &state)
+{
+    Simulation sim;
+    noc::NocParams p;
+    p.columns = 2;
+    p.rows = 2;
+    noc::CycleNetwork net(sim, "noc", p);
+    mem::MemorySystem memsys(sim, "mem", net, mem::MemParams());
+    // Warm one block to M state.
+    bool done = false;
+    memsys.l1(0).access(0x1000, true, [&done] { done = true; });
+    Tick t = 0;
+    while (!done) {
+        ++t;
+        sim.run(t);
+        net.advanceTo(t);
+    }
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        memsys.l1(0).access(0x1000, false, [&hits] { ++hits; });
+        ++t;
+        sim.run(t + 4);
+        t += 4;
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(static_cast<std::int64_t>(hits));
+}
+BENCHMARK(BM_L1HitPath);
+
+void
+BM_EngineDispatchOverhead(benchmark::State &state)
+{
+    int workers = static_cast<int>(state.range(0));
+    std::unique_ptr<noc::StepEngine> engine;
+    if (workers == 0)
+        engine = std::make_unique<noc::SerialEngine>();
+    else
+        engine = std::make_unique<gpu::ThreadPoolEngine>(workers);
+    std::atomic<std::uint64_t> sink{0};
+    for (auto _ : state) {
+        engine->forEach(64, [&sink](std::size_t i) {
+            sink.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_EngineDispatchOverhead)->Arg(0)->Arg(1)->Arg(3);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+#include "abstractnet/latency_model.hh"
+
+#include <algorithm>
+
+namespace rasim
+{
+namespace abstractnet
+{
+
+Tick
+zeroLoadLatency(const noc::NocParams &params, int hops,
+                std::uint32_t flits)
+{
+    auto h = static_cast<Tick>(hops);
+    Tick routers = (h + 1) * static_cast<Tick>(params.pipeline_stages);
+    Tick wires = h * static_cast<Tick>(params.link_latency - 1);
+    return routers + wires + std::max<std::uint32_t>(flits, 1);
+}
+
+double
+contentionDelay(double rho, double cap)
+{
+    if (rho <= 0.0)
+        return 0.0;
+    if (rho >= 1.0)
+        return cap;
+    double w = rho / (2.0 * (1.0 - rho));
+    return std::min(w, cap);
+}
+
+} // namespace abstractnet
+} // namespace rasim

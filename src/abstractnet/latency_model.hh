@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Closed-form latency building blocks shared by the abstract network
+ * and the reciprocal latency table.
+ */
+
+#ifndef RASIM_ABSTRACTNET_LATENCY_MODEL_HH
+#define RASIM_ABSTRACTNET_LATENCY_MODEL_HH
+
+#include <cstdint>
+
+#include "noc/params.hh"
+
+namespace rasim
+{
+namespace abstractnet
+{
+
+/**
+ * Zero-load latency of a packet over @p hops router-to-router hops,
+ * matching the cycle-level network exactly in the absence of
+ * contention (locked by tests/noc/network_test.cc):
+ *
+ *   (hops + 1) router traversals, each pipeline_stages cycles
+ * + (link_latency - 1) extra wire cycles per router-to-router hop
+ * + (flits - 1) serialisation cycles for the wormhole tail
+ * + 1 delivery-visibility cycle
+ *
+ * i.e. P * (hops + 1) + hops * (L - 1) + flits.
+ */
+Tick zeroLoadLatency(const noc::NocParams &params, int hops,
+                     std::uint32_t flits);
+
+/**
+ * M/D/1-style per-hop queueing delay for channel utilisation @p rho in
+ * [0, 1): W = s * rho / (2 * (1 - rho)) with unit service time, capped
+ * at @p cap to keep the model stable past saturation.
+ */
+double contentionDelay(double rho, double cap);
+
+} // namespace abstractnet
+} // namespace rasim
+
+#endif // RASIM_ABSTRACTNET_LATENCY_MODEL_HH

@@ -1,0 +1,235 @@
+#include "cosim/bridge.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace rasim
+{
+namespace cosim
+{
+
+namespace
+{
+
+double
+elapsedNs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+QuantumBridge::QuantumBridge(Simulation &sim, const std::string &name,
+                             noc::NetworkModel &backend,
+                             const noc::NocParams &net_params,
+                             Options options, SimObject *parent)
+    : SimObject(sim, name, parent),
+      packetsForwarded(this, "packets_forwarded",
+                       "packets crossing the boundary downwards"),
+      packetsDelivered(this, "packets_delivered",
+                       "packets crossing the boundary upwards"),
+      deliverySlack(this, "delivery_slack",
+                    "boundary application delay (cycles)"),
+      estimateError(this, "estimate_error",
+                    "consumed estimate minus true latency (cycles)"),
+      backend_(backend), options_(options), net_params_(net_params),
+      topo_(noc::makeTopology(net_params.topology, net_params.columns,
+                              net_params.rows)),
+      table_(net_params, net_params.columns + net_params.rows + 2,
+             sim.config().getDouble("abstract.ewma_alpha", 0.05),
+             sim.config().getString("abstract.granularity",
+                                    "distance") == "pair"
+                 ? abstractnet::LatencyTable::Granularity::Pair
+                 : abstractnet::LatencyTable::Granularity::Distance,
+             net_params.numNodes())
+{
+    if (options_.quantum == 0)
+        fatal("co-simulation quantum must be positive");
+    backend_.setDeliveryHandler(
+        [this](const noc::PacketPtr &pkt) { onBackendDelivery(pkt); });
+}
+
+QuantumBridge::~QuantumBridge() = default;
+
+void
+QuantumBridge::inject(const noc::PacketPtr &pkt)
+{
+    ++packetsForwarded;
+    if (options_.coupling == Coupling::Reciprocal) {
+        // Upward abstraction: the system consumes the table estimate
+        // immediately, event-exactly, and never waits on the detailed
+        // model.
+        int hops = topo_->minHops(pkt->src, pkt->dst);
+        std::uint32_t flits =
+            net_params_.flitsPerPacket(pkt->size_bytes);
+        double est = table_.estimate(static_cast<int>(pkt->cls), hops,
+                                     flits, pkt->src, pkt->dst);
+        auto est_ticks =
+            std::max<Tick>(1, static_cast<Tick>(std::llround(est)));
+        pkt->enter_tick = pkt->inject_tick;
+        pkt->hops = static_cast<std::uint32_t>(hops);
+        pkt->deliver_tick = pkt->inject_tick + est_ticks;
+        if (system_handler_)
+            system_handler_(pkt);
+
+        // Downward abstraction: the detailed network sees the same
+        // contextual traffic stream through a clone whose true
+        // latency will re-tune the table.
+        auto clone = std::make_shared<noc::Packet>(*pkt);
+        clone->enter_tick = 0;
+        clone->deliver_tick = 0;
+        clone->hops = 0;
+        clone->context = est_ticks; // remember the consumed estimate
+        if (options_.overlap)
+            pending_injections_.push_back(clone);
+        else
+            backend_.inject(clone);
+        return;
+    }
+    if (options_.overlap) {
+        // The backend may be advancing on the worker right now; hold
+        // the packet until the boundary.
+        pending_injections_.push_back(pkt);
+        return;
+    }
+    backend_.inject(pkt);
+}
+
+void
+QuantumBridge::advanceTo(Tick t)
+{
+    advanceCoupled(t);
+}
+
+void
+QuantumBridge::setDeliveryHandler(DeliveryHandler handler)
+{
+    system_handler_ = std::move(handler);
+}
+
+Tick
+QuantumBridge::curTime() const
+{
+    return backend_.curTime();
+}
+
+bool
+QuantumBridge::idle() const
+{
+    return backend_.idle() && pending_injections_.empty() &&
+           pending_deliveries_.empty();
+}
+
+std::size_t
+QuantumBridge::numNodes() const
+{
+    return backend_.numNodes();
+}
+
+void
+QuantumBridge::onBackendDelivery(const noc::PacketPtr &pkt)
+{
+    // Runs on the thread advancing the backend (worker in overlapped
+    // mode); defer everything that touches shared state to the
+    // boundary.
+    pending_deliveries_.push_back(pkt);
+}
+
+void
+QuantumBridge::applyDeliveries(Tick boundary)
+{
+    bool reciprocal = options_.coupling == Coupling::Reciprocal;
+    for (const noc::PacketPtr &pkt : pending_deliveries_) {
+        ++packetsDelivered;
+        deliverySlack.sample(
+            static_cast<double>(boundary - pkt->deliver_tick));
+        if (observer_)
+            observer_(pkt);
+        if (options_.feedback) {
+            table_.observe(static_cast<int>(pkt->cls),
+                           static_cast<int>(pkt->hops),
+                           net_params_.flitsPerPacket(pkt->size_bytes),
+                           pkt->latency(), pkt->src, pkt->dst);
+        }
+        if (reciprocal) {
+            // The system already received this packet from the
+            // estimate; only the feedback matters here.
+            estimateError.sample(static_cast<double>(pkt->context) -
+                                 static_cast<double>(pkt->latency()));
+            continue;
+        }
+        if (system_handler_)
+            system_handler_(pkt);
+    }
+    pending_deliveries_.clear();
+}
+
+void
+QuantumBridge::runQuantumSync(Tick q_end)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    sim().run(q_end);
+    host_ns_ += elapsedNs(t0);
+
+    auto t1 = std::chrono::steady_clock::now();
+    backend_.advanceTo(q_end);
+    net_ns_ += elapsedNs(t1);
+
+    applyDeliveries(q_end);
+}
+
+void
+QuantumBridge::runQuantumOverlapped(Tick q_end)
+{
+    // Release the injections gathered during the previous host
+    // quantum, then let the backend chew on them while the host
+    // simulates this quantum.
+    Tick boundary = backend_.curTime();
+    for (const noc::PacketPtr &pkt : pending_injections_) {
+        if (options_.coupling == Coupling::Reciprocal) {
+            // Clones exist only to calibrate the table; shift them to
+            // the boundary so the one-quantum hand-off slack is not
+            // mistaken for genuine source queueing.
+            pkt->inject_tick = std::max(pkt->inject_tick, boundary);
+        }
+        backend_.inject(pkt);
+    }
+    pending_injections_.clear();
+
+    std::thread net_worker([this, q_end] {
+        auto t1 = std::chrono::steady_clock::now();
+        backend_.advanceTo(q_end);
+        net_ns_ += elapsedNs(t1);
+    });
+
+    auto t0 = std::chrono::steady_clock::now();
+    sim().run(q_end);
+    host_ns_ += elapsedNs(t0);
+
+    net_worker.join();
+    applyDeliveries(q_end);
+}
+
+void
+QuantumBridge::advanceCoupled(Tick t)
+{
+    Tick cur = std::max(sim().curTick(), backend_.curTime());
+    while (cur < t) {
+        Tick q_end = std::min(cur + options_.quantum, t);
+        if (options_.overlap)
+            runQuantumOverlapped(q_end);
+        else
+            runQuantumSync(q_end);
+        ++quanta_;
+        cur = q_end;
+    }
+}
+
+} // namespace cosim
+} // namespace rasim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The reciprocal-abstraction boundary: a quantum-synchronised bridge
+ * coupling the coarse-grain full-system simulator with a network model
+ * of arbitrary fidelity.
+ *
+ * Downward abstraction: the system's real protocol packets (with
+ * injection times inside the quantum) are the only view the network
+ * gets of the cores and caches.
+ *
+ * Upward abstraction: every detailed delivery re-tunes a per-(vnet,
+ * distance) latency table the coarse side can consult — the reciprocal
+ * feedback that keeps the abstract view calibrated by the detailed
+ * component (and that E6 ablates).
+ *
+ * Synchronisation: in sync mode the system simulates quantum k, then
+ * the network simulates quantum k and its deliveries apply at the
+ * boundary (exact at quantum = 1 — the Monolithic reference). In
+ * overlapped mode the network processes quantum k while the host
+ * simulates k+1, adding one quantum of exchange slack in both
+ * directions but allowing the coprocessor to run concurrently.
+ */
+
+#ifndef RASIM_COSIM_BRIDGE_HH
+#define RASIM_COSIM_BRIDGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "abstractnet/latency_table.hh"
+#include "noc/network_model.hh"
+#include "noc/params.hh"
+#include "noc/topology.hh"
+#include "sim/sim_object.hh"
+#include "stats/distribution.hh"
+#include "stats/stat.hh"
+
+namespace rasim
+{
+namespace cosim
+{
+
+class QuantumBridge : public SimObject, public noc::NetworkModel
+{
+  public:
+    /**
+     * How the two simulators exchange timing.
+     *
+     * Conservative: packets cross the boundary physically — the system
+     * waits for the detailed network's deliveries, which apply at
+     * quantum boundaries. Exact at quantum 1 (the Monolithic
+     * reference), but rounds every message round-trip up to the
+     * quantum, so error grows quickly with the quantum (E5 shows
+     * this).
+     *
+     * Reciprocal: the system's view of every packet is the tuned
+     * latency table — deliveries are scheduled event-exactly from the
+     * estimate at injection time, so the coarse side never stalls on
+     * the detailed side. The detailed network simulates the same
+     * traffic stream (per quantum, optionally on the coprocessor,
+     * optionally overlapped) and its true latencies continuously
+     * re-tune the table. This is the paper's contribution.
+     */
+    enum class Coupling
+    {
+        Conservative,
+        Reciprocal,
+    };
+
+    struct Options
+    {
+        /** Exchange period in cycles. */
+        Tick quantum = 256;
+        /** Network quantum k runs while the host runs k+1. */
+        bool overlap = false;
+        /** Feed detailed deliveries into the latency table. */
+        bool feedback = true;
+        Coupling coupling = Coupling::Conservative;
+    };
+
+    QuantumBridge(Simulation &sim, const std::string &name,
+                  noc::NetworkModel &backend,
+                  const noc::NocParams &net_params, Options options,
+                  SimObject *parent = nullptr);
+    ~QuantumBridge() override;
+
+    /** @name NetworkModel facade seen by the full system */
+    /// @{
+    void inject(const noc::PacketPtr &pkt) override;
+    void advanceTo(Tick t) override;
+    void setDeliveryHandler(DeliveryHandler handler) override;
+    Tick curTime() const override;
+    bool idle() const override;
+    std::size_t numNodes() const override;
+    /// @}
+
+    /**
+     * Drive the coupled pair — event simulator and network — forward
+     * to tick @p t in quantum steps. The only sanctioned way to
+     * advance a co-simulation.
+     */
+    void advanceCoupled(Tick t);
+
+    /**
+     * Observer invoked (on the main thread, at boundaries) for every
+     * packet the detailed backend delivered — tooling hook for trace
+     * capture and error analysis; does not affect coupling.
+     */
+    void
+    setDeliveryObserver(DeliveryHandler observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /** The reciprocal feedback target. */
+    abstractnet::LatencyTable &table() { return table_; }
+    const abstractnet::LatencyTable &table() const { return table_; }
+
+    const Options &options() const { return options_; }
+    noc::NetworkModel &backend() { return backend_; }
+
+    /** Host nanoseconds spent inside full-system event simulation. */
+    double hostNs() const { return host_ns_; }
+    /** Host nanoseconds spent advancing the network backend. */
+    double netNs() const { return net_ns_; }
+    /** Quanta executed by advanceCoupled(). */
+    std::uint64_t quantaRun() const { return quanta_; }
+
+    stats::Scalar packetsForwarded;
+    stats::Scalar packetsDelivered;
+    /** Conservative: cycles between true delivery and boundary
+     *  application. Reciprocal: staleness of the feedback (cycles
+     *  between detailed delivery and its table update). */
+    stats::Distribution deliverySlack;
+    /** Reciprocal coupling only: signed error of the estimate the
+     *  system consumed versus the detailed network's true latency. */
+    stats::Distribution estimateError;
+
+  private:
+    void runQuantumSync(Tick q_end);
+    void runQuantumOverlapped(Tick q_end);
+    void applyDeliveries(Tick boundary);
+    void onBackendDelivery(const noc::PacketPtr &pkt);
+
+    noc::NetworkModel &backend_;
+    Options options_;
+    noc::NocParams net_params_;
+    std::unique_ptr<noc::Topology> topo_;
+    abstractnet::LatencyTable table_;
+    DeliveryHandler system_handler_;
+    DeliveryHandler observer_;
+
+    /** Injections buffered during the current host quantum (overlap
+     *  mode only). */
+    std::vector<noc::PacketPtr> pending_injections_;
+    /** Deliveries produced by the backend, applied at the boundary. */
+    std::vector<noc::PacketPtr> pending_deliveries_;
+
+    double host_ns_ = 0.0;
+    double net_ns_ = 0.0;
+    std::uint64_t quanta_ = 0;
+};
+
+} // namespace cosim
+} // namespace rasim
+
+#endif // RASIM_COSIM_BRIDGE_HH

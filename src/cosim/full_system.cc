@@ -1,0 +1,199 @@
+#include "cosim/full_system.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace cosim
+{
+
+Mode
+modeFromName(const std::string &name)
+{
+    if (name == "abstract")
+        return Mode::Abstract;
+    if (name == "tuned")
+        return Mode::TunedAbstract;
+    if (name == "cosim")
+        return Mode::CosimCycle;
+    if (name == "cosim-gpu")
+        return Mode::CosimGpu;
+    if (name == "monolithic")
+        return Mode::Monolithic;
+    fatal("unknown mode '", name,
+          "' (want abstract, tuned, cosim, cosim-gpu or monolithic)");
+}
+
+const char *
+toString(Mode mode)
+{
+    switch (mode) {
+      case Mode::Abstract:
+        return "abstract";
+      case Mode::TunedAbstract:
+        return "tuned";
+      case Mode::CosimCycle:
+        return "cosim";
+      case Mode::CosimGpu:
+        return "cosim-gpu";
+      case Mode::Monolithic:
+        return "monolithic";
+    }
+    return "unknown";
+}
+
+FullSystemOptions
+FullSystemOptions::fromConfig(const Config &cfg)
+{
+    FullSystemOptions o;
+    o.mode = modeFromName(cfg.getString("system.mode", "cosim"));
+    o.app = cfg.getString("system.app", "fft");
+    o.ops_per_core = cfg.getUInt("system.ops_per_core", 0);
+    o.quantum = cfg.getUInt("system.quantum", 256);
+    o.feedback = cfg.getBool("system.feedback", true);
+    o.conservative = cfg.getBool("system.conservative", false);
+    o.engine_workers =
+        static_cast<int>(cfg.getUInt("system.engine_workers", 2));
+    o.noc = noc::NocParams::fromConfig(cfg);
+    o.mem = mem::MemParams::fromConfig(cfg);
+    return o;
+}
+
+FullSystem::FullSystem(Config cfg, FullSystemOptions options)
+    : options_(std::move(options))
+{
+    sim_ = std::make_unique<Simulation>(std::move(cfg));
+
+    // Backend network of the requested fidelity.
+    noc::NetworkModel *backend = nullptr;
+    switch (options_.mode) {
+      case Mode::Abstract:
+        abstract_net_ = std::make_unique<abstractnet::AbstractNetwork>(
+            *sim_, "net", options_.noc,
+            abstractnet::AbstractNetwork::Mode::Static);
+        backend = abstract_net_.get();
+        break;
+      case Mode::TunedAbstract:
+        abstract_net_ = std::make_unique<abstractnet::AbstractNetwork>(
+            *sim_, "net", options_.noc,
+            abstractnet::AbstractNetwork::Mode::Tuned);
+        backend = abstract_net_.get();
+        break;
+      case Mode::CosimCycle:
+      case Mode::CosimGpu:
+      case Mode::Monolithic:
+        cycle_net_ = std::make_unique<noc::CycleNetwork>(
+            *sim_, "net", options_.noc);
+        backend = cycle_net_.get();
+        break;
+    }
+
+    QuantumBridge::Options bo;
+    bo.feedback = options_.feedback;
+    switch (options_.mode) {
+      case Mode::Abstract:
+      case Mode::TunedAbstract:
+      case Mode::Monolithic:
+        // Event-exact integration: the quantum degenerates to a cycle.
+        bo.quantum = 1;
+        bo.overlap = false;
+        break;
+      case Mode::CosimCycle:
+        bo.quantum = options_.quantum;
+        bo.overlap = false;
+        bo.coupling = options_.conservative
+                          ? QuantumBridge::Coupling::Conservative
+                          : QuantumBridge::Coupling::Reciprocal;
+        break;
+      case Mode::CosimGpu:
+        bo.quantum = options_.quantum;
+        bo.overlap = true;
+        bo.coupling = options_.conservative
+                          ? QuantumBridge::Coupling::Conservative
+                          : QuantumBridge::Coupling::Reciprocal;
+        engine_ = std::make_unique<gpu::ThreadPoolEngine>(
+            options_.engine_workers);
+        cycle_net_->setEngine(engine_.get());
+        break;
+    }
+    bridge_ = std::make_unique<QuantumBridge>(*sim_, "bridge", *backend,
+                                              options_.noc, bo);
+
+    memory_ = std::make_unique<mem::MemorySystem>(*sim_, "mem", *bridge_,
+                                                  options_.mem);
+
+    const workload::AppProfile &app = workload::appProfile(options_.app);
+    std::uint64_t ops = options_.ops_per_core ? options_.ops_per_core
+                                              : app.ops_per_core;
+    auto nodes = static_cast<NodeId>(backend->numNodes());
+    for (NodeId n = 0; n < nodes; ++n) {
+        cpu::CoreParams cp;
+        cp.mem_ratio = app.mem_ratio;
+        cp.ops_budget = ops;
+        cores_.push_back(std::make_unique<cpu::SyntheticCore>(
+            *sim_, "core" + std::to_string(n), n, memory_->l1(n),
+            std::make_unique<workload::SyntheticStream>(
+                app.stream, n, options_.mem.block_bytes,
+                sim_->makeRng(0xa99 + n)),
+            cp));
+    }
+}
+
+FullSystem::~FullSystem() = default;
+
+bool
+FullSystem::allCoresDone() const
+{
+    for (const auto &core : cores_)
+        if (!core->done())
+            return false;
+    return true;
+}
+
+Tick
+FullSystem::run(Tick limit)
+{
+    Tick t = sim_->curTick();
+    while (t < limit) {
+        t += options_.quantum;
+        bridge_->advanceCoupled(t);
+        if (allCoresDone() && memory_->quiescent() && bridge_->idle())
+            break;
+    }
+    if (!allCoresDone())
+        warn("run hit the tick limit with unfinished cores");
+    Tick finish = 0;
+    for (const auto &core : cores_)
+        finish = std::max(finish, core->finishTick());
+    return finish;
+}
+
+double
+FullSystem::meanPacketLatency() const
+{
+    if (cycle_net_)
+        return cycle_net_->totalLatency.mean();
+    return abstract_net_->totalLatency.mean();
+}
+
+double
+FullSystem::meanPacketLatency(noc::MsgClass cls) const
+{
+    if (cycle_net_)
+        return cycle_net_->vnetLatency[static_cast<int>(cls)]->mean();
+    return abstract_net_->vnetLatency[static_cast<int>(cls)]->mean();
+}
+
+std::uint64_t
+FullSystem::packetsDelivered() const
+{
+    if (cycle_net_)
+        return cycle_net_->deliveredCount();
+    return static_cast<std::uint64_t>(
+        abstract_net_->packetsDelivered.value());
+}
+
+} // namespace cosim
+} // namespace rasim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Top-level assembly: cores + memory hierarchy + a network model of
+ * the chosen fidelity, coupled through the reciprocal-abstraction
+ * bridge. This is the public entry point examples and benchmarks use.
+ */
+
+#ifndef RASIM_COSIM_FULL_SYSTEM_HH
+#define RASIM_COSIM_FULL_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abstractnet/abstract_network.hh"
+#include "cosim/bridge.hh"
+#include "cpu/core.hh"
+#include "gpu/thread_pool_engine.hh"
+#include "mem/memory_system.hh"
+#include "noc/cycle_network.hh"
+#include "sim/config.hh"
+#include "sim/simulation.hh"
+#include "workload/app_profiles.hh"
+
+namespace rasim
+{
+namespace cosim
+{
+
+/** Network fidelity / integration modes (see DESIGN.md section 4). */
+enum class Mode
+{
+    /** Static analytical network model (the paper's baseline). */
+    Abstract,
+    /** Analytical model driven by a reciprocally tuned table. */
+    TunedAbstract,
+    /** Reciprocal co-simulation with the cycle-level network. */
+    CosimCycle,
+    /** Co-simulation with the coprocessor engine, overlapped. */
+    CosimGpu,
+    /** Cycle-level network at quantum 1: the exact reference. */
+    Monolithic,
+};
+
+Mode modeFromName(const std::string &name);
+const char *toString(Mode mode);
+
+struct FullSystemOptions
+{
+    Mode mode = Mode::CosimCycle;
+    std::string app = "fft";
+    /** Memory operations per core; 0 takes the preset's default. */
+    std::uint64_t ops_per_core = 0;
+    /** Exchange quantum for the co-simulation modes. */
+    Tick quantum = 256;
+    /** Reciprocal feedback into the latency table. */
+    bool feedback = true;
+    /**
+     * Force conservative (boundary-blocking) coupling instead of the
+     * reciprocal scheme in the co-simulation modes — the baseline the
+     * E5 quantum sweep ablates against.
+     */
+    bool conservative = false;
+    /** Worker threads of the coprocessor engine (CosimGpu). */
+    int engine_workers = 2;
+    noc::NocParams noc;
+    mem::MemParams mem;
+
+    static FullSystemOptions fromConfig(const Config &cfg);
+};
+
+class FullSystem
+{
+  public:
+    FullSystem(Config cfg, FullSystemOptions options);
+    ~FullSystem();
+
+    /**
+     * Run until every core finished and the protocol drained, or the
+     * tick limit is hit.
+     * @return the tick the last core finished (the run's "runtime").
+     */
+    Tick run(Tick limit = 50000000);
+
+    bool allCoresDone() const;
+
+    /** Mean end-to-end packet latency observed by the network. */
+    double meanPacketLatency() const;
+    /** Mean packet latency per message class (vnet). */
+    double meanPacketLatency(noc::MsgClass cls) const;
+    /** Packets the network delivered. */
+    std::uint64_t packetsDelivered() const;
+
+    Simulation &simulation() { return *sim_; }
+    QuantumBridge &bridge() { return *bridge_; }
+    mem::MemorySystem &memory() { return *memory_; }
+    cpu::SyntheticCore &core(std::size_t i) { return *cores_[i]; }
+    std::size_t numCores() const { return cores_.size(); }
+    const FullSystemOptions &options() const { return options_; }
+
+    /** Non-null in the cycle-network modes. */
+    noc::CycleNetwork *cycleNetwork() { return cycle_net_.get(); }
+    /** Non-null in the abstract modes. */
+    abstractnet::AbstractNetwork *abstractNetwork()
+    {
+        return abstract_net_.get();
+    }
+
+  private:
+    FullSystemOptions options_;
+    std::unique_ptr<Simulation> sim_;
+    std::unique_ptr<noc::CycleNetwork> cycle_net_;
+    std::unique_ptr<abstractnet::AbstractNetwork> abstract_net_;
+    std::unique_ptr<gpu::ThreadPoolEngine> engine_;
+    std::unique_ptr<QuantumBridge> bridge_;
+    std::unique_ptr<mem::MemorySystem> memory_;
+    std::vector<std::unique_ptr<cpu::SyntheticCore>> cores_;
+};
+
+} // namespace cosim
+} // namespace rasim
+
+#endif // RASIM_COSIM_FULL_SYSTEM_HH

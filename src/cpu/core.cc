@@ -1,0 +1,145 @@
+#include "cpu/core.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace rasim
+{
+namespace cpu
+{
+
+SyntheticCore::SyntheticCore(
+    Simulation &sim, const std::string &name, NodeId node,
+    mem::L1Cache &l1, std::unique_ptr<workload::AddressStream> stream,
+    const CoreParams &params, SimObject *parent)
+    : SimObject(sim, name, parent),
+      opsIssued(this, "ops_issued", "memory operations issued"),
+      loadsCompleted(this, "loads_completed", "loads completed"),
+      storesCompleted(this, "stores_completed", "stores completed"),
+      stallRetries(this, "stall_retries",
+                   "issues rejected by full L1 resources"),
+      cyclesStalledEstimate(this, "load_stall_cycles",
+                            "cycles spent waiting on loads"),
+      node_(node), l1_(l1), stream_(std::move(stream)), params_(params),
+      rng_(sim.makeRng(0xc07e + node)),
+      step_event_([this] { step(); }, name + ".step")
+{
+    if (params_.mem_ratio <= 0.0 || params_.mem_ratio > 1.0)
+        fatal("core mem_ratio must be in (0, 1]");
+    if (params_.store_buffer < 1)
+        fatal("core store buffer must hold at least one entry");
+    l1_.setRetryCallback([this] { step(); });
+}
+
+SyntheticCore::~SyntheticCore()
+{
+    // Tolerate teardown of partial runs (tick-limited experiments).
+    if (step_event_.scheduled())
+        eventQueue().deschedule(&step_event_);
+}
+
+void
+SyntheticCore::init()
+{
+    if (params_.ops_budget == 0) {
+        finished_ = true;
+        return;
+    }
+    scheduleNext();
+}
+
+void
+SyntheticCore::scheduleNext()
+{
+    if (issued_ >= params_.ops_budget)
+        return;
+    // Compute burst: geometric gap with mean 1/mem_ratio models an
+    // IPC-1 core whose instructions are memory ops with p = mem_ratio.
+    Tick gap = 1 + rng_.geometric(params_.mem_ratio);
+    eventQueue().reschedule(&step_event_, curTick() + gap);
+}
+
+void
+SyntheticCore::step()
+{
+    if (finished_ || issued_ >= params_.ops_budget || waiting_load_)
+        return;
+    if (!have_pending_op_) {
+        pending_op_ = stream_->next();
+        have_pending_op_ = true;
+    }
+
+    if (pending_op_.is_write) {
+        if (stores_in_flight_ >= params_.store_buffer) {
+            blocked_store_full_ = true;
+            return; // storeDone() re-enters
+        }
+        if (!l1_.access(pending_op_.addr, true, [this] { storeDone(); })) {
+            ++stallRetries;
+            return; // L1 retry callback re-enters
+        }
+        ++stores_in_flight_;
+        ++issued_;
+        ++opsIssued;
+        have_pending_op_ = false;
+        scheduleNext();
+        return;
+    }
+
+    if (!l1_.access(pending_op_.addr, false, [this] { loadDone(); })) {
+        ++stallRetries;
+        return;
+    }
+    waiting_load_ = true;
+    last_stall_start_ = curTick();
+    ++issued_;
+    ++opsIssued;
+    have_pending_op_ = false;
+}
+
+void
+SyntheticCore::loadDone()
+{
+    waiting_load_ = false;
+    cyclesStalledEstimate +=
+        static_cast<double>(curTick() - last_stall_start_);
+    ++completed_;
+    ++loadsCompleted;
+    checkFinished();
+    if (!finished_)
+        scheduleNext();
+}
+
+void
+SyntheticCore::storeDone()
+{
+    --stores_in_flight_;
+    ++completed_;
+    ++storesCompleted;
+    if (blocked_store_full_) {
+        blocked_store_full_ = false;
+        step();
+    }
+    checkFinished();
+}
+
+void
+SyntheticCore::checkFinished()
+{
+    if (finished_)
+        return;
+    if (completed_ >= params_.ops_budget && stores_in_flight_ == 0 &&
+        !waiting_load_) {
+        finished_ = true;
+        finish_tick_ = curTick();
+    }
+}
+
+bool
+SyntheticCore::done() const
+{
+    return finished_;
+}
+
+} // namespace cpu
+} // namespace rasim

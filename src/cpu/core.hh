@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Coarse-grain core model: an in-order core abstracted to compute
+ * bursts (geometric gaps derived from the workload's memory ratio)
+ * punctuated by memory operations against its private L1. Loads block;
+ * stores retire through a small store buffer. This closed loop — core
+ * progress depends on memory latency, which depends on network
+ * latency — is what isolated network simulation cannot capture.
+ */
+
+#ifndef RASIM_CPU_CORE_HH
+#define RASIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/l1_cache.hh"
+#include "sim/event.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "stats/stat.hh"
+#include "workload/address_stream.hh"
+
+namespace rasim
+{
+namespace cpu
+{
+
+struct CoreParams
+{
+    /** Probability an instruction slot is a memory operation. */
+    double mem_ratio = 0.3;
+    /** Memory operations to complete before the core finishes. */
+    std::uint64_t ops_budget = 2000;
+    /** Store buffer entries (stores outstanding past the core). */
+    int store_buffer = 8;
+};
+
+class SyntheticCore : public SimObject
+{
+  public:
+    SyntheticCore(Simulation &sim, const std::string &name, NodeId node,
+                  mem::L1Cache &l1,
+                  std::unique_ptr<workload::AddressStream> stream,
+                  const CoreParams &params, SimObject *parent = nullptr);
+    ~SyntheticCore() override;
+
+    void init() override;
+
+    /** True once the budget completed and all stores drained. */
+    bool done() const;
+
+    /** Tick the core finished (valid once done()). */
+    Tick finishTick() const { return finish_tick_; }
+
+    NodeId node() const { return node_; }
+
+    stats::Scalar opsIssued;
+    stats::Scalar loadsCompleted;
+    stats::Scalar storesCompleted;
+    stats::Scalar stallRetries;
+    stats::Scalar cyclesStalledEstimate;
+
+  private:
+    /** Advance to the next operation (schedules step_event_). */
+    void scheduleNext();
+
+    /** Issue the pending operation; re-entered on L1 retry. */
+    void step();
+
+    void loadDone();
+    void storeDone();
+    void checkFinished();
+
+    NodeId node_;
+    mem::L1Cache &l1_;
+    std::unique_ptr<workload::AddressStream> stream_;
+    CoreParams params_;
+    Rng rng_;
+    EventFunctionWrapper step_event_;
+
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    int stores_in_flight_ = 0;
+    bool waiting_load_ = false;
+    bool blocked_store_full_ = false;
+    bool have_pending_op_ = false;
+    workload::MemOp pending_op_;
+    bool finished_ = false;
+    Tick finish_tick_ = 0;
+    Tick last_stall_start_ = 0;
+};
+
+} // namespace cpu
+} // namespace rasim
+
+#endif // RASIM_CPU_CORE_HH

@@ -1,0 +1,96 @@
+#include "gpu/thread_pool_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace gpu
+{
+
+ThreadPoolEngine::ThreadPoolEngine(int num_workers)
+{
+    if (num_workers < 0)
+        fatal("thread pool needs a non-negative worker count");
+    workers_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPoolEngine::~ThreadPoolEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPoolEngine::runPartition(
+    int slot, std::size_t n,
+    const std::function<void(std::size_t)> &fn) const
+{
+    // Static block partition over (workers + caller) slots: slot 0 is
+    // the caller. Determinism does not depend on the partition shape —
+    // the phase discipline isolates every index — but static blocks
+    // keep cache behaviour stable.
+    std::size_t slots = workers_.size() + 1;
+    std::size_t begin = n * slot / slots;
+    std::size_t end = n * (slot + 1) / slots;
+    for (std::size_t i = begin; i < end; ++i)
+        fn(i);
+}
+
+void
+ThreadPoolEngine::workerLoop(int worker_index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock, [this, seen] {
+            return shutdown_ || generation_ != seen;
+        });
+        if (shutdown_)
+            return;
+        seen = generation_;
+        std::size_t n = job_n_;
+        const auto *fn = job_fn_;
+        lock.unlock();
+
+        runPartition(worker_index + 1, n, *fn);
+
+        lock.lock();
+        if (--pending_workers_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPoolEngine::forEach(std::size_t n,
+                          const std::function<void(std::size_t)> &fn)
+{
+    if (workers_.empty()) {
+        ++generation_;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_n_ = n;
+        job_fn_ = &fn;
+        pending_workers_ = static_cast<int>(workers_.size());
+        ++generation_;
+    }
+    start_cv_.notify_all();
+
+    runPartition(0, n, fn);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+}
+
+} // namespace gpu
+} // namespace rasim

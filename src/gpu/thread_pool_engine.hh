@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lock-step worker-pool execution engine for the network's per-cycle
+ * phases — the host-side realisation of the paper's data-parallel
+ * router-update kernels. Results are bit-identical to SerialEngine
+ * because the network's phase discipline guarantees partition-i
+ * isolation; the pool only changes *where* iterations run.
+ */
+
+#ifndef RASIM_GPU_THREAD_POOL_ENGINE_HH
+#define RASIM_GPU_THREAD_POOL_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "noc/step_engine.hh"
+
+namespace rasim
+{
+namespace gpu
+{
+
+class ThreadPoolEngine : public noc::StepEngine
+{
+  public:
+    /**
+     * @param num_workers Worker threads in addition to the calling
+     *        thread (which always processes the first partition).
+     */
+    explicit ThreadPoolEngine(int num_workers);
+    ~ThreadPoolEngine() override;
+
+    ThreadPoolEngine(const ThreadPoolEngine &) = delete;
+    ThreadPoolEngine &operator=(const ThreadPoolEngine &) = delete;
+
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn) override;
+
+    const char *name() const override { return "threadpool"; }
+
+    int numWorkers() const { return static_cast<int>(workers_.size()); }
+
+    /** forEach() invocations so far (one per simulated phase). */
+    std::uint64_t phasesRun() const { return generation_; }
+
+  private:
+    void workerLoop(int worker_index);
+    void runPartition(int slot, std::size_t n,
+                      const std::function<void(std::size_t)> &fn) const;
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    int pending_workers_ = 0;
+    bool shutdown_ = false;
+    std::size_t job_n_ = 0;
+    const std::function<void(std::size_t)> *job_fn_ = nullptr;
+};
+
+} // namespace gpu
+} // namespace rasim
+
+#endif // RASIM_GPU_THREAD_POOL_ENGINE_HH

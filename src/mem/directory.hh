@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Directory (home-node) controller: one slice per node, serialising
+ * coherence transactions per block. Data misses at the home go through
+ * the local DRAM bank model; a per-entry "cached" bit stands in for an
+ * L2 data slice of unbounded capacity (documented simplification).
+ */
+
+#ifndef RASIM_MEM_DIRECTORY_HH
+#define RASIM_MEM_DIRECTORY_HH
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "mem/dram.hh"
+#include "mem/message_hub.hh"
+#include "mem/msg.hh"
+#include "mem/params.hh"
+#include "sim/sim_object.hh"
+#include "stats/stat.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+class Directory : public SimObject
+{
+  public:
+    Directory(Simulation &sim, const std::string &name, NodeId node,
+              const MemParams &params, MessageHub &hub,
+              SimObject *parent = nullptr);
+
+    /** Coherence message entry point (registered with the hub). */
+    void handleMessage(const CoherenceMsg &msg);
+
+    /** True when no transaction is mid-flight at this slice. */
+    bool quiescent() const;
+
+    NodeId node() const { return node_; }
+
+    /** Introspection for tests: 'I'/'S'/'M', 'B' while busy. */
+    char probeState(Addr addr) const;
+    std::size_t probeSharerCount(Addr addr) const;
+
+    stats::Scalar getSReceived;
+    stats::Scalar getMReceived;
+    stats::Scalar putMReceived;
+    stats::Scalar forwardsSent;
+    stats::Scalar invalidationsSent;
+    stats::Scalar queuedMessages;
+
+  private:
+    enum class DirState : std::uint8_t { I, S, M };
+
+    struct Entry
+    {
+        DirState state = DirState::I;
+        std::set<NodeId> sharers;
+        NodeId owner = invalid_node;
+        /** Data present in the L2 slice (no DRAM access needed). */
+        bool cached = false;
+        /** A forward-based transaction is in flight. */
+        bool busy = false;
+        /** Requestor of the in-flight forward transaction. */
+        NodeId pending_requestor = invalid_node;
+        std::deque<CoherenceMsg> queue;
+    };
+
+    void process(const CoherenceMsg &msg);
+    void processGetS(const CoherenceMsg &msg, Entry &entry);
+    void processGetM(const CoherenceMsg &msg, Entry &entry);
+    void processPutM(const CoherenceMsg &msg, Entry &entry);
+    void unblock(Addr addr, Entry &entry);
+
+    /** Tick at which the block's data is available at this slice. */
+    Tick dataReadyTick(const Entry &entry, Addr addr);
+
+    void sendAt(Tick when, const CoherenceMsg &msg, NodeId dst);
+
+    NodeId node_;
+    const MemParams &params_;
+    MessageHub &hub_;
+    Dram dram_;
+    std::unordered_map<Addr, Entry> entries_;
+    std::uint64_t busy_count_ = 0;
+};
+
+} // namespace mem
+} // namespace rasim
+
+#endif // RASIM_MEM_DIRECTORY_HH

@@ -1,0 +1,40 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+Dram::Dram(stats::Group *parent, const std::string &name, int banks,
+           Tick access_latency, int block_bytes)
+    : stats::Group(parent, name),
+      accesses(this, "accesses", "DRAM accesses"),
+      queueDelay(this, "queue_delay", "bank queueing delay (cycles)"),
+      access_latency_(access_latency), block_bytes_(block_bytes)
+{
+    if (banks < 1)
+        fatal("dram: need at least one bank");
+    if (block_bytes < 1)
+        fatal("dram: block size must be positive");
+    bank_free_.assign(banks, 0);
+}
+
+Tick
+Dram::access(Addr addr, Tick now)
+{
+    auto bank = static_cast<std::size_t>(
+        (addr / static_cast<Addr>(block_bytes_)) % bank_free_.size());
+    Tick start = std::max(now, bank_free_[bank]);
+    Tick done = start + access_latency_;
+    bank_free_[bank] = done;
+    ++accesses;
+    queueDelay.sample(static_cast<double>(start - now));
+    return done;
+}
+
+} // namespace mem
+} // namespace rasim

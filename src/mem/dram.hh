@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-home-node DRAM timing model: fixed access latency plus bank
+ * serialisation. The directory consults it for the completion tick of
+ * each off-chip access.
+ */
+
+#ifndef RASIM_MEM_DRAM_HH
+#define RASIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/stat.hh"
+#include "stats/distribution.hh"
+#include "stats/group.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+class Dram : public stats::Group
+{
+  public:
+    /**
+     * @param banks Independent banks at this controller.
+     * @param access_latency Cycles a bank is busy per access.
+     */
+    Dram(stats::Group *parent, const std::string &name, int banks,
+         Tick access_latency, int block_bytes);
+
+    /**
+     * Schedule an access to @p addr issued at @p now.
+     * @return the tick the data is available (>= now + latency).
+     */
+    Tick access(Addr addr, Tick now);
+
+    int banks() const { return static_cast<int>(bank_free_.size()); }
+    Tick accessLatency() const { return access_latency_; }
+
+    stats::Scalar accesses;
+    stats::Distribution queueDelay;
+
+  private:
+    Tick access_latency_;
+    int block_bytes_;
+    std::vector<Tick> bank_free_; ///< tick each bank becomes free
+};
+
+} // namespace mem
+} // namespace rasim
+
+#endif // RASIM_MEM_DRAM_HH

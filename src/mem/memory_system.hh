@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Assembles the per-node memory hierarchy: one L1 + one directory
+ * slice per network endpoint, wired through a MessageHub onto any
+ * NetworkModel. Block homes interleave across all nodes.
+ */
+
+#ifndef RASIM_MEM_MEMORY_SYSTEM_HH
+#define RASIM_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/directory.hh"
+#include "mem/l1_cache.hh"
+#include "mem/message_hub.hh"
+#include "mem/params.hh"
+#include "noc/network_model.hh"
+#include "sim/sim_object.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+class MemorySystem : public SimObject
+{
+  public:
+    MemorySystem(Simulation &sim, const std::string &name,
+                 noc::NetworkModel &net, const MemParams &params,
+                 SimObject *parent = nullptr);
+
+    L1Cache &l1(NodeId node) { return *l1s_[node]; }
+    Directory &directory(NodeId node) { return *dirs_[node]; }
+    MessageHub &hub() { return hub_; }
+
+    std::size_t numNodes() const { return l1s_.size(); }
+    const MemParams &params() const { return params_; }
+
+    /** Home (directory) node of an address. */
+    NodeId homeOf(Addr addr) const;
+
+    /** True when no coherence activity is outstanding anywhere. */
+    bool quiescent() const;
+
+  private:
+    MemParams params_;
+    MessageHub hub_;
+    std::vector<std::unique_ptr<L1Cache>> l1s_;
+    std::vector<std::unique_ptr<Directory>> dirs_;
+};
+
+} // namespace mem
+} // namespace rasim
+
+#endif // RASIM_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,69 @@
+#include "mem/message_hub.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+MessageHub::MessageHub(Simulation &sim, const std::string &name,
+                       noc::NetworkModel &net,
+                       std::uint32_t control_bytes,
+                       std::uint32_t data_bytes, SimObject *parent)
+    : SimObject(sim, name, parent),
+      messagesSent(this, "messages_sent", "coherence messages sent"),
+      messagesDelivered(this, "messages_delivered",
+                        "coherence messages delivered"),
+      bytesSent(this, "bytes_sent", "protocol bytes offered"),
+      net_(net), control_bytes_(control_bytes), data_bytes_(data_bytes)
+{
+    handlers_.resize(net.numNodes());
+}
+
+void
+MessageHub::registerHandler(NodeId node, Handler handler)
+{
+    if (node >= handlers_.size())
+        panic("hub: handler for node ", node, " out of range");
+    handlers_[node] = std::move(handler);
+}
+
+void
+MessageHub::send(const CoherenceMsg &msg, NodeId dst)
+{
+    std::uint32_t bytes =
+        carriesData(msg.type) ? data_bytes_ : control_bytes_;
+    auto pkt = noc::makePacket(next_id_++, msg.sender, dst,
+                               vnetOf(msg.type), bytes, curTick());
+    in_transit_.emplace(pkt->id, msg);
+    ++outstanding_;
+    ++messagesSent;
+    bytesSent += bytes;
+    net_.inject(pkt);
+}
+
+void
+MessageHub::deliver(const noc::PacketPtr &pkt)
+{
+    auto it = in_transit_.find(pkt->id);
+    if (it == in_transit_.end())
+        panic("hub: delivery of unknown packet ", pkt->toString());
+    CoherenceMsg msg = it->second;
+    in_transit_.erase(it);
+
+    NodeId dst = pkt->dst;
+    if (!handlers_[dst])
+        panic("hub: no handler registered at node ", dst);
+
+    Tick when = std::max(pkt->deliver_tick, curTick());
+    sim().eventq().scheduleLambda(when, [this, msg, dst] {
+        --outstanding_;
+        ++messagesDelivered;
+        handlers_[dst](msg);
+    });
+}
+
+} // namespace mem
+} // namespace rasim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Transport layer between coherence controllers and the network
+ * abstraction. The hub turns CoherenceMsgs into Packets (sizes, message
+ * classes), and dispatches delivered packets back to the destination
+ * controller as simulation events — this is the "downward" half of
+ * reciprocal abstraction: the network sees real protocol traffic, not
+ * a synthetic pattern.
+ */
+
+#ifndef RASIM_MEM_MESSAGE_HUB_HH
+#define RASIM_MEM_MESSAGE_HUB_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "noc/network_model.hh"
+#include "sim/sim_object.hh"
+#include "stats/stat.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+class MessageHub : public SimObject
+{
+  public:
+    using Handler = std::function<void(const CoherenceMsg &)>;
+
+    /**
+     * @param control_bytes Wire size of a control message.
+     * @param data_bytes Wire size of a message carrying a block.
+     */
+    MessageHub(Simulation &sim, const std::string &name,
+               noc::NetworkModel &net, std::uint32_t control_bytes = 8,
+               std::uint32_t data_bytes = 72, SimObject *parent = nullptr);
+
+    /** Register the message handler for node @p node. */
+    void registerHandler(NodeId node, Handler handler);
+
+    /**
+     * Send @p msg to @p dst at the current tick. The message travels
+     * on the vnet of its type with the configured wire size; the
+     * destination handler runs when the network delivers it.
+     */
+    void send(const CoherenceMsg &msg, NodeId dst);
+
+    /**
+     * Invoked by the co-simulation driver for every packet the network
+     * delivered; schedules the handler at the delivery tick (or now,
+     * when the boundary already passed — quantum delivery slack).
+     */
+    void deliver(const noc::PacketPtr &pkt);
+
+    /** Messages still somewhere between send() and handler. */
+    std::uint64_t outstanding() const { return outstanding_; }
+
+    stats::Scalar messagesSent;
+    stats::Scalar messagesDelivered;
+    stats::Scalar bytesSent;
+
+  private:
+    noc::NetworkModel &net_;
+    std::uint32_t control_bytes_;
+    std::uint32_t data_bytes_;
+    std::vector<Handler> handlers_;
+    std::unordered_map<PacketId, CoherenceMsg> in_transit_;
+    PacketId next_id_ = 1;
+    std::uint64_t outstanding_ = 0;
+};
+
+} // namespace mem
+} // namespace rasim
+
+#endif // RASIM_MEM_MESSAGE_HUB_HH

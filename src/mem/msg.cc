@@ -1,0 +1,92 @@
+#include "mem/msg.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+noc::MsgClass
+vnetOf(MsgType type)
+{
+    switch (type) {
+      case MsgType::GetS:
+      case MsgType::GetM:
+      case MsgType::PutM:
+        return noc::MsgClass::Request;
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetM:
+      case MsgType::Inv:
+        return noc::MsgClass::Forward;
+      case MsgType::Data:
+      case MsgType::DataCtrl:
+      case MsgType::InvAck:
+      case MsgType::WBData:
+      case MsgType::WBAck:
+      case MsgType::ChownAck:
+        return noc::MsgClass::Response;
+    }
+    panic("vnetOf: bad message type");
+}
+
+bool
+carriesData(MsgType type)
+{
+    switch (type) {
+      case MsgType::PutM:
+      case MsgType::Data:
+      case MsgType::WBData:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::GetS:
+        return "GetS";
+      case MsgType::GetM:
+        return "GetM";
+      case MsgType::PutM:
+        return "PutM";
+      case MsgType::FwdGetS:
+        return "FwdGetS";
+      case MsgType::FwdGetM:
+        return "FwdGetM";
+      case MsgType::Inv:
+        return "Inv";
+      case MsgType::Data:
+        return "Data";
+      case MsgType::DataCtrl:
+        return "DataCtrl";
+      case MsgType::InvAck:
+        return "InvAck";
+      case MsgType::WBData:
+        return "WBData";
+      case MsgType::WBAck:
+        return "WBAck";
+      case MsgType::ChownAck:
+        return "ChownAck";
+    }
+    return "Unknown";
+}
+
+std::string
+CoherenceMsg::toString() const
+{
+    std::ostringstream os;
+    os << mem::toString(type) << " addr=0x" << std::hex << addr
+       << std::dec << " sender=" << sender << " req=" << requestor;
+    if (ack_count)
+        os << " acks=" << ack_count;
+    return os.str();
+}
+
+} // namespace mem
+} // namespace rasim

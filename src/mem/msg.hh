@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Coherence protocol messages exchanged between L1 controllers and
+ * directory (home) controllers over the on-chip network.
+ *
+ * Message classes map onto virtual networks so the protocol is
+ * deadlock-free: requests can wait on forwards, forwards on responses,
+ * and responses are always sunk.
+ */
+
+#ifndef RASIM_MEM_MSG_HH
+#define RASIM_MEM_MSG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "noc/packet.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+enum class MsgType : std::uint8_t
+{
+    // Request vnet (L1 -> home).
+    GetS,     ///< read miss: request shared copy
+    GetM,     ///< write miss/upgrade: request exclusive copy
+    PutM,     ///< writeback of a modified block
+    // Forward vnet (home -> L1).
+    FwdGetS,  ///< forward read request to the owner
+    FwdGetM,  ///< forward write request to the owner
+    Inv,      ///< invalidate a shared copy (ack to requestor)
+    // Response vnet.
+    Data,     ///< data response (from home or owner)
+    DataCtrl, ///< ack-count-only response for upgrades (no data)
+    InvAck,   ///< invalidation acknowledgement (sharer -> requestor)
+    WBData,   ///< owner's data on a FwdGetS downgrade (owner -> home)
+    WBAck,    ///< home acknowledges a PutM
+    ChownAck, ///< owner acknowledges a FwdGetM handoff (owner -> home)
+};
+
+/** Virtual network (message class) a message type travels on. */
+noc::MsgClass vnetOf(MsgType type);
+
+/** True for messages that carry a full cache block. */
+bool carriesData(MsgType type);
+
+const char *toString(MsgType type);
+
+struct CoherenceMsg
+{
+    MsgType type = MsgType::GetS;
+    Addr addr = 0;        ///< block-aligned address
+    NodeId sender = 0;    ///< controller sending this message
+    NodeId requestor = 0; ///< original requestor of the transaction
+    /** For Data/DataCtrl: invalidation acks the requestor must await. */
+    int ack_count = 0;
+
+    std::string toString() const;
+};
+
+} // namespace mem
+} // namespace rasim
+
+#endif // RASIM_MEM_MSG_HH

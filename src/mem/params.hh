@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory hierarchy parameters.
+ */
+
+#ifndef RASIM_MEM_PARAMS_HH
+#define RASIM_MEM_PARAMS_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace rasim
+{
+
+class Config;
+
+namespace mem
+{
+
+struct MemParams
+{
+    int block_bytes = 64;
+    int l1_sets = 64;
+    int l1_ways = 4;
+    std::string l1_replacement = "lru";
+    /** L1 hit latency in cycles. */
+    Tick l1_latency = 2;
+    /** Directory/L2-slice lookup latency in cycles. */
+    Tick dir_latency = 6;
+    /** DRAM access latency in cycles (per bank). */
+    Tick dram_latency = 100;
+    int dram_banks = 8;
+    /** Outstanding misses per L1. */
+    int mshrs = 8;
+    /** Evicted-dirty-block buffer entries per L1. */
+    int wb_buffer = 4;
+    /** Wire size of control messages in bytes. */
+    int control_bytes = 8;
+
+    static MemParams fromConfig(const Config &cfg);
+    void validate() const;
+
+    Addr
+    blockAlign(Addr a) const
+    {
+        return a & ~static_cast<Addr>(block_bytes - 1);
+    }
+
+    int dataBytes() const { return control_bytes + block_bytes; }
+};
+
+} // namespace mem
+} // namespace rasim
+
+#endif // RASIM_MEM_PARAMS_HH

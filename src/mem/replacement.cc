@@ -1,0 +1,128 @@
+#include "mem/replacement.hh"
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace mem
+{
+
+ReplacementPolicy::ReplacementPolicy(int num_sets, int num_ways)
+    : num_sets_(num_sets), num_ways_(num_ways)
+{
+    if (num_sets < 1 || num_ways < 1)
+        panic("replacement policy needs positive geometry");
+}
+
+LruPolicy::LruPolicy(int num_sets, int num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      last_use_(static_cast<std::size_t>(num_sets) * num_ways, 0),
+      seq_(static_cast<std::size_t>(num_sets) * num_ways, 0)
+{
+}
+
+void
+LruPolicy::touch(int set, int way, Tick now)
+{
+    auto idx = static_cast<std::size_t>(set) * num_ways_ + way;
+    last_use_[idx] = now;
+    seq_[idx] = next_seq_++;
+}
+
+int
+LruPolicy::victim(int set, const std::vector<int> &candidates)
+{
+    if (candidates.empty())
+        panic("lru: no eviction candidates");
+    int best = candidates[0];
+    for (int way : candidates) {
+        auto i = static_cast<std::size_t>(set) * num_ways_ + way;
+        auto b = static_cast<std::size_t>(set) * num_ways_ + best;
+        if (last_use_[i] < last_use_[b] ||
+            (last_use_[i] == last_use_[b] && seq_[i] < seq_[b])) {
+            best = way;
+        }
+    }
+    return best;
+}
+
+FifoPolicy::FifoPolicy(int num_sets, int num_ways)
+    : ReplacementPolicy(num_sets, num_ways),
+      fill_seq_(static_cast<std::size_t>(num_sets) * num_ways, 0)
+{
+}
+
+void
+FifoPolicy::touch(int set, int way, Tick now)
+{
+    (void)now;
+    auto idx = static_cast<std::size_t>(set) * num_ways_ + way;
+    // A touch of a way never filled yet counts as the fill (the cache
+    // calls touch() on fill as well); later touches don't move it.
+    if (fill_seq_[idx] == 0)
+        fill_seq_[idx] = next_seq_++;
+}
+
+void
+FifoPolicy::filled(int set, int way)
+{
+    fill_seq_[static_cast<std::size_t>(set) * num_ways_ + way] =
+        next_seq_++;
+}
+
+int
+FifoPolicy::victim(int set, const std::vector<int> &candidates)
+{
+    if (candidates.empty())
+        panic("fifo: no eviction candidates");
+    int best = candidates[0];
+    for (int way : candidates) {
+        auto i = static_cast<std::size_t>(set) * num_ways_ + way;
+        auto b = static_cast<std::size_t>(set) * num_ways_ + best;
+        if (fill_seq_[i] < fill_seq_[b])
+            best = way;
+    }
+    // Reset so the way re-enters FIFO order on its next fill.
+    fill_seq_[static_cast<std::size_t>(set) * num_ways_ + best] = 0;
+    return best;
+}
+
+RandomPolicy::RandomPolicy(int num_sets, int num_ways, Rng rng)
+    : ReplacementPolicy(num_sets, num_ways), rng_(rng)
+{
+}
+
+void
+RandomPolicy::touch(int set, int way, Tick now)
+{
+    (void)set;
+    (void)way;
+    (void)now;
+}
+
+int
+RandomPolicy::victim(int set, const std::vector<int> &candidates)
+{
+    (void)set;
+    if (candidates.empty())
+        panic("random: no eviction candidates");
+    return candidates[rng_.range(
+        static_cast<std::uint32_t>(candidates.size()))];
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(const std::string &kind, int num_sets, int num_ways,
+                Rng rng)
+{
+    if (kind == "lru")
+        return std::make_unique<LruPolicy>(num_sets, num_ways);
+    if (kind == "fifo")
+        return std::make_unique<FifoPolicy>(num_sets, num_ways);
+    if (kind == "random")
+        return std::make_unique<RandomPolicy>(num_sets, num_ways, rng);
+    fatal("unknown replacement policy '", kind,
+          "' (want lru, fifo or random)");
+}
+
+} // namespace mem
+} // namespace rasim

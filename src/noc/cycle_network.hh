@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The parallel cycle-level NoC: routers, links and NICs assembled on a
+ * topology, advanced one cycle at a time through an exchangeable
+ * execution engine.
+ */
+
+#ifndef RASIM_NOC_CYCLE_NETWORK_HH
+#define RASIM_NOC_CYCLE_NETWORK_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "noc/network_model.hh"
+#include "noc/nic.hh"
+#include "noc/params.hh"
+#include "noc/router.hh"
+#include "noc/routing.hh"
+#include "noc/step_engine.hh"
+#include "noc/topology.hh"
+#include "sim/sim_object.hh"
+#include "stats/distribution.hh"
+#include "stats/stat.hh"
+
+namespace rasim
+{
+
+class Simulation;
+
+namespace noc
+{
+
+class CycleNetwork : public SimObject, public NetworkModel
+{
+  public:
+    CycleNetwork(Simulation &sim, const std::string &name,
+                 const NocParams &params, SimObject *parent = nullptr);
+    ~CycleNetwork() override;
+
+    // NetworkModel interface.
+    void inject(const PacketPtr &pkt) override;
+    void advanceTo(Tick t) override;
+    void setDeliveryHandler(DeliveryHandler handler) override;
+    Tick curTime() const override { return time_; }
+    bool idle() const override;
+    std::size_t numNodes() const override;
+
+    /**
+     * Replace the execution engine (default: SerialEngine). The
+     * network does not own the engine; it must outlive the network's
+     * last advanceTo().
+     */
+    void setEngine(StepEngine *engine);
+
+    const NocParams &params() const { return params_; }
+    const Topology &topology() const { return *topo_; }
+
+    /** Run exactly one cycle (tests; advanceTo is the public driver). */
+    void stepCycle();
+
+    /** Packets handed to inject() so far. */
+    std::uint64_t injectedCount() const { return injected_; }
+    /** Packets delivered so far. */
+    std::uint64_t deliveredCount() const { return delivered_; }
+    /** Packets currently inside the network (or queued for it). */
+    std::uint64_t inFlight() const { return injected_ - delivered_; }
+
+    Router &router(std::size_t i) { return *routers_[i]; }
+    Nic &nic(std::size_t i) { return *nics_[i]; }
+
+    /** @name Aggregate statistics */
+    /// @{
+    stats::Scalar packetsInjected;
+    stats::Scalar packetsDelivered;
+    stats::Scalar flitsDelivered;
+    stats::Scalar cyclesRun;
+    stats::Distribution totalLatency;
+    stats::Distribution networkLatency;
+    stats::Distribution queueLatency;
+    stats::Distribution hopCount;
+    std::vector<std::unique_ptr<stats::Distribution>> vnetLatency;
+    /// @}
+
+  private:
+    void applyDelivery(const PacketPtr &pkt);
+
+    struct InjectOrder
+    {
+        bool
+        operator()(const PacketPtr &a, const PacketPtr &b) const
+        {
+            if (a->inject_tick != b->inject_tick)
+                return a->inject_tick > b->inject_tick; // min-heap
+            return a->id > b->id;
+        }
+    };
+
+    NocParams params_;
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    SerialEngine serial_engine_;
+    StepEngine *engine_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<std::unique_ptr<Link>> links_;
+
+    Tick time_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
+    /** Packets inside the fabric (entered a NIC, not yet delivered). */
+    std::uint64_t in_fabric_ = 0;
+    std::priority_queue<PacketPtr, std::vector<PacketPtr>, InjectOrder>
+        pending_;
+    DeliveryHandler handler_;
+};
+
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_CYCLE_NETWORK_HH

@@ -1,0 +1,256 @@
+#include "noc/deflection_network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+DeflectionNetwork::DeflectionNetwork(Simulation &sim,
+                                     const std::string &name,
+                                     const NocParams &params,
+                                     SimObject *parent)
+    : SimObject(sim, name, parent),
+      packetsInjected(this, "packets_injected",
+                      "packets handed to the network"),
+      packetsDelivered(this, "packets_delivered",
+                       "packets fully received"),
+      flitsDeflected(this, "flits_deflected",
+                     "flits denied a productive port"),
+      flitsEjected(this, "flits_ejected", "flits ejected at their dst"),
+      injectionStalls(this, "injection_stalls",
+                      "cycles a flit waited for a free slot"),
+      totalLatency(this, "total_latency",
+                   "inject-to-deliver latency (cycles)"),
+      deflectionsPerFlit(this, "deflections_per_flit",
+                         "deflections each flit suffered"),
+      params_(params)
+{
+    if (params_.topology != "mesh" && params_.topology != "torus")
+        fatal("deflection network needs a mesh or torus topology");
+    topo_ = makeTopology(params_.topology, params_.columns,
+                         params_.rows);
+    int n = topo_->numNodes();
+    arriving_.resize(n);
+    next_.resize(n);
+    inject_queues_.resize(n);
+}
+
+DeflectionNetwork::~DeflectionNetwork() = default;
+
+std::size_t
+DeflectionNetwork::numNodes() const
+{
+    return static_cast<std::size_t>(topo_->numNodes());
+}
+
+void
+DeflectionNetwork::inject(const PacketPtr &pkt)
+{
+    if (pkt->src >= numNodes() || pkt->dst >= numNodes())
+        fatal("packet ", pkt->toString(),
+              " references nodes outside the deflection network");
+    ++injected_;
+    ++packetsInjected;
+    pending_.push(pkt);
+}
+
+void
+DeflectionNetwork::setDeliveryHandler(DeliveryHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+bool
+DeflectionNetwork::idle() const
+{
+    return pending_.empty() && queued_flits_ == 0 &&
+           in_fabric_flits_ == 0;
+}
+
+void
+DeflectionNetwork::stepCycle()
+{
+    Cycle now = time_;
+    int n = topo_->numNodes();
+
+    // Move due packets into the per-node injection queues, flit by
+    // flit.
+    while (!pending_.empty() && pending_.top()->inject_tick <= now) {
+        PacketPtr pkt = pending_.top();
+        pending_.pop();
+        if (pkt->src == pkt->dst) {
+            // Local delivery bypasses the bufferless fabric (no port
+            // to traverse); mirror the VC network's 2-cycle NIC path.
+            pkt->enter_tick = now;
+            pkt->hops = 0;
+            pkt->deliver_tick = now + 2;
+            ++delivered_;
+            ++packetsDelivered;
+            totalLatency.sample(static_cast<double>(pkt->latency()));
+            if (handler_)
+                handler_(pkt);
+            continue;
+        }
+        std::uint32_t flits = params_.flitsPerPacket(pkt->size_bytes);
+        for (std::uint32_t s = 0; s < flits; ++s) {
+            DFlit f;
+            f.pkt = pkt;
+            f.seq = s;
+            inject_queues_[pkt->src].push_back(std::move(f));
+            ++queued_flits_;
+        }
+    }
+
+    for (int i = 0; i < n; ++i) {
+        std::vector<DFlit> &cand = arriving_[i];
+
+        // Ejection: one flit per cycle, oldest first.
+        if (!cand.empty()) {
+            int eject = -1;
+            for (std::size_t k = 0; k < cand.size(); ++k) {
+                if (cand[k].pkt->dst != static_cast<NodeId>(i))
+                    continue;
+                if (eject < 0 || cand[k].birth < cand[eject].birth ||
+                    (cand[k].birth == cand[eject].birth &&
+                     cand[k].pkt->id < cand[eject].pkt->id)) {
+                    eject = static_cast<int>(k);
+                }
+            }
+            if (eject >= 0) {
+                DFlit f = std::move(cand[eject]);
+                cand.erase(cand.begin() + eject);
+                --in_fabric_flits_;
+                ++flitsEjected;
+                deflectionsPerFlit.sample(f.deflections);
+                PacketPtr pkt = f.pkt;
+                std::uint32_t want =
+                    params_.flitsPerPacket(pkt->size_bytes);
+                if (++rx_[pkt->id] == want) {
+                    rx_.erase(pkt->id);
+                    pkt->deliver_tick = now + 1;
+                    ++delivered_;
+                    ++packetsDelivered;
+                    totalLatency.sample(
+                        static_cast<double>(pkt->latency()));
+                    if (handler_)
+                        handler_(pkt);
+                }
+            }
+        }
+
+        // Count usable (connected) output ports.
+        std::vector<int> free_ports;
+        for (int p = 1; p < topo_->numPorts(); ++p)
+            if (topo_->neighbor(i, p) >= 0)
+                free_ports.push_back(p);
+
+        // Injection: one flit per cycle when a slot remains.
+        if (!inject_queues_[i].empty()) {
+            if (cand.size() < free_ports.size()) {
+                DFlit f = std::move(inject_queues_[i].front());
+                inject_queues_[i].pop_front();
+                --queued_flits_;
+                ++in_fabric_flits_;
+                f.birth = now;
+                if (f.seq == 0)
+                    f.pkt->enter_tick = now;
+                cand.push_back(std::move(f));
+            } else {
+                ++injectionStalls;
+            }
+        }
+
+        if (cand.size() > free_ports.size())
+            panic("deflection: more flits than ports at node ", i);
+
+        // Oldest-first port assignment.
+        std::sort(cand.begin(), cand.end(),
+                  [](const DFlit &a, const DFlit &b) {
+                      if (a.birth != b.birth)
+                          return a.birth < b.birth;
+                      if (a.pkt->id != b.pkt->id)
+                          return a.pkt->id < b.pkt->id;
+                      return a.seq < b.seq;
+                  });
+
+        for (DFlit &f : cand) {
+            auto [x, y] = topo_->coords(static_cast<NodeId>(i));
+            auto [tx, ty] = topo_->coords(f.pkt->dst);
+            // Productive direction preference: X first, then Y,
+            // honouring torus wrap via the shorter way.
+            std::vector<int> prefs;
+            int dx = tx - x, dy = ty - y;
+            if (topo_->isWrapLink(topo_->nodeAt(topo_->columns() - 1, y),
+                                  port_east)) {
+                if (dx > topo_->columns() / 2)
+                    dx -= topo_->columns();
+                else if (dx < -(topo_->columns() / 2))
+                    dx += topo_->columns();
+                if (dy > topo_->rows() / 2)
+                    dy -= topo_->rows();
+                else if (dy < -(topo_->rows() / 2))
+                    dy += topo_->rows();
+            }
+            if (dx > 0)
+                prefs.push_back(port_east);
+            else if (dx < 0)
+                prefs.push_back(port_west);
+            if (dy > 0)
+                prefs.push_back(port_south);
+            else if (dy < 0)
+                prefs.push_back(port_north);
+
+            int chosen = -1;
+            for (int p : prefs) {
+                auto it = std::find(free_ports.begin(),
+                                    free_ports.end(), p);
+                if (it != free_ports.end()) {
+                    chosen = p;
+                    free_ports.erase(it);
+                    break;
+                }
+            }
+            if (chosen < 0) {
+                // Deflected: take any remaining port.
+                if (free_ports.empty())
+                    panic("deflection: no port left for a flit");
+                chosen = free_ports.front();
+                free_ports.erase(free_ports.begin());
+                ++f.deflections;
+                ++flitsDeflected;
+            }
+            int j = topo_->neighbor(i, chosen);
+            ++f.hops;
+            f.pkt->hops = std::max(f.pkt->hops, f.hops);
+            next_[j].push_back(std::move(f));
+        }
+        cand.clear();
+    }
+
+    arriving_.swap(next_);
+    ++time_;
+}
+
+void
+DeflectionNetwork::advanceTo(Tick t)
+{
+    while (time_ < t) {
+        if (in_fabric_flits_ == 0 && queued_flits_ == 0) {
+            Tick next =
+                pending_.empty() ? t : pending_.top()->inject_tick;
+            if (next > time_) {
+                time_ = std::min(t, next);
+                continue;
+            }
+        }
+        stepCycle();
+    }
+}
+
+} // namespace noc
+} // namespace rasim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bufferless deflection-routed (hot-potato) network — the alternative
+ * detailed router organisation from the NoC literature (cf. BLESS /
+ * DNOC). Flits never wait in router buffers: each cycle every router
+ * permutes its arriving flits onto distinct output ports, oldest flit
+ * first; flits that lose their productive port are deflected and try
+ * again elsewhere. Oldest-first arbitration makes the scheme
+ * livelock-free.
+ *
+ * Packets travel as independent single-flit "worms" (each flit routes
+ * alone and is reassembled at the destination NIC), the classic
+ * bufferless formulation.
+ */
+
+#ifndef RASIM_NOC_DEFLECTION_NETWORK_HH
+#define RASIM_NOC_DEFLECTION_NETWORK_HH
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/network_model.hh"
+#include "noc/packet.hh"
+#include "noc/params.hh"
+#include "noc/topology.hh"
+#include "sim/sim_object.hh"
+#include "stats/distribution.hh"
+#include "stats/stat.hh"
+
+namespace rasim
+{
+
+class Simulation;
+
+namespace noc
+{
+
+class DeflectionNetwork : public SimObject, public NetworkModel
+{
+  public:
+    /**
+     * Uses NocParams for geometry, link width and per-hop latency
+     * (pipeline_stages); buffering/VC parameters are ignored — the
+     * whole point of the organisation.
+     */
+    DeflectionNetwork(Simulation &sim, const std::string &name,
+                      const NocParams &params,
+                      SimObject *parent = nullptr);
+    ~DeflectionNetwork() override;
+
+    // NetworkModel interface.
+    void inject(const PacketPtr &pkt) override;
+    void advanceTo(Tick t) override;
+    void setDeliveryHandler(DeliveryHandler handler) override;
+    Tick curTime() const override { return time_; }
+    bool idle() const override;
+    std::size_t numNodes() const override;
+
+    const NocParams &params() const { return params_; }
+    const Topology &topology() const { return *topo_; }
+
+    stats::Scalar packetsInjected;
+    stats::Scalar packetsDelivered;
+    stats::Scalar flitsDeflected;
+    stats::Scalar flitsEjected;
+    stats::Scalar injectionStalls;
+    stats::Distribution totalLatency;
+    stats::Distribution deflectionsPerFlit;
+
+  private:
+    /** A flit in flight, with its age for oldest-first arbitration. */
+    struct DFlit
+    {
+        PacketPtr pkt;
+        std::uint32_t seq = 0;
+        std::uint32_t deflections = 0;
+        std::uint32_t hops = 0;
+        Tick birth = 0; ///< cycle the flit entered the fabric
+    };
+
+    void stepCycle();
+
+    NocParams params_;
+    std::unique_ptr<Topology> topo_;
+
+    /** Flits arriving at router i this cycle (by input port). */
+    std::vector<std::vector<DFlit>> arriving_;
+    /** Staged flits that will arrive next cycle. */
+    std::vector<std::vector<DFlit>> next_;
+    /** Per-node injection queues (flits waiting for a free slot). */
+    std::vector<std::deque<DFlit>> inject_queues_;
+    /** Reassembly: flits received per packet id. */
+    std::unordered_map<PacketId, std::uint32_t> rx_;
+
+    struct InjectOrder
+    {
+        bool
+        operator()(const PacketPtr &a, const PacketPtr &b) const
+        {
+            if (a->inject_tick != b->inject_tick)
+                return a->inject_tick > b->inject_tick;
+            return a->id > b->id;
+        }
+    };
+    std::priority_queue<PacketPtr, std::vector<PacketPtr>, InjectOrder>
+        pending_;
+
+    Tick time_ = 0;
+    std::uint64_t in_fabric_flits_ = 0;
+    std::uint64_t queued_flits_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t injected_ = 0;
+    DeliveryHandler handler_;
+};
+
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_DEFLECTION_NETWORK_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The abstraction boundary of reciprocal abstraction: every network
+ * implementation — analytical, cycle-level, coprocessor-accelerated —
+ * exposes this interface, so the full-system side never knows which
+ * fidelity it is coupled to.
+ */
+
+#ifndef RASIM_NOC_NETWORK_MODEL_HH
+#define RASIM_NOC_NETWORK_MODEL_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "noc/packet.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+class NetworkModel
+{
+  public:
+    /**
+     * Invoked once per fully received packet, during advanceTo(), with
+     * timing fields (enter/deliver/hops) filled in. deliver_tick is
+     * always <= the advanceTo() horizon.
+     */
+    using DeliveryHandler = std::function<void(const PacketPtr &)>;
+
+    virtual ~NetworkModel() = default;
+
+    /**
+     * Hand a packet to the network. pkt->inject_tick may be at or
+     * after curTime(); earlier ticks are accepted (quantum-overlapped
+     * co-simulation delivers late on purpose) and treated as "now",
+     * with the slip accounted as source queueing.
+     */
+    virtual void inject(const PacketPtr &pkt) = 0;
+
+    /** Simulate up to (and including deliveries at) tick @p t. */
+    virtual void advanceTo(Tick t) = 0;
+
+    virtual void setDeliveryHandler(DeliveryHandler handler) = 0;
+
+    /** Current internal time of the network. */
+    virtual Tick curTime() const = 0;
+
+    /** True when no packet is queued, in flight or unreassembled. */
+    virtual bool idle() const = 0;
+
+    /** Number of endpoints (nodes) the network connects. */
+    virtual std::size_t numNodes() const = 0;
+};
+
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_NETWORK_MODEL_HH

@@ -1,0 +1,58 @@
+#include "noc/packet.hh"
+
+#include <sstream>
+
+namespace rasim
+{
+namespace noc
+{
+
+const char *
+toString(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::Request:
+        return "Request";
+      case MsgClass::Forward:
+        return "Forward";
+      case MsgClass::Response:
+        return "Response";
+    }
+    return "Unknown";
+}
+
+std::string
+Packet::toString() const
+{
+    std::ostringstream os;
+    os << "pkt" << id << " " << src << "->" << dst << " "
+       << noc::toString(cls) << " " << size_bytes << "B";
+    return os.str();
+}
+
+PacketPtr
+makePacket(PacketId id, NodeId src, NodeId dst, MsgClass cls,
+           std::uint32_t size_bytes, Tick inject_tick,
+           std::uint64_t context)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = id;
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->cls = cls;
+    pkt->size_bytes = size_bytes;
+    pkt->inject_tick = inject_tick;
+    pkt->context = context;
+    return pkt;
+}
+
+std::uint32_t
+flitsForBytes(std::uint32_t size_bytes, std::uint32_t flit_bytes)
+{
+    if (size_bytes == 0)
+        return 1;
+    return (size_bytes + flit_bytes - 1) / flit_bytes;
+}
+
+} // namespace noc
+} // namespace rasim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Network packets and flits. A Packet is the unit the full system
+ * injects and receives; inside the cycle-level network it is carried
+ * as a wormhole of Flits.
+ */
+
+#ifndef RASIM_NOC_PACKET_HH
+#define RASIM_NOC_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+/**
+ * Message class, mapped one-to-one onto virtual networks. Keeping
+ * requests, forwards/invalidations and responses on disjoint VC pools
+ * makes the directory protocol deadlock-free on the NoC.
+ */
+enum class MsgClass : std::uint8_t
+{
+    Request = 0,  ///< cache miss requests (small control packets)
+    Forward = 1,  ///< directory forwards / invalidations
+    Response = 2, ///< data and acknowledgement responses
+};
+
+/** Number of virtual networks (one per MsgClass). */
+constexpr int num_vnets = 3;
+
+/** Render a message class for logs. */
+const char *toString(MsgClass cls);
+
+/**
+ * The unit of transfer seen by the rest of the system. Created by the
+ * injecting component, handed to a NetworkModel, and returned through
+ * the delivery handler with the timing fields filled in.
+ */
+struct Packet
+{
+    PacketId id = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    MsgClass cls = MsgClass::Request;
+    std::uint32_t size_bytes = 8;
+
+    /** Tick the sender handed the packet to the network. */
+    Tick inject_tick = 0;
+    /** Tick the head flit left the source network interface. */
+    Tick enter_tick = 0;
+    /** Tick the packet was fully received (set by the network). */
+    Tick deliver_tick = 0;
+    /** Number of router-to-router hops taken (set by the network). */
+    std::uint32_t hops = 0;
+
+    /** Opaque cookie for the injecting subsystem (e.g. MSHR index). */
+    std::uint64_t context = 0;
+
+    /** Total latency from injection to delivery. */
+    Tick latency() const { return deliver_tick - inject_tick; }
+    /** Latency inside the network fabric only. */
+    Tick networkLatency() const { return deliver_tick - enter_tick; }
+    /** Source-side queueing before entering the fabric. */
+    Tick queueLatency() const { return enter_tick - inject_tick; }
+
+    std::string toString() const;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** Convenience factory assigning a fresh id from a caller counter. */
+PacketPtr makePacket(PacketId id, NodeId src, NodeId dst, MsgClass cls,
+                     std::uint32_t size_bytes, Tick inject_tick,
+                     std::uint64_t context = 0);
+
+/**
+ * One flow-control unit of a packet. Single-flit packets are marked
+ * HeadTail.
+ */
+struct Flit
+{
+    enum class Type : std::uint8_t { Head, Body, Tail, HeadTail };
+
+    Type type = Type::HeadTail;
+    /** Virtual network (from the packet's message class). */
+    std::uint8_t vnet = 0;
+    /** VC within the vnet on the current link; -1 before allocation. */
+    std::int8_t vc = -1;
+    /**
+     * Dateline VC-class bit for torus deadlock avoidance: flits that
+     * crossed the wrap-around link in the current dimension must use
+     * the upper half of the VC pool.
+     */
+    std::uint8_t vc_class = 0;
+    /**
+     * Dimension of the last traversed link (0 = X, 1 = Y, 2 = none);
+     * the dateline class resets when the packet changes dimension.
+     */
+    std::uint8_t last_dim = 2;
+    /** Flit index within the packet (0 = head). */
+    std::uint16_t seq = 0;
+    /** First cycle the flit may compete for switch allocation. */
+    Cycle ready_cycle = 0;
+    /** Owning packet (destination, bookkeeping, timing). */
+    PacketPtr pkt;
+
+    bool isHead() const
+    {
+        return type == Type::Head || type == Type::HeadTail;
+    }
+
+    bool isTail() const
+    {
+        return type == Type::Tail || type == Type::HeadTail;
+    }
+};
+
+/** Flits a packet occupies given the link width. */
+std::uint32_t flitsForBytes(std::uint32_t size_bytes,
+                            std::uint32_t flit_bytes);
+
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_PACKET_HH

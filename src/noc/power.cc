@@ -1,0 +1,78 @@
+#include "noc/power.hh"
+
+#include "noc/cycle_network.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+PowerParams
+PowerParams::fromConfig(const Config &cfg)
+{
+    PowerParams p;
+    p.buffer_write_pj =
+        cfg.getDouble("power.buffer_write_pj", p.buffer_write_pj);
+    p.switch_traversal_pj = cfg.getDouble("power.switch_traversal_pj",
+                                          p.switch_traversal_pj);
+    p.link_traversal_pj =
+        cfg.getDouble("power.link_traversal_pj", p.link_traversal_pj);
+    p.static_mw_per_router = cfg.getDouble("power.static_mw_per_router",
+                                           p.static_mw_per_router);
+    p.ns_per_cycle = cfg.getDouble("power.ns_per_cycle", p.ns_per_cycle);
+    if (p.ns_per_cycle <= 0.0)
+        fatal("power.ns_per_cycle must be positive");
+    return p;
+}
+
+NocActivity
+activityOf(CycleNetwork &net)
+{
+    NocActivity a;
+    a.routers = static_cast<int>(net.numNodes());
+    a.cycles = static_cast<std::uint64_t>(net.cyclesRun.value());
+    for (std::size_t i = 0; i < net.numNodes(); ++i) {
+        Router &r = net.router(i);
+        a.buffer_writes +=
+            static_cast<std::uint64_t>(r.bufferWrites.value());
+        a.switch_traversals +=
+            static_cast<std::uint64_t>(r.flitsRouted.value());
+        a.link_traversals +=
+            static_cast<std::uint64_t>(r.linkTraversals.value());
+    }
+    return a;
+}
+
+double
+EnergyEstimate::averageMw(double interval_ns) const
+{
+    // 1 pJ / 1 ns = 1 mW.
+    return interval_ns > 0.0 ? totalPj() / interval_ns : 0.0;
+}
+
+NocPowerModel::NocPowerModel(PowerParams params) : params_(params)
+{
+}
+
+EnergyEstimate
+NocPowerModel::estimate(const NocActivity &activity) const
+{
+    EnergyEstimate e;
+    e.buffer_pj = params_.buffer_write_pj *
+                  static_cast<double>(activity.buffer_writes);
+    e.switch_pj = params_.switch_traversal_pj *
+                  static_cast<double>(activity.switch_traversals);
+    e.link_pj = params_.link_traversal_pj *
+                static_cast<double>(activity.link_traversals);
+    double interval_ns =
+        static_cast<double>(activity.cycles) * params_.ns_per_cycle;
+    // mW * ns = pJ.
+    e.static_pj = params_.static_mw_per_router * activity.routers *
+                  interval_ns;
+    return e;
+}
+
+} // namespace noc
+} // namespace rasim

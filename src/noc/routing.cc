@@ -1,0 +1,125 @@
+#include "noc/routing.hh"
+
+#include "noc/topology.hh"
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+namespace
+{
+
+/**
+ * Signed per-dimension progress on a (possibly wrapping) topology.
+ * Positive dx means "go east", positive dy means "go south"; tori pick
+ * the shorter way around.
+ */
+void
+delta(const Topology &topo, int node, NodeId dst, int &dx, int &dy)
+{
+    auto [x, y] = topo.coords(static_cast<NodeId>(node));
+    auto [tx, ty] = topo.coords(dst);
+    dx = tx - x;
+    dy = ty - y;
+    // On tori, take the shorter way around. Wrap links exist iff the
+    // topology reports one on the rightmost/bottom edge.
+    int cols = topo.columns();
+    int rows = topo.rows();
+    bool wraps = topo.isWrapLink(topo.nodeAt(cols - 1, y), port_east) ||
+                 topo.isWrapLink(topo.nodeAt(x, rows - 1), port_south);
+    if (wraps) {
+        if (dx > cols / 2)
+            dx -= cols;
+        else if (dx < -(cols / 2))
+            dx += cols;
+        if (dy > rows / 2)
+            dy -= rows;
+        else if (dy < -(rows / 2))
+            dy += rows;
+    }
+}
+
+} // namespace
+
+void
+XYRouting::route(const Topology &topo, int node, NodeId dst,
+                 std::vector<int> &out) const
+{
+    if (static_cast<NodeId>(node) == dst) {
+        out.push_back(port_local);
+        return;
+    }
+    int dx, dy;
+    delta(topo, node, dst, dx, dy);
+    if (dx > 0)
+        out.push_back(port_east);
+    else if (dx < 0)
+        out.push_back(port_west);
+    else if (dy > 0)
+        out.push_back(port_south);
+    else
+        out.push_back(port_north);
+}
+
+void
+YXRouting::route(const Topology &topo, int node, NodeId dst,
+                 std::vector<int> &out) const
+{
+    if (static_cast<NodeId>(node) == dst) {
+        out.push_back(port_local);
+        return;
+    }
+    int dx, dy;
+    delta(topo, node, dst, dx, dy);
+    if (dy > 0)
+        out.push_back(port_south);
+    else if (dy < 0)
+        out.push_back(port_north);
+    else if (dx > 0)
+        out.push_back(port_east);
+    else
+        out.push_back(port_west);
+}
+
+void
+WestFirstRouting::route(const Topology &topo, int node, NodeId dst,
+                        std::vector<int> &out) const
+{
+    if (static_cast<NodeId>(node) == dst) {
+        out.push_back(port_local);
+        return;
+    }
+    int dx, dy;
+    delta(topo, node, dst, dx, dy);
+    if (dx < 0) {
+        // All westward hops must come first (the turn model forbids
+        // turning into west later).
+        out.push_back(port_west);
+        return;
+    }
+    // Adaptive among the remaining productive directions.
+    if (dx > 0)
+        out.push_back(port_east);
+    if (dy > 0)
+        out.push_back(port_south);
+    else if (dy < 0)
+        out.push_back(port_north);
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeRouting(const std::string &kind)
+{
+    if (kind == "xy")
+        return std::make_unique<XYRouting>();
+    if (kind == "yx")
+        return std::make_unique<YXRouting>();
+    if (kind == "westfirst")
+        return std::make_unique<WestFirstRouting>();
+    fatal("unknown routing algorithm '", kind,
+          "' (want xy, yx or westfirst)");
+}
+
+} // namespace noc
+} // namespace rasim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Routing algorithms. RC returns the set of productive output ports
+ * permitted by the algorithm; the router then selects adaptively among
+ * them by local congestion.
+ */
+
+#ifndef RASIM_NOC_ROUTING_HH
+#define RASIM_NOC_ROUTING_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+class Topology;
+
+/**
+ * Strategy computing the permitted output ports for a packet parked at
+ * a router. Algorithms must be deadlock-free on the topologies they
+ * accept (XY/YX by dimension order; west-first by turn model; torus
+ * additionally relies on dateline VC classes).
+ */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /**
+     * Append the permitted output ports at @p node for destination
+     * @p dst to @p out. port_local is returned iff node == dst.
+     * Candidates are ordered by algorithm preference.
+     */
+    virtual void route(const Topology &topo, int node, NodeId dst,
+                       std::vector<int> &out) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Deterministic dimension-order routing, X first. */
+class XYRouting : public RoutingAlgorithm
+{
+  public:
+    void route(const Topology &topo, int node, NodeId dst,
+               std::vector<int> &out) const override;
+    std::string name() const override { return "xy"; }
+};
+
+/** Deterministic dimension-order routing, Y first. */
+class YXRouting : public RoutingAlgorithm
+{
+  public:
+    void route(const Topology &topo, int node, NodeId dst,
+               std::vector<int> &out) const override;
+    std::string name() const override { return "yx"; }
+};
+
+/**
+ * West-first turn model: a packet makes all westward progress first;
+ * afterwards it may route adaptively among the remaining productive
+ * directions (north/south/east). Deadlock-free on meshes.
+ */
+class WestFirstRouting : public RoutingAlgorithm
+{
+  public:
+    void route(const Topology &topo, int node, NodeId dst,
+               std::vector<int> &out) const override;
+    std::string name() const override { return "westfirst"; }
+};
+
+/** Factory from a name: "xy", "yx" or "westfirst". */
+std::unique_ptr<RoutingAlgorithm> makeRouting(const std::string &kind);
+
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_ROUTING_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Execution engines for the per-cycle network update. The cycle-level
+ * network expresses each phase as a data-parallel loop over node
+ * indices; an engine decides where that loop runs (host CPU, worker
+ * pool standing in for the GPU coprocessor, ...).
+ */
+
+#ifndef RASIM_NOC_STEP_ENGINE_HH
+#define RASIM_NOC_STEP_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace rasim
+{
+namespace noc
+{
+
+class StepEngine
+{
+  public:
+    virtual ~StepEngine() = default;
+
+    /**
+     * Apply @p fn to every index in [0, n). Implementations may run
+     * iterations concurrently but must complete them all before
+     * returning. fn(i) only touches partition-i state (the network's
+     * phase discipline guarantees this is race-free).
+     */
+    virtual void forEach(std::size_t n,
+                         const std::function<void(std::size_t)> &fn) = 0;
+
+    /** Human-readable engine name for logs and reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Plain sequential execution on the calling thread. */
+class SerialEngine : public StepEngine
+{
+  public:
+    void
+    forEach(std::size_t n,
+            const std::function<void(std::size_t)> &fn) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+    }
+
+    const char *name() const override { return "serial"; }
+};
+
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_STEP_ENGINE_HH

@@ -1,0 +1,171 @@
+#include "noc/topology.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+const char *
+portName(int port)
+{
+    switch (port) {
+      case port_local:
+        return "local";
+      case port_north:
+        return "north";
+      case port_east:
+        return "east";
+      case port_south:
+        return "south";
+      case port_west:
+        return "west";
+    }
+    return "invalid";
+}
+
+Mesh2D::Mesh2D(int columns, int rows) : cols_(columns), rows_(rows)
+{
+    if (columns < 1 || rows < 1)
+        fatal("mesh dimensions must be positive, got ", columns, "x",
+              rows);
+}
+
+int
+Mesh2D::neighbor(int node, int port) const
+{
+    auto [x, y] = coords(node);
+    switch (port) {
+      case port_north:
+        return y > 0 ? node - cols_ : -1;
+      case port_south:
+        return y < rows_ - 1 ? node + cols_ : -1;
+      case port_west:
+        return x > 0 ? node - 1 : -1;
+      case port_east:
+        return x < cols_ - 1 ? node + 1 : -1;
+      default:
+        return -1;
+    }
+}
+
+int
+Mesh2D::inputPortAt(int node, int port) const
+{
+    (void)node;
+    switch (port) {
+      case port_north:
+        return port_south;
+      case port_south:
+        return port_north;
+      case port_west:
+        return port_east;
+      case port_east:
+        return port_west;
+      default:
+        return -1;
+    }
+}
+
+int
+Mesh2D::minHops(NodeId a, NodeId b) const
+{
+    auto [ax, ay] = coords(a);
+    auto [bx, by] = coords(b);
+    return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+std::pair<int, int>
+Mesh2D::coords(NodeId node) const
+{
+    int n = static_cast<int>(node);
+    return {n % cols_, n / cols_};
+}
+
+NodeId
+Mesh2D::nodeAt(int x, int y) const
+{
+    if (x < 0 || x >= cols_ || y < 0 || y >= rows_)
+        panic("nodeAt(", x, ",", y, ") outside ", cols_, "x", rows_,
+              " mesh");
+    return static_cast<NodeId>(y * cols_ + x);
+}
+
+std::string
+Mesh2D::name() const
+{
+    return "mesh" + std::to_string(cols_) + "x" + std::to_string(rows_);
+}
+
+Torus2D::Torus2D(int columns, int rows) : Mesh2D(columns, rows)
+{
+}
+
+int
+Torus2D::neighbor(int node, int port) const
+{
+    auto [x, y] = coords(node);
+    switch (port) {
+      case port_north:
+        return nodeAt(x, (y + rows_ - 1) % rows_);
+      case port_south:
+        return nodeAt(x, (y + 1) % rows_);
+      case port_west:
+        return nodeAt((x + cols_ - 1) % cols_, y);
+      case port_east:
+        return nodeAt((x + 1) % cols_, y);
+      default:
+        return -1;
+    }
+}
+
+int
+Torus2D::minHops(NodeId a, NodeId b) const
+{
+    auto [ax, ay] = coords(a);
+    auto [bx, by] = coords(b);
+    int dx = std::abs(ax - bx);
+    int dy = std::abs(ay - by);
+    return std::min(dx, cols_ - dx) + std::min(dy, rows_ - dy);
+}
+
+bool
+Torus2D::isWrapLink(int node, int port) const
+{
+    auto [x, y] = coords(node);
+    switch (port) {
+      case port_north:
+        return y == 0;
+      case port_south:
+        return y == rows_ - 1;
+      case port_west:
+        return x == 0;
+      case port_east:
+        return x == cols_ - 1;
+      default:
+        return false;
+    }
+}
+
+std::string
+Torus2D::name() const
+{
+    return "torus" + std::to_string(cols_) + "x" + std::to_string(rows_);
+}
+
+std::unique_ptr<Topology>
+makeTopology(const std::string &kind, int columns, int rows)
+{
+    if (kind == "mesh")
+        return std::make_unique<Mesh2D>(columns, rows);
+    if (kind == "torus")
+        return std::make_unique<Torus2D>(columns, rows);
+    fatal("unknown topology '", kind, "' (want mesh or torus)");
+}
+
+} // namespace noc
+} // namespace rasim

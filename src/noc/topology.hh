@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Network topologies. A topology maps (node, output port) to the
+ * neighbouring node and tells routing algorithms about coordinates
+ * and wrap-around links.
+ */
+
+#ifndef RASIM_NOC_TOPOLOGY_HH
+#define RASIM_NOC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace noc
+{
+
+/** Router port indices for 2D topologies. */
+enum Port : int
+{
+    port_local = 0,
+    port_north = 1,
+    port_east = 2,
+    port_south = 3,
+    port_west = 4,
+    num_2d_ports = 5,
+};
+
+/** Render a port index for logs. */
+const char *portName(int port);
+
+/**
+ * Abstract topology: a regular directed graph over router nodes, with
+ * one bidirectional channel per (node, port).
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    virtual int numNodes() const = 0;
+
+    /** Ports per router, including the local (NIC) port 0. */
+    virtual int numPorts() const = 0;
+
+    /**
+     * Node reached by leaving @p node through @p port, or -1 when the
+     * port is unconnected (mesh edge or local port).
+     */
+    virtual int neighbor(int node, int port) const = 0;
+
+    /** Port on the neighbour that receives traffic sent via @p port. */
+    virtual int inputPortAt(int node, int port) const = 0;
+
+    /** Minimal hop distance between two nodes. */
+    virtual int minHops(NodeId a, NodeId b) const = 0;
+
+    /**
+     * True when the hop (node, port) traverses a wrap-around link;
+     * used for dateline VC-class switching on tori.
+     */
+    virtual bool isWrapLink(int node, int port) const { (void)node;
+        (void)port; return false; }
+
+    /** (x, y) coordinates of a node; x is the column. */
+    virtual std::pair<int, int> coords(NodeId node) const = 0;
+
+    /** Node at coordinates (x, y). */
+    virtual NodeId nodeAt(int x, int y) const = 0;
+
+    virtual int columns() const = 0;
+    virtual int rows() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Open 2D mesh of columns x rows routers. */
+class Mesh2D : public Topology
+{
+  public:
+    Mesh2D(int columns, int rows);
+
+    int numNodes() const override { return cols_ * rows_; }
+    int numPorts() const override { return num_2d_ports; }
+    int neighbor(int node, int port) const override;
+    int inputPortAt(int node, int port) const override;
+    int minHops(NodeId a, NodeId b) const override;
+    std::pair<int, int> coords(NodeId node) const override;
+    NodeId nodeAt(int x, int y) const override;
+    int columns() const override { return cols_; }
+    int rows() const override { return rows_; }
+    std::string name() const override;
+
+  protected:
+    int cols_;
+    int rows_;
+};
+
+/** 2D torus: a mesh with wrap-around links in both dimensions. */
+class Torus2D : public Mesh2D
+{
+  public:
+    Torus2D(int columns, int rows);
+
+    int neighbor(int node, int port) const override;
+    int minHops(NodeId a, NodeId b) const override;
+    bool isWrapLink(int node, int port) const override;
+    std::string name() const override;
+};
+
+/** Factory from a name: "mesh" or "torus". */
+std::unique_ptr<Topology> makeTopology(const std::string &kind,
+                                       int columns, int rows);
+
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_TOPOLOGY_HH

@@ -1,0 +1,42 @@
+#include "sim/clocked.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+
+ClockDomain::ClockDomain(std::string name, Tick period)
+    : name_(std::move(name)), period_(period)
+{
+    if (period_ == 0)
+        fatal("clock domain '", name_, "' must have a non-zero period");
+}
+
+Tick
+ClockDomain::edgeAtOrAfter(Tick t) const
+{
+    Tick rem = t % period_;
+    return rem == 0 ? t : t + (period_ - rem);
+}
+
+Clocked::Clocked(EventQueue &eq, const ClockDomain &domain)
+    : eq_(eq), domain_(domain)
+{
+}
+
+Cycle
+Clocked::curCycle() const
+{
+    return domain_.ticksToCycles(eq_.curTick());
+}
+
+Tick
+Clocked::clockEdge(Cycle cycles) const
+{
+    return domain_.edgeAtOrAfter(eq_.curTick()) +
+           domain_.cyclesToTicks(cycles);
+}
+
+} // namespace rasim

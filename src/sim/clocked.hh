@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Clock domains and the Clocked mixin translating between cycles and
+ * ticks.
+ */
+
+#ifndef RASIM_SIM_CLOCKED_HH
+#define RASIM_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "sim/eventq.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+
+/**
+ * A clock domain: a period in ticks shared by a set of components.
+ * The default configuration runs the whole target at period 1 (one
+ * tick per network cycle), but cores and memory may be placed in
+ * slower domains.
+ */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(std::string name, Tick period = 1);
+
+    Tick period() const { return period_; }
+    const std::string &name() const { return name_; }
+
+    /** Tick of the first clock edge at or after @p t. */
+    Tick edgeAtOrAfter(Tick t) const;
+
+    /** Convert a cycle count to ticks. */
+    Tick cyclesToTicks(Cycle c) const { return c * period_; }
+
+    /** Cycles fully elapsed at tick @p t. */
+    Cycle ticksToCycles(Tick t) const { return t / period_; }
+
+  private:
+    std::string name_;
+    Tick period_;
+};
+
+/**
+ * Mixin for components that operate on clock edges of a domain and
+ * schedule their events aligned to those edges.
+ */
+class Clocked
+{
+  public:
+    Clocked(EventQueue &eq, const ClockDomain &domain);
+
+    /** Current cycle in this component's domain. */
+    Cycle curCycle() const;
+
+    /**
+     * Tick of the clock edge @p cycles edges after "now", where an
+     * edge exactly at the current tick counts as zero edges away.
+     */
+    Tick clockEdge(Cycle cycles = 0) const;
+
+    Tick clockPeriod() const { return domain_.period(); }
+    EventQueue &eventQueue() const { return eq_; }
+
+  private:
+    EventQueue &eq_;
+    const ClockDomain &domain_;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_CLOCKED_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hierarchical key/value configuration with typed accessors.
+ *
+ * Keys are dotted paths ("noc.vcs_per_vnet"). Values are strings parsed
+ * on demand. Sources: programmatic set(), command-line style "key=value"
+ * arguments, and simple config files (one "key = value" per line, '#'
+ * comments).
+ */
+
+#ifndef RASIM_SIM_CONFIG_HH
+#define RASIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rasim
+{
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) one key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Convenience overloads for non-string values. */
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, int value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** True when the key has been set. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters. The value must parse as the requested type or the
+     * run aborts with fatal() — a misconfiguration, not a bug.
+     */
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    std::uint64_t getUInt(const std::string &key, std::uint64_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+    /** Required variants: fatal() when the key is missing. */
+    std::string requireString(const std::string &key) const;
+    std::uint64_t requireUInt(const std::string &key) const;
+
+    /** Parse one "key=value" token; fatal() on malformed input. */
+    void parseArg(const std::string &arg);
+
+    /** Parse argv-style arguments, skipping non "key=value" tokens. */
+    void parseArgs(int argc, char **argv);
+
+    /** Load "key = value" lines from @p path; fatal() if unreadable. */
+    void loadFile(const std::string &path);
+
+    /** All keys with the given prefix (for diagnostics). */
+    std::vector<std::string> keysWithPrefix(const std::string &prefix) const;
+
+    /** Render the whole configuration (sorted) for logging. */
+    std::string toString() const;
+
+  private:
+    const std::string *find(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_CONFIG_HH

@@ -1,0 +1,30 @@
+#include "sim/event.hh"
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+
+Event::Event(Priority pri) : priority_(pri)
+{
+}
+
+Event::~Event()
+{
+    if (scheduled())
+        panic("event '", description(), "' destroyed while scheduled");
+}
+
+EventFunctionWrapper::EventFunctionWrapper(std::function<void()> callback,
+                                           std::string name, Priority pri)
+    : Event(pri), callback_(std::move(callback)), name_(std::move(name))
+{
+}
+
+void
+EventFunctionWrapper::process()
+{
+    callback_();
+}
+
+} // namespace rasim

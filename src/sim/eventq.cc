@@ -1,0 +1,126 @@
+#include "sim/eventq.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+
+namespace
+{
+
+/** One-shot self-deleting event used by scheduleLambda(). */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::function<void()> fn, Priority pri)
+        : Event(pri), fn_(std::move(fn))
+    {
+    }
+
+    void
+    process() override
+    {
+        auto fn = std::move(fn_);
+        delete this;
+        fn();
+    }
+
+    std::string description() const override { return "lambda event"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+} // namespace
+
+EventQueue::EventQueue(std::string name) : name_(std::move(name))
+{
+}
+
+EventQueue::~EventQueue()
+{
+    // Orphan (never delete) remaining events: they are owned by the
+    // components, which are usually destroyed after the queue. Lambda
+    // events are the exception and must be reclaimed here.
+    for (Event *ev : events_) {
+        ev->queue_ = nullptr;
+        if (auto *le = dynamic_cast<LambdaEvent *>(ev))
+            delete le;
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->scheduled())
+        panic("schedule of already-scheduled event '", ev->description(),
+              "'");
+    if (when < cur_tick_)
+        panic("event '", ev->description(), "' scheduled at ", when,
+              " in the past (now ", cur_tick_, ")");
+    ev->when_ = when;
+    ev->sequence_ = next_sequence_++;
+    ev->queue_ = this;
+    events_.insert(ev);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (ev->queue_ != this)
+        panic("deschedule of event '", ev->description(),
+              "' not on this queue");
+    events_.erase(ev);
+    ev->queue_ = nullptr;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled())
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+                           Event::Priority pri)
+{
+    schedule(new LambdaEvent(std::move(fn), pri), when);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    if (events_.empty())
+        panic("nextTick() on empty event queue");
+    return (*events_.begin())->when();
+}
+
+bool
+EventQueue::serviceOne()
+{
+    if (events_.empty())
+        return false;
+    auto it = events_.begin();
+    Event *ev = *it;
+    events_.erase(it);
+    cur_tick_ = ev->when_;
+    ev->queue_ = nullptr;
+    ++num_processed_;
+    ev->process();
+    return true;
+}
+
+void
+EventQueue::serviceUntil(Tick until)
+{
+    while (!events_.empty() && (*events_.begin())->when() <= until)
+        serviceOne();
+    if (cur_tick_ < until)
+        cur_tick_ = until;
+}
+
+} // namespace rasim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ */
+
+#ifndef RASIM_SIM_EVENTQ_HH
+#define RASIM_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "sim/event.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+
+/**
+ * Ordered queue of pending events plus the current simulated time.
+ *
+ * Events with equal tick execute in ascending priority, then insertion
+ * order, making simultaneous-event behaviour deterministic. Descheduling
+ * is supported (components cancel timeouts/retries), hence the ordered
+ * set rather than a binary heap.
+ */
+class EventQueue
+{
+  public:
+    explicit EventQueue(std::string name = "eventq");
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return cur_tick_; }
+
+    /** Schedule @p ev at absolute tick @p when (>= curTick()). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event. @pre ev->scheduled(). */
+    void deschedule(Event *ev);
+
+    /** Move a scheduled (or idle) event to @p when. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Schedule a one-shot heap-allocated event running @p fn; the event
+     * deletes itself after running. Convenient for fire-and-forget
+     * callbacks like packet deliveries.
+     */
+    void scheduleLambda(Tick when, std::function<void()> fn,
+                        Event::Priority pri = Event::default_pri);
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Tick of the earliest pending event. @pre !empty(). */
+    Tick nextTick() const;
+
+    /**
+     * Execute the single earliest event, advancing curTick to it.
+     * @return false if the queue was empty.
+     */
+    bool serviceOne();
+
+    /**
+     * Execute all events with when() <= @p until, then set curTick to
+     * @p until. Events scheduled during servicing are honoured.
+     */
+    void serviceUntil(Tick until);
+
+    /** Total number of events processed (statistics). */
+    std::uint64_t numProcessed() const { return num_processed_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Before
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->when() != b->when())
+                return a->when() < b->when();
+            if (a->priority() != b->priority())
+                return a->priority() < b->priority();
+            return a->sequence_ < b->sequence_;
+        }
+    };
+
+    std::string name_;
+    Tick cur_tick_ = 0;
+    std::uint64_t next_sequence_ = 0;
+    std::uint64_t num_processed_ = 0;
+    std::set<Event *, Before> events_;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_EVENTQ_HH

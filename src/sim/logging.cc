@@ -1,0 +1,56 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace rasim
+{
+
+namespace
+{
+std::atomic<std::uint64_t> warn_count{0};
+} // namespace
+
+namespace detail
+{
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg;
+    if (file)
+        std::cerr << " (" << file << ":" << line << ")";
+    std::cerr << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warn_count.fetch_add(1, std::memory_order_relaxed);
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+std::uint64_t
+warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
+} // namespace rasim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for simulator bugs,
+ * fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef RASIM_SIM_LOGGING_HH
+#define RASIM_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace rasim
+{
+
+namespace detail
+{
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Call when a condition
+ * occurs that no user configuration should be able to trigger.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::cat(std::forward<Args>(args)...), nullptr, 0);
+}
+
+/**
+ * Report a user error (bad configuration, invalid arguments) and exit
+ * with a failing status. Not a simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::cat(std::forward<Args>(args)...));
+}
+
+/** Alert the user to questionable but non-fatal behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::cat(std::forward<Args>(args)...));
+}
+
+/** Provide normal operating status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::cat(std::forward<Args>(args)...));
+}
+
+/** Number of warnings emitted so far (used by tests). */
+std::uint64_t warnCount();
+
+} // namespace rasim
+
+#endif // RASIM_SIM_LOGGING_HH

@@ -1,0 +1,87 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace rasim
+{
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    next();
+    state_ += seed;
+    next();
+}
+
+std::uint32_t
+Rng::next()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint64_t
+Rng::next64()
+{
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa from a 64-bit draw.
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+std::uint32_t
+Rng::range(std::uint32_t n)
+{
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint32_t threshold = (-n) % n;
+    for (;;) {
+        std::uint32_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::uint32_t
+Rng::rangeInclusive(std::uint32_t lo, std::uint32_t hi)
+{
+    if (lo == 0 && hi == 0xffffffffu)
+        return next();
+    return lo + range(hi - lo + 1);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+} // namespace rasim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32). Every stochastic
+ * component owns its own Rng seeded from the configuration so that runs
+ * are reproducible and components are statistically independent.
+ */
+
+#ifndef RASIM_SIM_RNG_HH
+#define RASIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace rasim
+{
+
+/**
+ * PCG32 generator (O'Neill, pcg-random.org; XSH-RR variant).
+ *
+ * Small, fast, and far better distributed than rand(). Each (seed,
+ * stream) pair yields an independent sequence, which lets every
+ * simulated component draw from its own stream of one global seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed and a stream selector. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 1);
+
+    /** Next raw 32-bit output. */
+    std::uint32_t next();
+
+    /** Next raw 64-bit output (two draws). */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, n). @pre n > 0. Unbiased (rejection). */
+    std::uint32_t range(std::uint32_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint32_t rangeInclusive(std::uint32_t lo, std::uint32_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Geometric number of failures before the first success with
+     * per-trial probability p; used for bursty injection processes.
+     * @pre 0 < p <= 1.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Exponential variate with the given mean. */
+    double exponential(double mean);
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_RNG_HH

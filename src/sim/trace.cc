@@ -1,0 +1,69 @@
+#include "sim/trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace rasim
+{
+
+namespace Trace
+{
+
+namespace
+{
+
+std::set<std::string> &
+flags()
+{
+    static std::set<std::string> *the_flags = [] {
+        auto *f = new std::set<std::string>;
+        if (const char *env = std::getenv("RASIM_TRACE")) {
+            std::istringstream is(env);
+            std::string item;
+            while (std::getline(is, item, ','))
+                if (!item.empty())
+                    f->insert(item);
+        }
+        return f;
+    }();
+    return *the_flags;
+}
+
+std::mutex trace_mutex;
+
+} // namespace
+
+void
+enable(const std::string &flag)
+{
+    std::lock_guard<std::mutex> lock(trace_mutex);
+    flags().insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    std::lock_guard<std::mutex> lock(trace_mutex);
+    flags().erase(flag);
+}
+
+bool
+enabled(const std::string &flag)
+{
+    std::lock_guard<std::mutex> lock(trace_mutex);
+    return flags().count(flag) > 0;
+}
+
+void
+output(const std::string &flag, Tick when, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(trace_mutex);
+    std::cout << when << ": [" << flag << "] " << msg << "\n";
+}
+
+} // namespace Trace
+
+} // namespace rasim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Lightweight trace-flag facility. Flags are enabled by name through
+ * Trace::enable() or the RASIM_TRACE environment variable
+ * (comma-separated list). Tracing is compiled in but costs one branch
+ * when disabled.
+ */
+
+#ifndef RASIM_SIM_TRACE_HH
+#define RASIM_SIM_TRACE_HH
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+
+namespace Trace
+{
+
+/** Enable one trace flag by name ("NoC", "Cache", "Cosim", ...). */
+void enable(const std::string &flag);
+
+/** Disable one trace flag by name. */
+void disable(const std::string &flag);
+
+/** True when the named flag is active. */
+bool enabled(const std::string &flag);
+
+/** Emit a trace record for @p flag at tick @p when. */
+void output(const std::string &flag, Tick when, const std::string &msg);
+
+} // namespace Trace
+
+/**
+ * Trace helper: no-op unless the flag is enabled.
+ */
+template <typename... Args>
+void
+tracef(const std::string &flag, Tick when, Args &&...args)
+{
+    if (Trace::enabled(flag))
+        Trace::output(flag, when, detail::cat(std::forward<Args>(args)...));
+}
+
+} // namespace rasim
+
+#endif // RASIM_SIM_TRACE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sampled-distribution statistics: moment tracking and fixed-width
+ * bucketed histograms.
+ */
+
+#ifndef RASIM_STATS_DISTRIBUTION_HH
+#define RASIM_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/stat.hh"
+
+namespace rasim
+{
+namespace stats
+{
+
+/**
+ * Tracks count, mean, min, max and standard deviation of samples
+ * without storing them.
+ */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const;
+    double maxValue() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+    std::vector<std::pair<std::string, double>> values() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width bucket histogram over [0, buckets*width), with explicit
+ * overflow accounting. Bucket boundaries are [i*width, (i+1)*width).
+ */
+class Histogram : public Stat
+{
+  public:
+    Histogram(Group *parent, std::string name, std::string desc,
+              std::size_t num_buckets, double bucket_width);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_[i]; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalCount() const { return total_; }
+
+    std::vector<std::pair<std::string, double>> values() const override;
+    void reset() override;
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace stats
+} // namespace rasim
+
+#endif // RASIM_STATS_DISTRIBUTION_HH

@@ -1,0 +1,49 @@
+#include "stats/stat.hh"
+
+#include "stats/group.hh"
+
+namespace rasim
+{
+namespace stats
+{
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : parent_(parent), name_(std::move(name)), desc_(std::move(desc))
+{
+    if (parent_)
+        parent_->addStat(this);
+}
+
+Stat::~Stat()
+{
+    if (parent_)
+        parent_->removeStat(this);
+}
+
+std::vector<std::pair<std::string, double>>
+Scalar::values() const
+{
+    return {{"", value_}};
+}
+
+std::vector<std::pair<std::string, double>>
+Average::values() const
+{
+    return {{"mean", mean()},
+            {"count", static_cast<double>(count_)}};
+}
+
+Value::Value(Group *parent, std::string name, std::string desc,
+             std::function<double()> fn)
+    : Stat(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+}
+
+std::vector<std::pair<std::string, double>>
+Value::values() const
+{
+    return {{"", value()}};
+}
+
+} // namespace stats
+} // namespace rasim

@@ -1,0 +1,62 @@
+#include "workload/address_stream.hh"
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+SyntheticStream::SyntheticStream(const StreamProfile &profile,
+                                 NodeId node, int block_bytes, Rng rng)
+    : profile_(profile), node_(node), block_bytes_(block_bytes),
+      rng_(rng)
+{
+    if (profile_.private_blocks == 0 || profile_.shared_blocks == 0)
+        fatal("stream profile needs non-empty regions");
+    if (profile_.hotspot_blocks > profile_.shared_blocks)
+        fatal("hotspot larger than the shared region");
+}
+
+Addr
+SyntheticStream::blockAddr(Addr base, std::uint64_t block_index) const
+{
+    return base + block_index * static_cast<Addr>(block_bytes_);
+}
+
+MemOp
+SyntheticStream::next()
+{
+    MemOp op;
+    op.is_write = rng_.bernoulli(profile_.write_frac);
+
+    if (rng_.bernoulli(profile_.shared_frac)) {
+        std::uint64_t idx;
+        if (profile_.hotspot_frac > 0.0 &&
+            rng_.bernoulli(profile_.hotspot_frac)) {
+            idx = rng_.range(
+                static_cast<std::uint32_t>(profile_.hotspot_blocks));
+        } else {
+            idx = rng_.range(
+                static_cast<std::uint32_t>(profile_.shared_blocks));
+        }
+        op.addr = blockAddr(shared_base, idx);
+        return op;
+    }
+
+    // Private region with sequential runs.
+    if (rng_.bernoulli(profile_.seq_frac)) {
+        last_private_ = (last_private_ + profile_.stride_blocks) %
+                        profile_.private_blocks;
+    } else {
+        last_private_ = rng_.range(
+            static_cast<std::uint32_t>(profile_.private_blocks));
+    }
+    Addr span = static_cast<Addr>(profile_.private_blocks) *
+                static_cast<Addr>(block_bytes_);
+    op.addr = blockAddr(private_base + node_ * span, last_private_);
+    return op;
+}
+
+} // namespace workload
+} // namespace rasim

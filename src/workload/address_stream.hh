@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic memory address streams: per-core generators whose spatial
+ * locality, sharing degree and hotspotting are parameterised so that
+ * different "applications" stress the memory system — and therefore
+ * the network — in qualitatively different ways.
+ */
+
+#ifndef RASIM_WORKLOAD_ADDRESS_STREAM_HH
+#define RASIM_WORKLOAD_ADDRESS_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+/** One memory operation of a core's instruction stream. */
+struct MemOp
+{
+    Addr addr = 0;
+    bool is_write = false;
+};
+
+/** Generator of a core's memory reference stream. */
+class AddressStream
+{
+  public:
+    virtual ~AddressStream() = default;
+    virtual MemOp next() = 0;
+};
+
+/**
+ * Tunable synthetic reference behaviour. All sizes in cache blocks.
+ */
+struct StreamProfile
+{
+    /** Per-core private working set. */
+    std::uint64_t private_blocks = 1024;
+    /** Globally shared region. */
+    std::uint64_t shared_blocks = 4096;
+    /** Fraction of accesses going to the shared region. */
+    double shared_frac = 0.2;
+    /** Of shared accesses, fraction hitting the hotspot blocks. */
+    double hotspot_frac = 0.0;
+    std::uint64_t hotspot_blocks = 16;
+    /** P(next private access continues sequentially from the last). */
+    double seq_frac = 0.5;
+    int stride_blocks = 1;
+    /** Fraction of accesses that are stores. */
+    double write_frac = 0.3;
+};
+
+/**
+ * The standard synthetic stream: private region with sequential
+ * locality plus a shared region with optional hotspot.
+ *
+ * Address map: shared region at shared_base; each core's private
+ * region at private_base + node * private_span.
+ */
+class SyntheticStream : public AddressStream
+{
+  public:
+    SyntheticStream(const StreamProfile &profile, NodeId node,
+                    int block_bytes, Rng rng);
+
+    MemOp next() override;
+
+    static constexpr Addr shared_base = 0x10000000;
+    static constexpr Addr private_base = 0x40000000;
+
+  private:
+    Addr blockAddr(Addr base, std::uint64_t block_index) const;
+
+    StreamProfile profile_;
+    NodeId node_;
+    int block_bytes_;
+    Rng rng_;
+    std::uint64_t last_private_ = 0;
+};
+
+} // namespace workload
+} // namespace rasim
+
+#endif // RASIM_WORKLOAD_ADDRESS_STREAM_HH

@@ -1,0 +1,125 @@
+#include "workload/app_profiles.hh"
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+namespace
+{
+
+std::vector<AppProfile>
+buildProfiles()
+{
+    std::vector<AppProfile> apps;
+
+    // fft: all-to-all data exchange — large shared region, little
+    // locality, read-mostly, memory-hungry.
+    AppProfile fft;
+    fft.name = "fft";
+    fft.stream.shared_frac = 0.55;
+    fft.stream.shared_blocks = 8192;
+    fft.stream.seq_frac = 0.35;
+    fft.stream.write_frac = 0.25;
+    fft.mem_ratio = 0.45;
+    apps.push_back(fft);
+
+    // lu: blocked factorisation — strong sequential locality in the
+    // private tiles, moderate sharing of the pivot rows.
+    AppProfile lu;
+    lu.name = "lu";
+    lu.stream.shared_frac = 0.25;
+    lu.stream.seq_frac = 0.85;
+    lu.stream.write_frac = 0.4;
+    lu.mem_ratio = 0.35;
+    apps.push_back(lu);
+
+    // barnes: irregular pointer chasing over a shared tree, low
+    // locality, read-dominated.
+    AppProfile barnes;
+    barnes.name = "barnes";
+    barnes.stream.shared_frac = 0.6;
+    barnes.stream.shared_blocks = 16384;
+    barnes.stream.seq_frac = 0.1;
+    barnes.stream.write_frac = 0.15;
+    barnes.mem_ratio = 0.4;
+    apps.push_back(barnes);
+
+    // ocean: nearest-neighbour grid sweeps — high locality, writes to
+    // the private partition, modest boundary sharing.
+    AppProfile ocean;
+    ocean.name = "ocean";
+    ocean.stream.shared_frac = 0.15;
+    ocean.stream.seq_frac = 0.9;
+    ocean.stream.write_frac = 0.5;
+    ocean.mem_ratio = 0.5;
+    apps.push_back(ocean);
+
+    // radix: permutation writes into a shared histogram — write-heavy
+    // hotspot behaviour.
+    AppProfile radix;
+    radix.name = "radix";
+    radix.stream.shared_frac = 0.5;
+    radix.stream.hotspot_frac = 0.5;
+    radix.stream.hotspot_blocks = 64;
+    radix.stream.write_frac = 0.6;
+    radix.mem_ratio = 0.45;
+    apps.push_back(radix);
+
+    // water: mostly-private molecular updates with a small strongly
+    // contended reduction area.
+    AppProfile water;
+    water.name = "water";
+    water.stream.shared_frac = 0.1;
+    water.stream.hotspot_frac = 0.8;
+    water.stream.hotspot_blocks = 8;
+    water.stream.seq_frac = 0.7;
+    water.stream.write_frac = 0.35;
+    water.mem_ratio = 0.25;
+    apps.push_back(water);
+
+    // raytrace: read-only shared scene data, random traversal.
+    AppProfile raytrace;
+    raytrace.name = "raytrace";
+    raytrace.stream.shared_frac = 0.7;
+    raytrace.stream.shared_blocks = 32768;
+    raytrace.stream.seq_frac = 0.2;
+    raytrace.stream.write_frac = 0.05;
+    raytrace.mem_ratio = 0.35;
+    apps.push_back(raytrace);
+
+    // cholesky: supernodal factorisation — bursty private compute with
+    // shared frontal matrices.
+    AppProfile cholesky;
+    cholesky.name = "cholesky";
+    cholesky.stream.shared_frac = 0.35;
+    cholesky.stream.seq_frac = 0.6;
+    cholesky.stream.write_frac = 0.45;
+    cholesky.mem_ratio = 0.3;
+    apps.push_back(cholesky);
+
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+appProfiles()
+{
+    static const std::vector<AppProfile> apps = buildProfiles();
+    return apps;
+}
+
+const AppProfile &
+appProfile(const std::string &name)
+{
+    for (const AppProfile &app : appProfiles())
+        if (app.name == name)
+            return app;
+    fatal("unknown application profile '", name, "'");
+}
+
+} // namespace workload
+} // namespace rasim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Named application presets: parameter sets for the synthetic cores
+ * whose sharing degree, locality, hotspotting and memory intensity
+ * differ per "application". Names are SPLASH-2-inspired; the presets
+ * are synthetic stand-ins documented in DESIGN.md (substitution for
+ * full-system workload traces, which we do not have).
+ */
+
+#ifndef RASIM_WORKLOAD_APP_PROFILES_HH
+#define RASIM_WORKLOAD_APP_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/address_stream.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+/** Full behavioural description of one application preset. */
+struct AppProfile
+{
+    std::string name;
+    StreamProfile stream;
+    /** Probability an instruction is a memory operation. */
+    double mem_ratio = 0.3;
+    /** Memory operations each core executes in an experiment. */
+    std::uint64_t ops_per_core = 2000;
+};
+
+/** The eight presets used across the E1/E2/E3/E5/E6 experiments. */
+const std::vector<AppProfile> &appProfiles();
+
+/** Look up a preset by name; fatal() when unknown. */
+const AppProfile &appProfile(const std::string &name);
+
+} // namespace workload
+} // namespace rasim
+
+#endif // RASIM_WORKLOAD_APP_PROFILES_HH

@@ -1,0 +1,86 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+void
+PacketTrace::sortByTime()
+{
+    std::stable_sort(records_.begin(), records_.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.inject_tick < b.inject_tick;
+                     });
+}
+
+void
+PacketTrace::save(std::ostream &os) const
+{
+    os << "tick,src,dst,class,bytes\n";
+    for (const TraceRecord &r : records_) {
+        os << r.inject_tick << "," << r.src << "," << r.dst << ","
+           << static_cast<int>(r.cls) << "," << r.size_bytes << "\n";
+    }
+}
+
+PacketTrace
+PacketTrace::load(std::istream &is)
+{
+    PacketTrace trace;
+    std::string line;
+    bool first = true;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (line.rfind("tick,", 0) == 0)
+                continue; // header
+        }
+        std::istringstream row(line);
+        TraceRecord r;
+        char c1, c2, c3, c4;
+        int cls;
+        if (!(row >> r.inject_tick >> c1 >> r.src >> c2 >> r.dst >>
+              c3 >> cls >> c4 >> r.size_bytes) ||
+            c1 != ',' || c2 != ',' || c3 != ',' || c4 != ',' ||
+            cls < 0 || cls >= noc::num_vnets) {
+            fatal("malformed trace row ", lineno, ": '", line, "'");
+        }
+        r.cls = static_cast<noc::MsgClass>(cls);
+        trace.records_.push_back(r);
+    }
+    return trace;
+}
+
+TraceReplayer::TraceReplayer(noc::NetworkModel &net,
+                             const PacketTrace &trace)
+    : net_(net), trace_(trace)
+{
+}
+
+void
+TraceReplayer::replayTo(Tick t)
+{
+    const auto &recs = trace_.records();
+    while (next_ < recs.size() && recs[next_].inject_tick < t) {
+        const TraceRecord &r = recs[next_];
+        net_.inject(noc::makePacket(next_id_++, r.src, r.dst, r.cls,
+                                    r.size_bytes, r.inject_tick));
+        ++next_;
+    }
+}
+
+} // namespace workload
+} // namespace rasim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Packet trace capture and replay. Traces recorded from an in-context
+ * co-simulation can be replayed into an isolated network — the middle
+ * ground between synthetic traffic and full co-simulation that E1
+ * quantifies (replay preserves the spatial/temporal mix but loses the
+ * closed-loop feedback).
+ */
+
+#ifndef RASIM_WORKLOAD_TRACE_HH
+#define RASIM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "noc/network_model.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+/** One recorded injection. */
+struct TraceRecord
+{
+    Tick inject_tick = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    noc::MsgClass cls = noc::MsgClass::Request;
+    std::uint32_t size_bytes = 0;
+
+    bool operator==(const TraceRecord &other) const = default;
+};
+
+/** An ordered packet trace with text (CSV) persistence. */
+class PacketTrace
+{
+  public:
+    void
+    record(const noc::PacketPtr &pkt)
+    {
+        records_.push_back({pkt->inject_tick, pkt->src, pkt->dst,
+                            pkt->cls, pkt->size_bytes});
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    void clear() { records_.clear(); }
+
+    /** Stable-sort records by injection tick (replay requires
+     *  chronological order; capture order may differ). */
+    void sortByTime();
+
+    /** Write as CSV ("tick,src,dst,class,bytes"). */
+    void save(std::ostream &os) const;
+
+    /** Parse a CSV trace; fatal() on malformed rows. */
+    static PacketTrace load(std::istream &is);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * Replays a trace into a network model, preserving recorded injection
+ * times (open loop). The caller advances the network.
+ */
+class TraceReplayer
+{
+  public:
+    TraceReplayer(noc::NetworkModel &net, const PacketTrace &trace);
+
+    /** Inject all records with inject_tick < t. */
+    void replayTo(Tick t);
+
+    bool finished() const { return next_ >= trace_.size(); }
+    std::size_t injected() const { return next_; }
+
+  private:
+    noc::NetworkModel &net_;
+    const PacketTrace &trace_;
+    std::size_t next_ = 0;
+    PacketId next_id_ = 1;
+};
+
+} // namespace workload
+} // namespace rasim
+
+#endif // RASIM_WORKLOAD_TRACE_HH

@@ -1,0 +1,150 @@
+#include "workload/traffic.hh"
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+TrafficPattern
+patternFromName(const std::string &name)
+{
+    if (name == "uniform")
+        return TrafficPattern::UniformRandom;
+    if (name == "transpose")
+        return TrafficPattern::Transpose;
+    if (name == "bitcomp")
+        return TrafficPattern::BitComplement;
+    if (name == "hotspot")
+        return TrafficPattern::Hotspot;
+    if (name == "tornado")
+        return TrafficPattern::Tornado;
+    if (name == "neighbor")
+        return TrafficPattern::Neighbor;
+    fatal("unknown traffic pattern '", name, "'");
+}
+
+const char *
+toString(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::UniformRandom:
+        return "uniform";
+      case TrafficPattern::Transpose:
+        return "transpose";
+      case TrafficPattern::BitComplement:
+        return "bitcomp";
+      case TrafficPattern::Hotspot:
+        return "hotspot";
+      case TrafficPattern::Tornado:
+        return "tornado";
+      case TrafficPattern::Neighbor:
+        return "neighbor";
+    }
+    return "unknown";
+}
+
+NodeId
+patternDest(TrafficPattern pattern, NodeId src, int cols, int rows,
+            Rng &rng)
+{
+    int n = cols * rows;
+    int x = static_cast<int>(src) % cols;
+    int y = static_cast<int>(src) / cols;
+    switch (pattern) {
+      case TrafficPattern::UniformRandom:
+        return rng.range(static_cast<std::uint32_t>(n));
+      case TrafficPattern::Transpose: {
+        // Transpose needs a square fabric; clamp coordinates when the
+        // grid is rectangular.
+        int tx = y % cols;
+        int ty = x % rows;
+        return static_cast<NodeId>(ty * cols + tx);
+      }
+      case TrafficPattern::BitComplement:
+        return static_cast<NodeId>((n - 1) - static_cast<int>(src));
+      case TrafficPattern::Hotspot:
+        // Handled by the generator; fall back to uniform here.
+        return rng.range(static_cast<std::uint32_t>(n));
+      case TrafficPattern::Tornado: {
+        int tx = (x + cols / 2) % cols;
+        return static_cast<NodeId>(y * cols + tx);
+      }
+      case TrafficPattern::Neighbor: {
+        int tx = (x + 1) % cols;
+        return static_cast<NodeId>(y * cols + tx);
+      }
+    }
+    panic("patternDest: bad pattern");
+}
+
+TrafficGenerator::TrafficGenerator(noc::NetworkModel &net, int cols,
+                                   int rows, Options opts, Rng rng)
+    : net_(net), cols_(cols), rows_(rows), opts_(opts), rng_(rng)
+{
+    if (opts_.rate < 0.0 || opts_.rate > 1.0)
+        fatal("traffic rate must be in [0, 1] packets/node/cycle");
+    if (static_cast<std::size_t>(cols) * rows != net.numNodes())
+        fatal("traffic generator grid does not match the network");
+    burst_state_.assign(net.numNodes(), 0);
+}
+
+bool
+TrafficGenerator::shouldInject(std::size_t node)
+{
+    if (!opts_.bursty)
+        return rng_.bernoulli(opts_.rate);
+    // On/off process: positive state = cycles left in a burst, during
+    // which injection happens at a rate compensating the off period.
+    std::int64_t &s = burst_state_[node];
+    if (s == 0) {
+        double on_prob = opts_.rate; // duty cycle equals offered rate
+        bool on = rng_.bernoulli(on_prob);
+        auto len = static_cast<std::int64_t>(
+            1 + rng_.geometric(1.0 / opts_.mean_burst));
+        s = on ? len : -len;
+    }
+    bool inject = s > 0;
+    s += (s > 0) ? -1 : 1;
+    return inject;
+}
+
+NodeId
+TrafficGenerator::pickDest(NodeId src)
+{
+    if (opts_.pattern == TrafficPattern::Hotspot) {
+        if (rng_.bernoulli(opts_.hotspot_frac)) {
+            // Hotspots spread over the first diagonal nodes.
+            int k = rng_.range(
+                static_cast<std::uint32_t>(opts_.hotspot_nodes));
+            int step = (cols_ * rows_) / opts_.hotspot_nodes;
+            return static_cast<NodeId>(k * step);
+        }
+        return rng_.range(static_cast<std::uint32_t>(cols_ * rows_));
+    }
+    return patternDest(opts_.pattern, src, cols_, rows_, rng_);
+}
+
+void
+TrafficGenerator::generateTo(Tick t)
+{
+    for (; time_ < t; ++time_) {
+        for (std::size_t node = 0; node < net_.numNodes(); ++node) {
+            if (!shouldInject(node))
+                continue;
+            auto src = static_cast<NodeId>(node);
+            NodeId dst = pickDest(src);
+            std::uint32_t bytes =
+                (opts_.data_frac > 0.0 &&
+                 rng_.bernoulli(opts_.data_frac))
+                    ? opts_.data_bytes
+                    : opts_.size_bytes;
+            net_.inject(noc::makePacket(next_id_++, src, dst, opts_.cls,
+                                        bytes, time_));
+        }
+    }
+}
+
+} // namespace workload
+} // namespace rasim

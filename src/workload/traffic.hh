@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Synthetic packet-level traffic for *isolated* network evaluation —
+ * the methodology the paper argues against: patterns with no system
+ * context, no closed-loop feedback and no protocol structure.
+ */
+
+#ifndef RASIM_WORKLOAD_TRAFFIC_HH
+#define RASIM_WORKLOAD_TRAFFIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/network_model.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace workload
+{
+
+/** Spatial destination patterns from the NoC literature. */
+enum class TrafficPattern
+{
+    UniformRandom,
+    Transpose,     ///< (x, y) -> (y, x)
+    BitComplement, ///< node -> ~node
+    Hotspot,       ///< a few nodes receive a share of all traffic
+    Tornado,       ///< half-ring offset in x
+    Neighbor,      ///< nearest neighbour (x+1, y)
+};
+
+TrafficPattern patternFromName(const std::string &name);
+const char *toString(TrafficPattern pattern);
+
+/**
+ * Destination of a packet from @p src under @p pattern on a cols x
+ * rows grid. Patterns needing randomness draw from @p rng.
+ */
+NodeId patternDest(TrafficPattern pattern, NodeId src, int cols,
+                   int rows, Rng &rng);
+
+/**
+ * Open-loop traffic generator: each node injects packets by a Bernoulli
+ * (or bursty on/off) process at a configured rate, ignoring delivery
+ * feedback — exactly what isolated NoC studies do.
+ */
+class TrafficGenerator
+{
+  public:
+    struct Options
+    {
+        TrafficPattern pattern = TrafficPattern::UniformRandom;
+        /** Offered load in packets per node per cycle. */
+        double rate = 0.01;
+        /** Packet size in bytes (control packets). */
+        std::uint32_t size_bytes = 32;
+        /** Fraction of packets using data_bytes instead (protocol-like
+         *  bimodal size mix); 0 disables. */
+        double data_frac = 0.0;
+        std::uint32_t data_bytes = 72;
+        noc::MsgClass cls = noc::MsgClass::Request;
+        /** Bursty on/off injection (geometric burst lengths). */
+        bool bursty = false;
+        double mean_burst = 8.0;
+        /** Fraction of hotspot traffic for Hotspot pattern. */
+        double hotspot_frac = 0.3;
+        int hotspot_nodes = 4;
+    };
+
+    TrafficGenerator(noc::NetworkModel &net, int cols, int rows,
+                     Options opts, Rng rng);
+
+    /**
+     * Generate injections for cycles [curTime, t) and hand them to the
+     * network (the caller advances the network itself).
+     */
+    void generateTo(Tick t);
+
+    std::uint64_t generated() const { return next_id_ - 1; }
+
+  private:
+    bool shouldInject(std::size_t node);
+    NodeId pickDest(NodeId src);
+
+    noc::NetworkModel &net_;
+    int cols_;
+    int rows_;
+    Options opts_;
+    Rng rng_;
+    Tick time_ = 0;
+    PacketId next_id_ = 1;
+    /** Remaining burst/idle cycles per node (bursty mode). */
+    std::vector<std::int64_t> burst_state_;
+};
+
+} // namespace workload
+} // namespace rasim
+
+#endif // RASIM_WORKLOAD_TRAFFIC_HH

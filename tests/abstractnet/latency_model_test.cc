@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the closed-form latency pieces, including the crucial
+ * cross-model property: the zero-load formula matches the cycle-level
+ * network exactly when the fabric is uncontended.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abstractnet/latency_model.hh"
+#include "noc/cycle_network.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::abstractnet;
+
+TEST(ZeroLoadLatency, BaseCases)
+{
+    noc::NocParams p;
+    p.pipeline_stages = 1;
+    p.link_latency = 1;
+    EXPECT_EQ(zeroLoadLatency(p, 0, 1), 2u);
+    EXPECT_EQ(zeroLoadLatency(p, 1, 1), 3u);
+    EXPECT_EQ(zeroLoadLatency(p, 2, 1), 4u);
+    EXPECT_EQ(zeroLoadLatency(p, 2, 5), 8u);
+}
+
+TEST(ZeroLoadLatency, PipelineAndLinkScaling)
+{
+    noc::NocParams p1, p;
+    p1.pipeline_stages = 1;
+    p1.link_latency = 1;
+    p.pipeline_stages = 3;
+    p.link_latency = 2;
+    // P*(h+1) + h*(L-1) + flits
+    EXPECT_EQ(zeroLoadLatency(p, 4, 1), 3u * 5 + 4 + 1);
+    EXPECT_EQ(zeroLoadLatency(p, 0, 2), 3u + 0 + 2);
+}
+
+TEST(ZeroLoadLatency, MatchesCycleNetworkExactly)
+{
+    // One packet at a time through an otherwise empty network must hit
+    // the closed-form number exactly, for several configurations.
+    std::vector<noc::NocParams> configs(4);
+    configs[1].pipeline_stages = 1;
+    configs[2].pipeline_stages = 3;
+    configs[2].link_latency = 2;
+    configs[3].flit_bytes = 8;
+
+    for (const auto &p : configs) {
+        Simulation sim;
+        noc::CycleNetwork net(sim, "noc", p);
+        std::vector<noc::PacketPtr> done;
+        net.setDeliveryHandler(
+            [&](const noc::PacketPtr &pkt) { done.push_back(pkt); });
+        Tick t = 0;
+        PacketId id = 1;
+        // Sparse in time: each packet finishes before the next starts.
+        for (NodeId dst : {0u, 1u, 9u, 27u, 63u}) {
+            for (std::uint32_t bytes : {8u, 64u}) {
+                net.inject(noc::makePacket(id++, 0, dst,
+                                           noc::MsgClass::Request, bytes,
+                                           t));
+                t += 500;
+            }
+        }
+        net.advanceTo(t + 500);
+        ASSERT_EQ(done.size(), 10u);
+        for (const auto &pkt : done) {
+            int h = net.topology().minHops(pkt->src, pkt->dst);
+            EXPECT_EQ(pkt->latency(),
+                      zeroLoadLatency(p, h,
+                                      p.flitsPerPacket(pkt->size_bytes)))
+                << pkt->toString() << " with P=" << p.pipeline_stages
+                << " L=" << p.link_latency;
+        }
+    }
+}
+
+TEST(ContentionDelay, ZeroAtZeroLoad)
+{
+    EXPECT_DOUBLE_EQ(contentionDelay(0.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(contentionDelay(-1.0, 100.0), 0.0);
+}
+
+TEST(ContentionDelay, MonotonicInRho)
+{
+    double prev = 0.0;
+    for (double rho = 0.05; rho < 1.0; rho += 0.05) {
+        double w = contentionDelay(rho, 1e9);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(ContentionDelay, CappedAtSaturation)
+{
+    EXPECT_DOUBLE_EQ(contentionDelay(1.0, 42.0), 42.0);
+    EXPECT_DOUBLE_EQ(contentionDelay(0.9999, 10.0), 10.0);
+}
+
+TEST(ContentionDelay, MD1Shape)
+{
+    // W = rho / (2 (1 - rho)): at rho = 0.5, W = 0.5.
+    EXPECT_NEAR(contentionDelay(0.5, 100.0), 0.5, 1e-12);
+    EXPECT_NEAR(contentionDelay(0.8, 100.0), 2.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Miniature versions of the paper's accuracy claims, run at test
+ * scale: the reciprocal co-simulation's packet latency must sit much
+ * closer to the Monolithic reference than the static abstract model,
+ * and the tuned table must close part of that gap by itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosim/full_system.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::cosim;
+
+FullSystemOptions
+opts(Mode mode, const std::string &app)
+{
+    FullSystemOptions o;
+    o.mode = mode;
+    o.app = app;
+    o.ops_per_core = 120;
+    o.quantum = 128;
+    o.noc.columns = 4;
+    o.noc.rows = 4;
+    o.mem.l1_sets = 16;
+    return o;
+}
+
+double
+relErr(double x, double ref)
+{
+    return std::abs(x - ref) / ref;
+}
+
+TEST(Accuracy, CosimLatencyTracksMonolithic)
+{
+    for (const char *app : {"fft", "radix"}) {
+        FullSystem mono(Config(), opts(Mode::Monolithic, app));
+        mono.run();
+        FullSystem cosim(Config(), opts(Mode::CosimCycle, app));
+        cosim.run();
+        FullSystem abs(Config(), opts(Mode::Abstract, app));
+        abs.run();
+
+        double ref = mono.meanPacketLatency();
+        double cosim_err = relErr(cosim.meanPacketLatency(), ref);
+        double abs_err = relErr(abs.meanPacketLatency(), ref);
+        // The co-simulation is quantised but detailed; the static
+        // abstract model misses contention structure entirely.
+        EXPECT_LT(cosim_err, abs_err) << app;
+        EXPECT_LT(cosim_err, 0.25) << app;
+    }
+}
+
+TEST(Accuracy, TunedTableBeatsStaticAbstract)
+{
+    const char *app = "radix";
+    FullSystem mono(Config(), opts(Mode::Monolithic, app));
+    mono.run();
+    double ref = mono.meanPacketLatency();
+
+    // Tune a table with a co-simulation run...
+    FullSystem cosim(Config(), opts(Mode::CosimCycle, app));
+    cosim.run();
+
+    // ...and replay the workload against the tuned abstract model.
+    FullSystem tuned(Config(), opts(Mode::TunedAbstract, app));
+    tuned.abstractNetwork()->table() = cosim.bridge().table();
+    tuned.run();
+
+    FullSystem abs(Config(), opts(Mode::Abstract, app));
+    abs.run();
+
+    double tuned_err = relErr(tuned.meanPacketLatency(), ref);
+    double abs_err = relErr(abs.meanPacketLatency(), ref);
+    EXPECT_LT(tuned_err, abs_err);
+}
+
+TEST(Accuracy, RuntimePredictionImprovesWithDetail)
+{
+    // Full-system runtime (the metric architects actually consume)
+    // must also be better predicted by the co-simulation.
+    const char *app = "fft";
+    FullSystem mono(Config(), opts(Mode::Monolithic, app));
+    double ref = static_cast<double>(mono.run());
+    FullSystem cosim(Config(), opts(Mode::CosimCycle, app));
+    double c = static_cast<double>(cosim.run());
+    EXPECT_LT(relErr(c, ref), 0.2);
+}
+
+} // namespace

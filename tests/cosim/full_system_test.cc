@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the FullSystem assembly in every mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cosim/full_system.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::cosim;
+
+FullSystemOptions
+smallOptions(Mode mode, const std::string &app = "lu",
+             std::uint64_t ops = 60)
+{
+    FullSystemOptions o;
+    o.mode = mode;
+    o.app = app;
+    o.ops_per_core = ops;
+    o.quantum = 64;
+    o.noc.columns = 4;
+    o.noc.rows = 4;
+    o.mem.l1_sets = 16;
+    return o;
+}
+
+TEST(FullSystem, ModeNamesRoundTrip)
+{
+    for (const char *name :
+         {"abstract", "tuned", "cosim", "cosim-gpu", "monolithic"}) {
+        EXPECT_STREQ(toString(modeFromName(name)), name);
+    }
+    EXPECT_DEATH(modeFromName("bogus"), "unknown mode");
+}
+
+TEST(FullSystem, OptionsFromConfig)
+{
+    Config cfg;
+    cfg.set("system.mode", std::string("monolithic"));
+    cfg.set("system.app", std::string("radix"));
+    cfg.set("system.quantum", 128);
+    cfg.set("noc.columns", 4);
+    cfg.set("noc.rows", 2);
+    auto o = FullSystemOptions::fromConfig(cfg);
+    EXPECT_EQ(o.mode, Mode::Monolithic);
+    EXPECT_EQ(o.app, "radix");
+    EXPECT_EQ(o.quantum, 128u);
+    EXPECT_EQ(o.noc.columns, 4);
+}
+
+class FullSystemModes : public testing::TestWithParam<Mode>
+{
+};
+
+TEST_P(FullSystemModes, RunsToCompletion)
+{
+    FullSystem sys(Config(), smallOptions(GetParam()));
+    Tick finish = sys.run(4000000);
+    EXPECT_TRUE(sys.allCoresDone());
+    EXPECT_GT(finish, 0u);
+    EXPECT_GT(sys.packetsDelivered(), 0u);
+    EXPECT_GT(sys.meanPacketLatency(), 0.0);
+    // Every core issued its budget.
+    for (std::size_t i = 0; i < sys.numCores(); ++i)
+        EXPECT_DOUBLE_EQ(sys.core(i).opsIssued.value(), 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, FullSystemModes,
+    testing::Values(Mode::Abstract, Mode::TunedAbstract,
+                    Mode::CosimCycle, Mode::CosimGpu, Mode::Monolithic),
+    [](const testing::TestParamInfo<Mode> &info) {
+        std::string n = toString(info.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(FullSystem, MonolithicDeterministic)
+{
+    auto run = [] {
+        FullSystem sys(Config(), smallOptions(Mode::Monolithic));
+        return sys.run(4000000);
+    };
+    Tick a = run();
+    Tick b = run();
+    EXPECT_EQ(a, b);
+}
+
+TEST(FullSystem, CosimGpuDeterministic)
+{
+    auto run = [] {
+        FullSystem sys(Config(), smallOptions(Mode::CosimGpu));
+        return sys.run(4000000);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(FullSystem, FeedbackFillsBridgeTable)
+{
+    FullSystem sys(Config(), smallOptions(Mode::CosimCycle));
+    sys.run(4000000);
+    EXPECT_GT(sys.bridge().table().observations(), 0u);
+}
+
+TEST(FullSystem, BackendAccessorsMatchMode)
+{
+    FullSystem cyc(Config(), smallOptions(Mode::CosimCycle));
+    EXPECT_NE(cyc.cycleNetwork(), nullptr);
+    EXPECT_EQ(cyc.abstractNetwork(), nullptr);
+    FullSystem abs(Config(), smallOptions(Mode::Abstract));
+    EXPECT_EQ(abs.cycleNetwork(), nullptr);
+    EXPECT_NE(abs.abstractNetwork(), nullptr);
+}
+
+TEST(FullSystem, WorkloadsProduceDifferentTraffic)
+{
+    // The presets must stress the protocol differently: write-heavy
+    // hotspotting (radix) causes far more invalidations than
+    // read-mostly shared data (raytrace).
+    FullSystem a(Config(), smallOptions(Mode::Monolithic, "radix"));
+    FullSystem b(Config(), smallOptions(Mode::Monolithic, "raytrace"));
+    a.run(4000000);
+    b.run(4000000);
+    auto invs = [](FullSystem &sys) {
+        double total = 0;
+        for (NodeId n = 0; n < 16; ++n)
+            total += sys.memory().directory(n).invalidationsSent.value();
+        return total;
+    };
+    EXPECT_GT(invs(a), 2.0 * invs(b));
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the DRAM bank timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "stats/group.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::mem;
+
+TEST(Dram, UncontendedAccessTakesLatency)
+{
+    stats::Group root(nullptr, "root");
+    Dram d(&root, "dram", 4, 100, 64);
+    EXPECT_EQ(d.access(0x0, 10), 110u);
+}
+
+TEST(Dram, SameBankSerializes)
+{
+    stats::Group root(nullptr, "root");
+    Dram d(&root, "dram", 4, 100, 64);
+    EXPECT_EQ(d.access(0x0, 0), 100u);
+    // Same block -> same bank: queues behind the first access.
+    EXPECT_EQ(d.access(0x0, 0), 200u);
+    EXPECT_EQ(d.access(0x0, 50), 300u);
+}
+
+TEST(Dram, DifferentBanksOverlap)
+{
+    stats::Group root(nullptr, "root");
+    Dram d(&root, "dram", 4, 100, 64);
+    EXPECT_EQ(d.access(0 * 64, 0), 100u);
+    EXPECT_EQ(d.access(1 * 64, 0), 100u);
+    EXPECT_EQ(d.access(2 * 64, 0), 100u);
+    EXPECT_EQ(d.access(3 * 64, 0), 100u);
+    // Fifth access wraps to bank 0.
+    EXPECT_EQ(d.access(4 * 64, 0), 200u);
+}
+
+TEST(Dram, BankFreesAfterAccess)
+{
+    stats::Group root(nullptr, "root");
+    Dram d(&root, "dram", 2, 50, 64);
+    EXPECT_EQ(d.access(0, 0), 50u);
+    EXPECT_EQ(d.access(0, 1000), 1050u);
+}
+
+TEST(Dram, StatsTrackQueueing)
+{
+    stats::Group root(nullptr, "root");
+    Dram d(&root, "dram", 1, 100, 64);
+    d.access(0, 0);
+    d.access(0, 0);
+    EXPECT_DOUBLE_EQ(d.accesses.value(), 2.0);
+    EXPECT_DOUBLE_EQ(d.queueDelay.maxValue(), 100.0);
+}
+
+TEST(Dram, BadConfigIsFatal)
+{
+    stats::Group root(nullptr, "root");
+    EXPECT_DEATH(Dram(&root, "dram", 0, 100, 64), "bank");
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the coherence message transport over a network model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "abstractnet/abstract_network.hh"
+#include "mem/message_hub.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::mem;
+
+struct HubFixture
+{
+    HubFixture()
+        : net(sim, "net", noc::NocParams(),
+              abstractnet::AbstractNetwork::Mode::Static),
+          hub(sim, "hub", net)
+    {
+        net.setDeliveryHandler(
+            [this](const noc::PacketPtr &pkt) { hub.deliver(pkt); });
+        for (NodeId n = 0; n < 64; ++n) {
+            hub.registerHandler(n, [this, n](const CoherenceMsg &msg) {
+                received.emplace_back(n, msg);
+            });
+        }
+    }
+
+    void
+    pump(Tick until)
+    {
+        for (Tick t = sim.curTick(); t <= until; t += 10) {
+            sim.run(t);
+            net.advanceTo(t);
+        }
+        sim.run(until);
+    }
+
+    Simulation sim;
+    abstractnet::AbstractNetwork net;
+    MessageHub hub;
+    std::vector<std::pair<NodeId, CoherenceMsg>> received;
+};
+
+TEST(MessageHub, DeliversToRegisteredHandler)
+{
+    HubFixture f;
+    CoherenceMsg msg;
+    msg.type = MsgType::GetS;
+    msg.addr = 0x1000;
+    msg.sender = 3;
+    msg.requestor = 3;
+    f.hub.send(msg, 9);
+    f.pump(500);
+    ASSERT_EQ(f.received.size(), 1u);
+    EXPECT_EQ(f.received[0].first, 9u);
+    EXPECT_EQ(f.received[0].second.type, MsgType::GetS);
+    EXPECT_EQ(f.received[0].second.addr, 0x1000u);
+    EXPECT_EQ(f.hub.outstanding(), 0u);
+}
+
+TEST(MessageHub, DataMessagesAreBigger)
+{
+    HubFixture f;
+    CoherenceMsg ctrl;
+    ctrl.type = MsgType::GetS;
+    ctrl.sender = 0;
+    f.hub.send(ctrl, 1);
+    double after_ctrl = f.hub.bytesSent.value();
+    CoherenceMsg data;
+    data.type = MsgType::Data;
+    data.sender = 0;
+    f.hub.send(data, 1);
+    EXPECT_DOUBLE_EQ(after_ctrl, 8.0);
+    EXPECT_DOUBLE_EQ(f.hub.bytesSent.value(), 8.0 + 72.0);
+}
+
+TEST(MessageHub, OutstandingTracksInFlight)
+{
+    HubFixture f;
+    CoherenceMsg msg;
+    msg.type = MsgType::GetM;
+    msg.sender = 0;
+    f.hub.send(msg, 63);
+    f.hub.send(msg, 62);
+    EXPECT_EQ(f.hub.outstanding(), 2u);
+    f.pump(1000);
+    EXPECT_EQ(f.hub.outstanding(), 0u);
+    EXPECT_DOUBLE_EQ(f.hub.messagesDelivered.value(), 2.0);
+}
+
+TEST(MessageHub, ManyMessagesAllArriveAtRightNodes)
+{
+    HubFixture f;
+    for (int i = 0; i < 200; ++i) {
+        CoherenceMsg msg;
+        msg.type = (i % 2) ? MsgType::Data : MsgType::Inv;
+        msg.addr = static_cast<Addr>(i) * 64;
+        msg.sender = static_cast<NodeId>(i % 64);
+        msg.requestor = msg.sender;
+        f.hub.send(msg, static_cast<NodeId>((i * 7 + 1) % 64));
+        f.pump(f.sim.curTick() + 3);
+    }
+    f.pump(f.sim.curTick() + 2000);
+    ASSERT_EQ(f.received.size(), 200u);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(f.received[i].second.addr % 64, 0u);
+    }
+}
+
+} // namespace

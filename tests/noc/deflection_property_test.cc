@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Parameterised property sweep for the deflection network: across
+ * grid shapes, topologies and offered loads, random traffic must be
+ * delivered exactly once with sane latency accounting, and reruns
+ * must be bit-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "noc/deflection_network.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::noc;
+
+// topology, columns, rows, packets-per-cycle spacing divisor
+using DefParam = std::tuple<std::string, int, int, int>;
+
+std::string
+defName(const testing::TestParamInfo<DefParam> &info)
+{
+    const auto &[topo, cols, rows, div] = info.param;
+    return topo + "_" + std::to_string(cols) + "x" +
+           std::to_string(rows) + "_d" + std::to_string(div);
+}
+
+class DeflectionProperty : public testing::TestWithParam<DefParam>
+{
+};
+
+TEST_P(DeflectionProperty, ExactlyOnceDeliveryWithSaneTiming)
+{
+    const auto &[topo, cols, rows, div] = GetParam();
+    NocParams p;
+    p.topology = topo;
+    p.columns = cols;
+    p.rows = rows;
+    p.vc_classes = topo == "torus" ? 2 : 1;
+
+    Simulation sim;
+    DeflectionNetwork net(sim, "dnoc", p);
+    std::map<PacketId, int> seen;
+    net.setDeliveryHandler(
+        [&seen](const PacketPtr &pkt) { ++seen[pkt->id]; });
+
+    Rng rng(0x5eed, 42);
+    const int n_nodes = cols * rows;
+    const int n_pkts = 300;
+    std::vector<PacketPtr> sent;
+    for (int i = 0; i < n_pkts; ++i) {
+        auto pkt = makePacket(
+            static_cast<PacketId>(i + 1),
+            static_cast<NodeId>(rng.range(n_nodes)),
+            static_cast<NodeId>(rng.range(n_nodes)), MsgClass::Request,
+            rng.bernoulli(0.3) ? 64 : 8, static_cast<Tick>(i / div));
+        sent.push_back(pkt);
+        net.inject(pkt);
+    }
+    net.advanceTo(300000);
+
+    ASSERT_TRUE(net.idle()) << "flits stuck in the fabric";
+    ASSERT_EQ(seen.size(), sent.size());
+    for (const auto &[id, count] : seen)
+        ASSERT_EQ(count, 1) << "packet " << id;
+    for (const auto &pkt : sent) {
+        EXPECT_GE(pkt->deliver_tick, pkt->inject_tick);
+        int h = net.topology().minHops(pkt->src, pkt->dst);
+        EXPECT_GE(pkt->hops, static_cast<std::uint32_t>(h))
+            << pkt->toString();
+        // Zero-load bound: a flit injected at cycle T arbitrates the
+        // same cycle, traverses one hop per cycle and is visible one
+        // cycle after ejecting: h + 1 cycles minimum.
+        EXPECT_GE(pkt->latency(), static_cast<Tick>(h) + 1);
+    }
+}
+
+TEST_P(DeflectionProperty, RerunIsBitIdentical)
+{
+    auto run = [this] {
+        const auto &[topo, cols, rows, div] = GetParam();
+        NocParams p;
+        p.topology = topo;
+        p.columns = cols;
+        p.rows = rows;
+        p.vc_classes = topo == "torus" ? 2 : 1;
+        Simulation sim;
+        DeflectionNetwork net(sim, "dnoc", p);
+        std::vector<Tick> ticks;
+        net.setDeliveryHandler([&ticks](const PacketPtr &pkt) {
+            ticks.push_back(pkt->deliver_tick);
+        });
+        Rng rng(0x777, 3);
+        for (int i = 0; i < 150; ++i) {
+            net.inject(makePacket(
+                static_cast<PacketId>(i + 1),
+                static_cast<NodeId>(rng.range(cols * rows)),
+                static_cast<NodeId>(rng.range(cols * rows)),
+                MsgClass::Response, 32, static_cast<Tick>(i / div)));
+        }
+        net.advanceTo(300000);
+        return ticks;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeflectionProperty,
+    testing::Values(DefParam{"mesh", 4, 4, 1}, DefParam{"mesh", 4, 4, 8},
+                    DefParam{"mesh", 8, 8, 2}, DefParam{"mesh", 2, 8, 2},
+                    DefParam{"torus", 4, 4, 1},
+                    DefParam{"torus", 6, 6, 4}),
+    defName);
+
+} // namespace

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parameterised property sweeps over network configurations: for every
+ * (topology, routing, vcs, buffers, pipeline) combination, random
+ * traffic must be delivered exactly once, with latency at least the
+ * zero-load bound and minimal hops for deterministic routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "noc/cycle_network.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::noc;
+
+// topology, routing, vcs_per_vnet, buffer_depth, pipeline_stages
+using ParamTuple = std::tuple<std::string, std::string, int, int, int>;
+
+std::string
+paramName(const testing::TestParamInfo<ParamTuple> &info)
+{
+    const auto &[topo, routing, vcs, depth, stages] = info.param;
+    return topo + "_" + routing + "_v" + std::to_string(vcs) + "_b" +
+           std::to_string(depth) + "_p" + std::to_string(stages);
+}
+
+class NetworkProperty : public testing::TestWithParam<ParamTuple>
+{
+  protected:
+    NocParams
+    makeParams() const
+    {
+        const auto &[topo, routing, vcs, depth, stages] = GetParam();
+        NocParams p;
+        p.columns = 4;
+        p.rows = 4;
+        p.topology = topo;
+        p.routing = routing;
+        p.vcs_per_vnet = vcs;
+        p.buffer_depth = depth;
+        p.pipeline_stages = stages;
+        p.vc_classes = (topo == "torus") ? 2 : 1;
+        return p;
+    }
+};
+
+TEST_P(NetworkProperty, RandomTrafficDeliveredExactlyOnce)
+{
+    NocParams p = makeParams();
+    Simulation sim;
+    CycleNetwork net(sim, "noc", p);
+    std::vector<PacketPtr> delivered;
+    net.setDeliveryHandler(
+        [&](const PacketPtr &pkt) { delivered.push_back(pkt); });
+
+    Rng rng(0xfeed, 0xbeef);
+    const int n_nodes = p.numNodes();
+    const int n_pkts = 400;
+    std::vector<PacketPtr> sent;
+    for (int i = 0; i < n_pkts; ++i) {
+        auto src = static_cast<NodeId>(rng.range(n_nodes));
+        auto dst = static_cast<NodeId>(rng.range(n_nodes));
+        auto cls = static_cast<MsgClass>(rng.range(3));
+        std::uint32_t bytes = rng.bernoulli(0.5) ? 8 : 64;
+        auto pkt = makePacket(static_cast<PacketId>(i + 1), src, dst, cls,
+                              bytes, static_cast<Tick>(i / 2));
+        sent.push_back(pkt);
+        net.inject(pkt);
+    }
+
+    net.advanceTo(50000);
+
+    ASSERT_EQ(delivered.size(), sent.size()) << "lost packets";
+    EXPECT_TRUE(net.idle());
+
+    std::map<PacketId, int> count;
+    for (const auto &pkt : delivered)
+        ++count[pkt->id];
+    for (const auto &[id, c] : count)
+        ASSERT_EQ(c, 1) << "packet " << id << " duplicated";
+
+    const Topology &topo = net.topology();
+    bool deterministic = p.routing != "westfirst";
+    for (const auto &pkt : delivered) {
+        int h = topo.minHops(pkt->src, pkt->dst);
+        EXPECT_GE(pkt->latency(), static_cast<Tick>(h + 2));
+        EXPECT_GE(pkt->deliver_tick, pkt->inject_tick);
+        EXPECT_GE(pkt->enter_tick, pkt->inject_tick);
+        if (deterministic) {
+            EXPECT_EQ(pkt->hops, static_cast<std::uint32_t>(h))
+                << pkt->toString();
+        } else {
+            EXPECT_GE(pkt->hops, static_cast<std::uint32_t>(h));
+        }
+    }
+}
+
+TEST_P(NetworkProperty, RerunIsBitIdentical)
+{
+    auto run = [this] {
+        NocParams p = makeParams();
+        Simulation sim;
+        CycleNetwork net(sim, "noc", p);
+        std::vector<std::pair<PacketId, Tick>> order;
+        net.setDeliveryHandler([&](const PacketPtr &pkt) {
+            order.emplace_back(pkt->id, pkt->deliver_tick);
+        });
+        Rng rng(0xc0ffee, 1);
+        for (int i = 0; i < 200; ++i) {
+            net.inject(makePacket(
+                static_cast<PacketId>(i + 1),
+                static_cast<NodeId>(rng.range(16)),
+                static_cast<NodeId>(rng.range(16)), MsgClass::Request,
+                32, static_cast<Tick>(i)));
+        }
+        net.advanceTo(20000);
+        return order;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NetworkProperty,
+    testing::Values(
+        ParamTuple{"mesh", "xy", 1, 2, 1},
+        ParamTuple{"mesh", "xy", 2, 4, 2},
+        ParamTuple{"mesh", "xy", 4, 8, 3},
+        ParamTuple{"mesh", "yx", 2, 4, 2},
+        ParamTuple{"mesh", "westfirst", 2, 4, 2},
+        ParamTuple{"mesh", "westfirst", 4, 2, 1},
+        ParamTuple{"torus", "xy", 1, 2, 2},
+        ParamTuple{"torus", "xy", 2, 4, 1},
+        ParamTuple{"torus", "yx", 2, 2, 2}),
+    paramName);
+
+} // namespace

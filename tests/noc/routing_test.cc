@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for routing algorithms: productivity, dimension order, turn
+ * model restrictions, and torus shortest-way routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+
+namespace
+{
+
+using namespace rasim::noc;
+
+std::vector<int>
+routeOf(const RoutingAlgorithm &alg, const Topology &topo, int node,
+        rasim::NodeId dst)
+{
+    std::vector<int> out;
+    alg.route(topo, node, dst, out);
+    return out;
+}
+
+TEST(XYRouting, AtDestinationGoesLocal)
+{
+    Mesh2D m(4, 4);
+    XYRouting xy;
+    EXPECT_EQ(routeOf(xy, m, 5, 5), (std::vector<int>{port_local}));
+}
+
+TEST(XYRouting, XBeforeY)
+{
+    Mesh2D m(4, 4);
+    XYRouting xy;
+    // From (0,0) to (2,2): X first -> east.
+    EXPECT_EQ(routeOf(xy, m, m.nodeAt(0, 0), m.nodeAt(2, 2)),
+              (std::vector<int>{port_east}));
+    // Same column: go south.
+    EXPECT_EQ(routeOf(xy, m, m.nodeAt(2, 0), m.nodeAt(2, 2)),
+              (std::vector<int>{port_south}));
+    // West and north cases.
+    EXPECT_EQ(routeOf(xy, m, m.nodeAt(3, 3), m.nodeAt(1, 3)),
+              (std::vector<int>{port_west}));
+    EXPECT_EQ(routeOf(xy, m, m.nodeAt(1, 3), m.nodeAt(1, 0)),
+              (std::vector<int>{port_north}));
+}
+
+TEST(YXRouting, YBeforeX)
+{
+    Mesh2D m(4, 4);
+    YXRouting yx;
+    EXPECT_EQ(routeOf(yx, m, m.nodeAt(0, 0), m.nodeAt(2, 2)),
+              (std::vector<int>{port_south}));
+    EXPECT_EQ(routeOf(yx, m, m.nodeAt(0, 2), m.nodeAt(2, 2)),
+              (std::vector<int>{port_east}));
+}
+
+TEST(XYRouting, FollowedHopsReachDestinationExactly)
+{
+    Mesh2D m(8, 8);
+    XYRouting xy;
+    for (int s = 0; s < 64; s += 7) {
+        for (int d = 0; d < 64; d += 5) {
+            int at = s;
+            int hops = 0;
+            while (true) {
+                auto r = routeOf(xy, m, at, d);
+                ASSERT_EQ(r.size(), 1u);
+                if (r[0] == port_local)
+                    break;
+                at = m.neighbor(at, r[0]);
+                ASSERT_GE(at, 0);
+                ++hops;
+                ASSERT_LE(hops, 14);
+            }
+            EXPECT_EQ(at, d);
+            EXPECT_EQ(hops, m.minHops(s, d));
+        }
+    }
+}
+
+TEST(WestFirst, WestIsExclusive)
+{
+    Mesh2D m(8, 8);
+    WestFirstRouting wf;
+    // Destination to the west and south: only west is allowed first.
+    auto r = routeOf(wf, m, m.nodeAt(5, 2), m.nodeAt(2, 6));
+    EXPECT_EQ(r, (std::vector<int>{port_west}));
+}
+
+TEST(WestFirst, AdaptiveWhenNoWestComponent)
+{
+    Mesh2D m(8, 8);
+    WestFirstRouting wf;
+    auto r = routeOf(wf, m, m.nodeAt(1, 1), m.nodeAt(4, 5));
+    EXPECT_EQ(r, (std::vector<int>{port_east, port_south}));
+    r = routeOf(wf, m, m.nodeAt(1, 5), m.nodeAt(4, 2));
+    EXPECT_EQ(r, (std::vector<int>{port_east, port_north}));
+}
+
+TEST(WestFirst, AllCandidatesProductive)
+{
+    Mesh2D m(8, 8);
+    WestFirstRouting wf;
+    for (int s = 0; s < 64; s += 3) {
+        for (int d = 0; d < 64; d += 3) {
+            if (s == d)
+                continue;
+            for (int p : routeOf(wf, m, s, d)) {
+                int next = m.neighbor(s, p);
+                ASSERT_GE(next, 0);
+                EXPECT_EQ(m.minHops(next, d), m.minHops(s, d) - 1)
+                    << "unproductive hop " << portName(p) << " from "
+                    << s << " to " << d;
+            }
+        }
+    }
+}
+
+TEST(XYRouting, TorusTakesShorterWay)
+{
+    Torus2D t(8, 8);
+    XYRouting xy;
+    // (0,0) -> (7,0): west wrap is 1 hop.
+    EXPECT_EQ(routeOf(xy, t, t.nodeAt(0, 0), t.nodeAt(7, 0)),
+              (std::vector<int>{port_west}));
+    // (0,0) -> (3,0): direct east, 3 hops.
+    EXPECT_EQ(routeOf(xy, t, t.nodeAt(0, 0), t.nodeAt(3, 0)),
+              (std::vector<int>{port_east}));
+    // (1,0) -> (1,7): north wrap.
+    EXPECT_EQ(routeOf(xy, t, t.nodeAt(1, 0), t.nodeAt(1, 7)),
+              (std::vector<int>{port_north}));
+}
+
+TEST(XYRouting, TorusHopsMatchMinHops)
+{
+    Torus2D t(6, 6);
+    XYRouting xy;
+    for (int s = 0; s < 36; ++s) {
+        for (int d = 0; d < 36; ++d) {
+            int at = s;
+            int hops = 0;
+            while (at != d) {
+                auto r = routeOf(xy, t, at, d);
+                ASSERT_EQ(r.size(), 1u);
+                ASSERT_NE(r[0], port_local);
+                at = t.neighbor(at, r[0]);
+                ++hops;
+                ASSERT_LE(hops, 6);
+            }
+            EXPECT_EQ(hops, t.minHops(s, d));
+        }
+    }
+}
+
+TEST(RoutingFactory, MakesAllKinds)
+{
+    EXPECT_EQ(makeRouting("xy")->name(), "xy");
+    EXPECT_EQ(makeRouting("yx")->name(), "yx");
+    EXPECT_EQ(makeRouting("westfirst")->name(), "westfirst");
+}
+
+TEST(RoutingFactory, UnknownIsFatal)
+{
+    EXPECT_DEATH(makeRouting("random"), "unknown routing");
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for mesh and torus topologies: connectivity, symmetry, hop
+ * distances and wrap-link detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.hh"
+
+namespace
+{
+
+using namespace rasim::noc;
+
+TEST(Mesh2D, CoordsRoundTrip)
+{
+    Mesh2D m(4, 3);
+    EXPECT_EQ(m.numNodes(), 12);
+    for (int n = 0; n < 12; ++n) {
+        auto [x, y] = m.coords(n);
+        EXPECT_EQ(m.nodeAt(x, y), static_cast<rasim::NodeId>(n));
+    }
+}
+
+TEST(Mesh2D, InteriorNeighbors)
+{
+    Mesh2D m(4, 4);
+    int n = m.nodeAt(1, 1);
+    EXPECT_EQ(m.neighbor(n, port_north), m.nodeAt(1, 0));
+    EXPECT_EQ(m.neighbor(n, port_south), m.nodeAt(1, 2));
+    EXPECT_EQ(m.neighbor(n, port_east), m.nodeAt(2, 1));
+    EXPECT_EQ(m.neighbor(n, port_west), m.nodeAt(0, 1));
+}
+
+TEST(Mesh2D, EdgesHaveNoNeighbor)
+{
+    Mesh2D m(4, 4);
+    EXPECT_EQ(m.neighbor(m.nodeAt(0, 0), port_north), -1);
+    EXPECT_EQ(m.neighbor(m.nodeAt(0, 0), port_west), -1);
+    EXPECT_EQ(m.neighbor(m.nodeAt(3, 3), port_south), -1);
+    EXPECT_EQ(m.neighbor(m.nodeAt(3, 3), port_east), -1);
+    EXPECT_EQ(m.neighbor(0, port_local), -1);
+}
+
+TEST(Mesh2D, LinksAreSymmetric)
+{
+    Mesh2D m(5, 3);
+    for (int n = 0; n < m.numNodes(); ++n) {
+        for (int p = 1; p < m.numPorts(); ++p) {
+            int j = m.neighbor(n, p);
+            if (j < 0)
+                continue;
+            int back = m.inputPortAt(n, p);
+            EXPECT_EQ(m.neighbor(j, back), n)
+                << "n=" << n << " p=" << portName(p);
+        }
+    }
+}
+
+TEST(Mesh2D, ManhattanDistance)
+{
+    Mesh2D m(8, 8);
+    EXPECT_EQ(m.minHops(m.nodeAt(0, 0), m.nodeAt(0, 0)), 0);
+    EXPECT_EQ(m.minHops(m.nodeAt(0, 0), m.nodeAt(7, 7)), 14);
+    EXPECT_EQ(m.minHops(m.nodeAt(2, 3), m.nodeAt(5, 1)), 5);
+}
+
+TEST(Mesh2D, NoWrapLinks)
+{
+    Mesh2D m(4, 4);
+    for (int n = 0; n < m.numNodes(); ++n)
+        for (int p = 0; p < m.numPorts(); ++p)
+            EXPECT_FALSE(m.isWrapLink(n, p));
+}
+
+TEST(Torus2D, AllPortsConnected)
+{
+    Torus2D t(4, 4);
+    for (int n = 0; n < t.numNodes(); ++n)
+        for (int p = 1; p < t.numPorts(); ++p)
+            EXPECT_GE(t.neighbor(n, p), 0);
+}
+
+TEST(Torus2D, WrapNeighbors)
+{
+    Torus2D t(4, 3);
+    EXPECT_EQ(t.neighbor(t.nodeAt(0, 0), port_west), t.nodeAt(3, 0));
+    EXPECT_EQ(t.neighbor(t.nodeAt(3, 0), port_east), t.nodeAt(0, 0));
+    EXPECT_EQ(t.neighbor(t.nodeAt(1, 0), port_north), t.nodeAt(1, 2));
+    EXPECT_EQ(t.neighbor(t.nodeAt(1, 2), port_south), t.nodeAt(1, 0));
+}
+
+TEST(Torus2D, WrapLinkDetection)
+{
+    Torus2D t(4, 4);
+    EXPECT_TRUE(t.isWrapLink(t.nodeAt(0, 1), port_west));
+    EXPECT_TRUE(t.isWrapLink(t.nodeAt(3, 1), port_east));
+    EXPECT_TRUE(t.isWrapLink(t.nodeAt(1, 0), port_north));
+    EXPECT_TRUE(t.isWrapLink(t.nodeAt(1, 3), port_south));
+    EXPECT_FALSE(t.isWrapLink(t.nodeAt(1, 1), port_east));
+}
+
+TEST(Torus2D, ShorterWayAroundCounts)
+{
+    Torus2D t(8, 8);
+    // 0 -> 7 in x is 1 hop via the wrap link.
+    EXPECT_EQ(t.minHops(t.nodeAt(0, 0), t.nodeAt(7, 0)), 1);
+    EXPECT_EQ(t.minHops(t.nodeAt(0, 0), t.nodeAt(4, 4)), 8);
+    EXPECT_EQ(t.minHops(t.nodeAt(1, 1), t.nodeAt(6, 7)), 3 + 2);
+}
+
+TEST(TopologyFactory, MakesBothKinds)
+{
+    auto m = makeTopology("mesh", 3, 3);
+    auto t = makeTopology("torus", 3, 3);
+    EXPECT_EQ(m->name(), "mesh3x3");
+    EXPECT_EQ(t->name(), "torus3x3");
+}
+
+TEST(TopologyFactory, UnknownKindIsFatal)
+{
+    EXPECT_DEATH(makeTopology("hypercube", 2, 2), "unknown topology");
+}
+
+TEST(Mesh2D, BadDimensionsAreFatal)
+{
+    EXPECT_DEATH(Mesh2D(0, 4), "positive");
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for clock domains and cycle/tick conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+#include "sim/eventq.hh"
+
+namespace
+{
+
+using rasim::Clocked;
+using rasim::ClockDomain;
+using rasim::EventQueue;
+
+TEST(ClockDomain, UnitPeriodIsIdentity)
+{
+    ClockDomain d("unit", 1);
+    EXPECT_EQ(d.cyclesToTicks(17), 17u);
+    EXPECT_EQ(d.ticksToCycles(17), 17u);
+    EXPECT_EQ(d.edgeAtOrAfter(17), 17u);
+}
+
+TEST(ClockDomain, EdgeRoundsUp)
+{
+    ClockDomain d("x", 10);
+    EXPECT_EQ(d.edgeAtOrAfter(0), 0u);
+    EXPECT_EQ(d.edgeAtOrAfter(1), 10u);
+    EXPECT_EQ(d.edgeAtOrAfter(10), 10u);
+    EXPECT_EQ(d.edgeAtOrAfter(11), 20u);
+}
+
+TEST(ClockDomain, Conversions)
+{
+    ClockDomain d("x", 4);
+    EXPECT_EQ(d.cyclesToTicks(3), 12u);
+    EXPECT_EQ(d.ticksToCycles(13), 3u);
+}
+
+TEST(Clocked, CurCycleFollowsQueue)
+{
+    EventQueue eq;
+    ClockDomain d("x", 5);
+    Clocked c(eq, d);
+    EXPECT_EQ(c.curCycle(), 0u);
+    eq.serviceUntil(12);
+    EXPECT_EQ(c.curCycle(), 2u);
+}
+
+TEST(Clocked, ClockEdgeAligned)
+{
+    EventQueue eq;
+    ClockDomain d("x", 5);
+    Clocked c(eq, d);
+    eq.serviceUntil(12);
+    EXPECT_EQ(c.clockEdge(), 15u);    // next edge at/after 12
+    EXPECT_EQ(c.clockEdge(2), 25u);   // two further edges
+    eq.serviceUntil(15);
+    EXPECT_EQ(c.clockEdge(), 15u);    // exactly on an edge
+    EXPECT_EQ(c.clockEdge(1), 20u);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the deterministic PCG32 generator: reproducibility, stream
+ * independence and distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace
+{
+
+using rasim::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42, 7), b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1, 7), b(2, 7);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3, 3);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeRespectsBound)
+{
+    Rng r(5, 5);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i) {
+        std::uint32_t v = r.range(10);
+        ASSERT_LT(v, 10u);
+        ++counts[v];
+    }
+    // Roughly uniform: every bucket within 10% of expectation.
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Rng, RangeInclusiveCoversEndpoints)
+{
+    Rng r(6, 6);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint32_t v = r.rangeInclusive(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(7, 7);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateCases)
+{
+    Rng r(8, 8);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(9, 9);
+    double sum = 0.0;
+    const int n = 100000;
+    const double p = 0.25;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricWithCertaintyIsZero)
+{
+    Rng r(10, 10);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(11, 11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, Next64CombinesTwoDraws)
+{
+    Rng a(12, 12), b(12, 12);
+    std::uint64_t hi = a.next();
+    std::uint64_t lo = a.next();
+    EXPECT_EQ(b.next64(), (hi << 32) | lo);
+}
+
+} // namespace

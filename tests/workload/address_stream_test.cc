@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for synthetic address streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/address_stream.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::workload;
+
+TEST(SyntheticStream, PrivateRegionsDisjointPerCore)
+{
+    StreamProfile p;
+    p.shared_frac = 0.0;
+    SyntheticStream a(p, 0, 64, Rng(1, 1));
+    SyntheticStream b(p, 1, 64, Rng(1, 2));
+    std::set<Addr> seen_a, seen_b;
+    for (int i = 0; i < 2000; ++i) {
+        seen_a.insert(a.next().addr);
+        seen_b.insert(b.next().addr);
+    }
+    for (Addr addr : seen_a)
+        EXPECT_EQ(seen_b.count(addr), 0u);
+}
+
+TEST(SyntheticStream, SharedFractionRespected)
+{
+    StreamProfile p;
+    p.shared_frac = 0.4;
+    SyntheticStream s(p, 3, 64, Rng(2, 2));
+    int shared = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        Addr addr = s.next().addr;
+        if (addr >= SyntheticStream::shared_base &&
+            addr < SyntheticStream::private_base)
+            ++shared;
+    }
+    EXPECT_NEAR(static_cast<double>(shared) / n, 0.4, 0.02);
+}
+
+TEST(SyntheticStream, WriteFractionRespected)
+{
+    StreamProfile p;
+    p.write_frac = 0.25;
+    SyntheticStream s(p, 0, 64, Rng(3, 3));
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += s.next().is_write;
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.25, 0.02);
+}
+
+TEST(SyntheticStream, HotspotConcentratesSharedAccesses)
+{
+    StreamProfile p;
+    p.shared_frac = 1.0;
+    p.hotspot_frac = 0.9;
+    p.hotspot_blocks = 4;
+    SyntheticStream s(p, 0, 64, Rng(4, 4));
+    int hot = 0;
+    const int n = 10000;
+    Addr hot_end = SyntheticStream::shared_base + 4 * 64;
+    for (int i = 0; i < n; ++i) {
+        Addr addr = s.next().addr;
+        if (addr < hot_end)
+            ++hot;
+    }
+    EXPECT_GT(static_cast<double>(hot) / n, 0.85);
+}
+
+TEST(SyntheticStream, SequentialLocalityProducesStrides)
+{
+    StreamProfile p;
+    p.shared_frac = 0.0;
+    p.seq_frac = 1.0;
+    p.stride_blocks = 1;
+    SyntheticStream s(p, 0, 64, Rng(5, 5));
+    Addr prev = s.next().addr;
+    for (int i = 0; i < 100; ++i) {
+        Addr cur = s.next().addr;
+        if (cur > prev) { // ignore working-set wrap
+            EXPECT_EQ(cur - prev, 64u);
+        }
+        prev = cur;
+    }
+}
+
+TEST(SyntheticStream, AddressesAreBlockAligned)
+{
+    StreamProfile p;
+    SyntheticStream s(p, 2, 64, Rng(6, 6));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(s.next().addr % 64, 0u);
+}
+
+TEST(SyntheticStream, DeterministicForSameSeed)
+{
+    StreamProfile p;
+    SyntheticStream a(p, 0, 64, Rng(7, 7));
+    SyntheticStream b(p, 0, 64, Rng(7, 7));
+    for (int i = 0; i < 500; ++i) {
+        MemOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.is_write, y.is_write);
+    }
+}
+
+TEST(SyntheticStream, BadProfileIsFatal)
+{
+    StreamProfile p;
+    p.hotspot_blocks = 1 << 20;
+    EXPECT_DEATH(SyntheticStream(p, 0, 64, Rng(1, 1)), "hotspot");
+}
+
+} // namespace

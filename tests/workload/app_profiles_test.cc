@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the named application presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/app_profiles.hh"
+
+namespace
+{
+
+using namespace rasim::workload;
+
+TEST(AppProfiles, EightDistinctPresets)
+{
+    const auto &apps = appProfiles();
+    EXPECT_EQ(apps.size(), 8u);
+    std::set<std::string> names;
+    for (const auto &app : apps)
+        names.insert(app.name);
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(AppProfiles, LookupByName)
+{
+    EXPECT_EQ(appProfile("fft").name, "fft");
+    EXPECT_EQ(appProfile("radix").stream.hotspot_frac, 0.5);
+    EXPECT_DEATH(appProfile("doom"), "unknown application");
+}
+
+TEST(AppProfiles, ParametersAreSane)
+{
+    for (const auto &app : appProfiles()) {
+        EXPECT_GT(app.mem_ratio, 0.0) << app.name;
+        EXPECT_LE(app.mem_ratio, 1.0) << app.name;
+        EXPECT_GT(app.ops_per_core, 0u) << app.name;
+        EXPECT_GE(app.stream.shared_frac, 0.0) << app.name;
+        EXPECT_LE(app.stream.shared_frac, 1.0) << app.name;
+        EXPECT_LE(app.stream.hotspot_blocks, app.stream.shared_blocks)
+            << app.name;
+        EXPECT_GT(app.stream.write_frac, 0.0) << app.name;
+    }
+}
+
+TEST(AppProfiles, PresetsAreBehaviorallyDiverse)
+{
+    // The experiments rely on presets stressing the network
+    // differently: at least one hotspot-heavy, one sharing-heavy and
+    // one locality-heavy preset must exist.
+    bool hotspotty = false, sharey = false, local = false;
+    for (const auto &app : appProfiles()) {
+        hotspotty |= app.stream.hotspot_frac >= 0.5;
+        sharey |= app.stream.shared_frac >= 0.5;
+        local |= app.stream.seq_frac >= 0.8;
+    }
+    EXPECT_TRUE(hotspotty);
+    EXPECT_TRUE(sharey);
+    EXPECT_TRUE(local);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for synthetic packet traffic patterns and the open-loop
+ * generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/cycle_network.hh"
+#include "sim/simulation.hh"
+#include "workload/traffic.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::workload;
+
+TEST(Patterns, TransposeSwapsCoordinates)
+{
+    Rng rng(1, 1);
+    // 4x4: node (x=1, y=2) = 9 -> (x=2, y=1) = 6.
+    EXPECT_EQ(patternDest(TrafficPattern::Transpose, 9, 4, 4, rng), 6u);
+    EXPECT_EQ(patternDest(TrafficPattern::Transpose, 6, 4, 4, rng), 9u);
+}
+
+TEST(Patterns, BitComplementMirrors)
+{
+    Rng rng(1, 1);
+    EXPECT_EQ(patternDest(TrafficPattern::BitComplement, 0, 4, 4, rng),
+              15u);
+    EXPECT_EQ(patternDest(TrafficPattern::BitComplement, 5, 4, 4, rng),
+              10u);
+}
+
+TEST(Patterns, TornadoHalfRing)
+{
+    Rng rng(1, 1);
+    // 8 columns: x -> x+4.
+    EXPECT_EQ(patternDest(TrafficPattern::Tornado, 0, 8, 8, rng), 4u);
+    EXPECT_EQ(patternDest(TrafficPattern::Tornado, 6, 8, 8, rng), 2u);
+}
+
+TEST(Patterns, NeighborWrapsRow)
+{
+    Rng rng(1, 1);
+    EXPECT_EQ(patternDest(TrafficPattern::Neighbor, 0, 4, 4, rng), 1u);
+    EXPECT_EQ(patternDest(TrafficPattern::Neighbor, 3, 4, 4, rng), 0u);
+}
+
+TEST(Patterns, UniformCoversAllNodes)
+{
+    Rng rng(2, 2);
+    std::map<NodeId, int> seen;
+    for (int i = 0; i < 5000; ++i)
+        ++seen[patternDest(TrafficPattern::UniformRandom, 0, 4, 4, rng)];
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Patterns, NamesRoundTrip)
+{
+    for (const char *name : {"uniform", "transpose", "bitcomp",
+                             "hotspot", "tornado", "neighbor"}) {
+        EXPECT_STREQ(toString(patternFromName(name)), name);
+    }
+    EXPECT_DEATH(patternFromName("nope"), "unknown traffic pattern");
+}
+
+TEST(TrafficGenerator, RateIsRespected)
+{
+    Simulation sim;
+    noc::NocParams p;
+    noc::CycleNetwork net(sim, "noc", p);
+    TrafficGenerator::Options opts;
+    opts.rate = 0.05;
+    TrafficGenerator gen(net, 8, 8, opts, Rng(3, 3));
+    gen.generateTo(2000);
+    // 64 nodes * 2000 cycles * 0.05 = 6400 expected.
+    EXPECT_NEAR(static_cast<double>(gen.generated()), 6400, 300);
+}
+
+TEST(TrafficGenerator, GeneratedTrafficIsDeliverable)
+{
+    Simulation sim;
+    noc::NocParams p;
+    noc::CycleNetwork net(sim, "noc", p);
+    std::uint64_t delivered = 0;
+    net.setDeliveryHandler([&](const noc::PacketPtr &) { ++delivered; });
+    TrafficGenerator::Options opts;
+    opts.rate = 0.02;
+    TrafficGenerator gen(net, 8, 8, opts, Rng(4, 4));
+    for (Tick t = 100; t <= 3000; t += 100) {
+        gen.generateTo(t);
+        net.advanceTo(t);
+    }
+    net.advanceTo(20000);
+    EXPECT_EQ(delivered, gen.generated());
+}
+
+TEST(TrafficGenerator, BurstyModeClumps)
+{
+    Simulation sim;
+    noc::NocParams p;
+    noc::CycleNetwork net(sim, "noc", p);
+    TrafficGenerator::Options opts;
+    opts.rate = 0.05;
+    opts.bursty = true;
+    opts.mean_burst = 16;
+    TrafficGenerator gen(net, 8, 8, opts, Rng(5, 5));
+    gen.generateTo(4000);
+    // Long-run rate stays near the duty cycle.
+    EXPECT_NEAR(static_cast<double>(gen.generated()), 12800, 2500);
+}
+
+TEST(TrafficGenerator, MismatchedGridIsFatal)
+{
+    Simulation sim;
+    noc::NocParams p;
+    noc::CycleNetwork net(sim, "noc", p);
+    TrafficGenerator::Options opts;
+    EXPECT_DEATH(TrafficGenerator(net, 4, 4, opts, Rng(1, 1)),
+                 "does not match");
+}
+
+} // namespace
