@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_router_orgs.dir/bench_a1_router_orgs.cc.o"
+  "CMakeFiles/bench_a1_router_orgs.dir/bench_a1_router_orgs.cc.o.d"
+  "bench_a1_router_orgs"
+  "bench_a1_router_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_router_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_sim_time.dir/bench_e4_sim_time.cc.o"
+  "CMakeFiles/bench_e4_sim_time.dir/bench_e4_sim_time.cc.o.d"
+  "bench_e4_sim_time"
+  "bench_e4_sim_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sim_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

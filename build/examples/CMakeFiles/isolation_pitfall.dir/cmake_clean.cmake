@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_pitfall.dir/isolation_pitfall.cpp.o"
+  "CMakeFiles/isolation_pitfall.dir/isolation_pitfall.cpp.o.d"
+  "isolation_pitfall"
+  "isolation_pitfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_pitfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

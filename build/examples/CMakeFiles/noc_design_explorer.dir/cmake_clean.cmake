@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_design_explorer.dir/noc_design_explorer.cpp.o"
+  "CMakeFiles/noc_design_explorer.dir/noc_design_explorer.cpp.o.d"
+  "noc_design_explorer"
+  "noc_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scale_out_gpu.cpp" "examples/CMakeFiles/scale_out_gpu.dir/scale_out_gpu.cpp.o" "gcc" "examples/CMakeFiles/scale_out_gpu.dir/scale_out_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosim/CMakeFiles/rasim_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstractnet/CMakeFiles/rasim_abstractnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rasim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rasim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rasim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rasim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rasim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

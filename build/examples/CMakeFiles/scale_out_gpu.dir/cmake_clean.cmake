@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_out_gpu.dir/scale_out_gpu.cpp.o"
+  "CMakeFiles/scale_out_gpu.dir/scale_out_gpu.cpp.o.d"
+  "scale_out_gpu"
+  "scale_out_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_out_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standalone_noc.dir/standalone_noc.cpp.o"
+  "CMakeFiles/standalone_noc.dir/standalone_noc.cpp.o.d"
+  "standalone_noc"
+  "standalone_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standalone_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

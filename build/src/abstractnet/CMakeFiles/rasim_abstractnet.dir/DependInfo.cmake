@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abstractnet/abstract_network.cc" "src/abstractnet/CMakeFiles/rasim_abstractnet.dir/abstract_network.cc.o" "gcc" "src/abstractnet/CMakeFiles/rasim_abstractnet.dir/abstract_network.cc.o.d"
+  "/root/repo/src/abstractnet/latency_model.cc" "src/abstractnet/CMakeFiles/rasim_abstractnet.dir/latency_model.cc.o" "gcc" "src/abstractnet/CMakeFiles/rasim_abstractnet.dir/latency_model.cc.o.d"
+  "/root/repo/src/abstractnet/latency_table.cc" "src/abstractnet/CMakeFiles/rasim_abstractnet.dir/latency_table.cc.o" "gcc" "src/abstractnet/CMakeFiles/rasim_abstractnet.dir/latency_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/rasim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_abstractnet.dir/abstract_network.cc.o"
+  "CMakeFiles/rasim_abstractnet.dir/abstract_network.cc.o.d"
+  "CMakeFiles/rasim_abstractnet.dir/latency_model.cc.o"
+  "CMakeFiles/rasim_abstractnet.dir/latency_model.cc.o.d"
+  "CMakeFiles/rasim_abstractnet.dir/latency_table.cc.o"
+  "CMakeFiles/rasim_abstractnet.dir/latency_table.cc.o.d"
+  "librasim_abstractnet.a"
+  "librasim_abstractnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_abstractnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

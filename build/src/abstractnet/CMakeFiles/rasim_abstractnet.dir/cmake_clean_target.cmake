@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librasim_abstractnet.a"
+)

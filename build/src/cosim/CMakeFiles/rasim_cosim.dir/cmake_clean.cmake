@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_cosim.dir/bridge.cc.o"
+  "CMakeFiles/rasim_cosim.dir/bridge.cc.o.d"
+  "CMakeFiles/rasim_cosim.dir/full_system.cc.o"
+  "CMakeFiles/rasim_cosim.dir/full_system.cc.o.d"
+  "librasim_cosim.a"
+  "librasim_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

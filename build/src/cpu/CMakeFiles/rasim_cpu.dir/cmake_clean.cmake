@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_cpu.dir/core.cc.o"
+  "CMakeFiles/rasim_cpu.dir/core.cc.o.d"
+  "librasim_cpu.a"
+  "librasim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_model.cc" "src/gpu/CMakeFiles/rasim_gpu.dir/gpu_model.cc.o" "gcc" "src/gpu/CMakeFiles/rasim_gpu.dir/gpu_model.cc.o.d"
+  "/root/repo/src/gpu/thread_pool_engine.cc" "src/gpu/CMakeFiles/rasim_gpu.dir/thread_pool_engine.cc.o" "gcc" "src/gpu/CMakeFiles/rasim_gpu.dir/thread_pool_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/rasim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

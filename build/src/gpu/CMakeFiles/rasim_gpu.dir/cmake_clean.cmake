@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/rasim_gpu.dir/gpu_model.cc.o.d"
+  "CMakeFiles/rasim_gpu.dir/thread_pool_engine.cc.o"
+  "CMakeFiles/rasim_gpu.dir/thread_pool_engine.cc.o.d"
+  "librasim_gpu.a"
+  "librasim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/directory.cc" "src/mem/CMakeFiles/rasim_mem.dir/directory.cc.o" "gcc" "src/mem/CMakeFiles/rasim_mem.dir/directory.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/rasim_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/rasim_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/l1_cache.cc" "src/mem/CMakeFiles/rasim_mem.dir/l1_cache.cc.o" "gcc" "src/mem/CMakeFiles/rasim_mem.dir/l1_cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/rasim_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/rasim_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/message_hub.cc" "src/mem/CMakeFiles/rasim_mem.dir/message_hub.cc.o" "gcc" "src/mem/CMakeFiles/rasim_mem.dir/message_hub.cc.o.d"
+  "/root/repo/src/mem/msg.cc" "src/mem/CMakeFiles/rasim_mem.dir/msg.cc.o" "gcc" "src/mem/CMakeFiles/rasim_mem.dir/msg.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/mem/CMakeFiles/rasim_mem.dir/replacement.cc.o" "gcc" "src/mem/CMakeFiles/rasim_mem.dir/replacement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/rasim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_mem.dir/directory.cc.o"
+  "CMakeFiles/rasim_mem.dir/directory.cc.o.d"
+  "CMakeFiles/rasim_mem.dir/dram.cc.o"
+  "CMakeFiles/rasim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/rasim_mem.dir/l1_cache.cc.o"
+  "CMakeFiles/rasim_mem.dir/l1_cache.cc.o.d"
+  "CMakeFiles/rasim_mem.dir/memory_system.cc.o"
+  "CMakeFiles/rasim_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/rasim_mem.dir/message_hub.cc.o"
+  "CMakeFiles/rasim_mem.dir/message_hub.cc.o.d"
+  "CMakeFiles/rasim_mem.dir/msg.cc.o"
+  "CMakeFiles/rasim_mem.dir/msg.cc.o.d"
+  "CMakeFiles/rasim_mem.dir/replacement.cc.o"
+  "CMakeFiles/rasim_mem.dir/replacement.cc.o.d"
+  "librasim_mem.a"
+  "librasim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

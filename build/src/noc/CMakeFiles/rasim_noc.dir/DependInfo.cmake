@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/cycle_network.cc" "src/noc/CMakeFiles/rasim_noc.dir/cycle_network.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/cycle_network.cc.o.d"
+  "/root/repo/src/noc/deflection_network.cc" "src/noc/CMakeFiles/rasim_noc.dir/deflection_network.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/deflection_network.cc.o.d"
+  "/root/repo/src/noc/nic.cc" "src/noc/CMakeFiles/rasim_noc.dir/nic.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/nic.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/noc/CMakeFiles/rasim_noc.dir/packet.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/packet.cc.o.d"
+  "/root/repo/src/noc/params.cc" "src/noc/CMakeFiles/rasim_noc.dir/params.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/params.cc.o.d"
+  "/root/repo/src/noc/power.cc" "src/noc/CMakeFiles/rasim_noc.dir/power.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/power.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/noc/CMakeFiles/rasim_noc.dir/router.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/router.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/noc/CMakeFiles/rasim_noc.dir/routing.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/routing.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/noc/CMakeFiles/rasim_noc.dir/topology.cc.o" "gcc" "src/noc/CMakeFiles/rasim_noc.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_noc.dir/cycle_network.cc.o"
+  "CMakeFiles/rasim_noc.dir/cycle_network.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/deflection_network.cc.o"
+  "CMakeFiles/rasim_noc.dir/deflection_network.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/nic.cc.o"
+  "CMakeFiles/rasim_noc.dir/nic.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/packet.cc.o"
+  "CMakeFiles/rasim_noc.dir/packet.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/params.cc.o"
+  "CMakeFiles/rasim_noc.dir/params.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/power.cc.o"
+  "CMakeFiles/rasim_noc.dir/power.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/router.cc.o"
+  "CMakeFiles/rasim_noc.dir/router.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/routing.cc.o"
+  "CMakeFiles/rasim_noc.dir/routing.cc.o.d"
+  "CMakeFiles/rasim_noc.dir/topology.cc.o"
+  "CMakeFiles/rasim_noc.dir/topology.cc.o.d"
+  "librasim_noc.a"
+  "librasim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clocked.cc" "src/sim/CMakeFiles/rasim_sim.dir/clocked.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/clocked.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/rasim_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/sim/CMakeFiles/rasim_sim.dir/event.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/event.cc.o.d"
+  "/root/repo/src/sim/eventq.cc" "src/sim/CMakeFiles/rasim_sim.dir/eventq.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/eventq.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/rasim_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/rasim_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/sim/CMakeFiles/rasim_sim.dir/sim_object.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/sim_object.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/rasim_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/simulation.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/rasim_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/rasim_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

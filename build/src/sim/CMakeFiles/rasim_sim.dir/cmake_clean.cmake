@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_sim.dir/clocked.cc.o"
+  "CMakeFiles/rasim_sim.dir/clocked.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/config.cc.o"
+  "CMakeFiles/rasim_sim.dir/config.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/event.cc.o"
+  "CMakeFiles/rasim_sim.dir/event.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/eventq.cc.o"
+  "CMakeFiles/rasim_sim.dir/eventq.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/logging.cc.o"
+  "CMakeFiles/rasim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/rng.cc.o"
+  "CMakeFiles/rasim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/sim_object.cc.o"
+  "CMakeFiles/rasim_sim.dir/sim_object.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/simulation.cc.o"
+  "CMakeFiles/rasim_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/rasim_sim.dir/trace.cc.o"
+  "CMakeFiles/rasim_sim.dir/trace.cc.o.d"
+  "librasim_sim.a"
+  "librasim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_stats.dir/distribution.cc.o"
+  "CMakeFiles/rasim_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/rasim_stats.dir/group.cc.o"
+  "CMakeFiles/rasim_stats.dir/group.cc.o.d"
+  "CMakeFiles/rasim_stats.dir/output.cc.o"
+  "CMakeFiles/rasim_stats.dir/output.cc.o.d"
+  "CMakeFiles/rasim_stats.dir/stat.cc.o"
+  "CMakeFiles/rasim_stats.dir/stat.cc.o.d"
+  "librasim_stats.a"
+  "librasim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/address_stream.cc" "src/workload/CMakeFiles/rasim_workload.dir/address_stream.cc.o" "gcc" "src/workload/CMakeFiles/rasim_workload.dir/address_stream.cc.o.d"
+  "/root/repo/src/workload/app_profiles.cc" "src/workload/CMakeFiles/rasim_workload.dir/app_profiles.cc.o" "gcc" "src/workload/CMakeFiles/rasim_workload.dir/app_profiles.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/rasim_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/rasim_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/traffic.cc" "src/workload/CMakeFiles/rasim_workload.dir/traffic.cc.o" "gcc" "src/workload/CMakeFiles/rasim_workload.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/rasim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasim_workload.dir/address_stream.cc.o"
+  "CMakeFiles/rasim_workload.dir/address_stream.cc.o.d"
+  "CMakeFiles/rasim_workload.dir/app_profiles.cc.o"
+  "CMakeFiles/rasim_workload.dir/app_profiles.cc.o.d"
+  "CMakeFiles/rasim_workload.dir/trace.cc.o"
+  "CMakeFiles/rasim_workload.dir/trace.cc.o.d"
+  "CMakeFiles/rasim_workload.dir/traffic.cc.o"
+  "CMakeFiles/rasim_workload.dir/traffic.cc.o.d"
+  "librasim_workload.a"
+  "librasim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstractnet_test.dir/abstract_network_test.cc.o"
+  "CMakeFiles/abstractnet_test.dir/abstract_network_test.cc.o.d"
+  "CMakeFiles/abstractnet_test.dir/latency_model_test.cc.o"
+  "CMakeFiles/abstractnet_test.dir/latency_model_test.cc.o.d"
+  "CMakeFiles/abstractnet_test.dir/latency_table_test.cc.o"
+  "CMakeFiles/abstractnet_test.dir/latency_table_test.cc.o.d"
+  "abstractnet_test"
+  "abstractnet_test.pdb"
+  "abstractnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstractnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

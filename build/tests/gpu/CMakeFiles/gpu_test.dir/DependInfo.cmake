@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/gpu_model_test.cc" "tests/gpu/CMakeFiles/gpu_test.dir/gpu_model_test.cc.o" "gcc" "tests/gpu/CMakeFiles/gpu_test.dir/gpu_model_test.cc.o.d"
+  "/root/repo/tests/gpu/thread_pool_engine_test.cc" "tests/gpu/CMakeFiles/gpu_test.dir/thread_pool_engine_test.cc.o" "gcc" "tests/gpu/CMakeFiles/gpu_test.dir/thread_pool_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosim/CMakeFiles/rasim_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstractnet/CMakeFiles/rasim_abstractnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rasim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rasim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rasim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/rasim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rasim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

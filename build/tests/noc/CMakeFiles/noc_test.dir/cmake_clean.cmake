@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_test.dir/deflection_property_test.cc.o"
+  "CMakeFiles/noc_test.dir/deflection_property_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/deflection_test.cc.o"
+  "CMakeFiles/noc_test.dir/deflection_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/link_test.cc.o"
+  "CMakeFiles/noc_test.dir/link_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/network_property_test.cc.o"
+  "CMakeFiles/noc_test.dir/network_property_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/network_test.cc.o"
+  "CMakeFiles/noc_test.dir/network_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/packet_test.cc.o"
+  "CMakeFiles/noc_test.dir/packet_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/power_test.cc.o"
+  "CMakeFiles/noc_test.dir/power_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/routing_test.cc.o"
+  "CMakeFiles/noc_test.dir/routing_test.cc.o.d"
+  "CMakeFiles/noc_test.dir/topology_test.cc.o"
+  "CMakeFiles/noc_test.dir/topology_test.cc.o.d"
+  "noc_test"
+  "noc_test.pdb"
+  "noc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
