@@ -10,9 +10,10 @@
 #include <memory>
 
 #include "abstractnet/abstract_network.hh"
-#include "gpu/thread_pool_engine.hh"
 #include "mem/memory_system.hh"
 #include "noc/cycle_network.hh"
+#include "noc/deflection_network.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/rng.hh"
 #include "sim/simulation.hh"
 #include "workload/traffic.hh"
@@ -129,11 +130,11 @@ void
 BM_EngineDispatchOverhead(benchmark::State &state)
 {
     int workers = static_cast<int>(state.range(0));
-    std::unique_ptr<noc::StepEngine> engine;
+    std::unique_ptr<StepEngine> engine;
     if (workers == 0)
-        engine = std::make_unique<noc::SerialEngine>();
+        engine = std::make_unique<SerialEngine>();
     else
-        engine = std::make_unique<gpu::ThreadPoolEngine>(workers);
+        engine = std::make_unique<ParallelEngine>(workers);
     std::atomic<std::uint64_t> sink{0};
     for (auto _ : state) {
         engine->forEach(64, [&sink](std::size_t i) {
@@ -143,6 +144,69 @@ BM_EngineDispatchOverhead(benchmark::State &state)
     benchmark::DoNotOptimize(sink.load());
 }
 BENCHMARK(BM_EngineDispatchOverhead)->Arg(0)->Arg(1)->Arg(3);
+
+/**
+ * Serial-vs-parallel stepping of the cycle network at high load:
+ * time/iteration across worker counts gives the measured pool
+ * speedup on this host (Arg 0 = SerialEngine baseline; on a 1-core
+ * host the >1 worker rows measure dispatch overhead, not speedup).
+ */
+void
+BM_NetworkCycleSerialVsPool(benchmark::State &state)
+{
+    int workers = static_cast<int>(state.range(0));
+    Simulation sim;
+    noc::NocParams p;
+    p.columns = 8;
+    p.rows = 8;
+    noc::CycleNetwork net(sim, "noc", p);
+    std::unique_ptr<StepEngine> engine;
+    if (workers > 0) {
+        engine = std::make_unique<ParallelEngine>(workers);
+        net.setEngine(engine.get());
+    }
+    workload::TrafficGenerator::Options o;
+    o.rate = 0.3;
+    workload::TrafficGenerator gen(net, 8, 8, o, sim.makeRng(0xbe));
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 16;
+        gen.generateTo(t);
+        net.advanceTo(t);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(net.cyclesRun.value()) * 64);
+    state.counters["workers"] = workers;
+}
+BENCHMARK(BM_NetworkCycleSerialVsPool)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
+
+/** Same comparison for the bufferless deflection backend. */
+void
+BM_DeflectionCycleSerialVsPool(benchmark::State &state)
+{
+    int workers = static_cast<int>(state.range(0));
+    Simulation sim;
+    noc::NocParams p;
+    p.columns = 8;
+    p.rows = 8;
+    noc::DeflectionNetwork net(sim, "dnoc", p);
+    std::unique_ptr<StepEngine> engine;
+    if (workers > 0) {
+        engine = std::make_unique<ParallelEngine>(workers);
+        net.setEngine(engine.get());
+    }
+    workload::TrafficGenerator::Options o;
+    o.rate = 0.3;
+    workload::TrafficGenerator gen(net, 8, 8, o, sim.makeRng(0xbe));
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 16;
+        gen.generateTo(t);
+        net.advanceTo(t);
+    }
+    state.counters["workers"] = workers;
+}
+BENCHMARK(BM_DeflectionCycleSerialVsPool)->Arg(0)->Arg(2);
 
 } // namespace
 

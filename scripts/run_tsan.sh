@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build the simulator with ThreadSanitizer and run the test labels
+# that exercise the parallel step engine: sim (engine unit/property
+# tests), noc (serial-vs-parallel differential tests) and cosim
+# (overlapped bridge determinism).
+#
+# Usage: scripts/run_tsan.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-"$repo/build-tsan"}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$build" -S "$repo" -DRASIM_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$jobs"
+
+# halt_on_error keeps CI red on the first race instead of drowning
+# the log; second_deadlock_stack aids lock-order reports.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+
+ctest --test-dir "$build" --output-on-failure -L 'sim|noc|cosim'

@@ -51,11 +51,24 @@ QuantumBridge::QuantumBridge(Simulation &sim, const std::string &name,
 {
     if (options_.quantum == 0)
         fatal("co-simulation quantum must be positive");
+    if (options_.engine_workers < 0)
+        fatal("co-simulation engine worker count must be non-negative");
+    if (options_.engine_workers > 0) {
+        engine_ =
+            std::make_unique<ParallelEngine>(options_.engine_workers);
+        backend_.setEngine(engine_.get());
+    }
     backend_.setDeliveryHandler(
         [this](const noc::PacketPtr &pkt) { onBackendDelivery(pkt); });
 }
 
-QuantumBridge::~QuantumBridge() = default;
+QuantumBridge::~QuantumBridge()
+{
+    // The backend usually outlives the bridge; detach the pool before
+    // it is destroyed so the backend falls back to serial execution.
+    if (engine_)
+        backend_.setEngine(nullptr);
+}
 
 void
 QuantumBridge::inject(const noc::PacketPtr &pkt)

@@ -33,6 +33,7 @@
 #include "noc/network_model.hh"
 #include "noc/params.hh"
 #include "noc/topology.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/sim_object.hh"
 #include "stats/distribution.hh"
 #include "stats/stat.hh"
@@ -78,6 +79,16 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
         /** Feed detailed deliveries into the latency table. */
         bool feedback = true;
         Coupling coupling = Coupling::Conservative;
+        /**
+         * Worker threads of a ParallelEngine the bridge installs on
+         * the backend, so advanceCoupled() runs the detailed model's
+         * data-parallel phases on the pool (combine with overlap to
+         * overlap the pooled network with the host's next quantum).
+         * Zero leaves the backend on its serial engine. Results are
+         * bit-identical either way — see the determinism contract in
+         * sim/step_engine.hh.
+         */
+        int engine_workers = 0;
     };
 
     QuantumBridge(Simulation &sim, const std::string &name,
@@ -147,6 +158,8 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
     noc::NetworkModel &backend_;
     Options options_;
     noc::NocParams net_params_;
+    /** Pool driving the backend's phases (engine_workers > 0). */
+    std::unique_ptr<ParallelEngine> engine_;
     std::unique_ptr<noc::Topology> topo_;
     abstractnet::LatencyTable table_;
     DeliveryHandler system_handler_;

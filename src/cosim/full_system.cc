@@ -56,6 +56,7 @@ FullSystemOptions::fromConfig(const Config &cfg)
     o.conservative = cfg.getBool("system.conservative", false);
     o.engine_workers =
         static_cast<int>(cfg.getUInt("system.engine_workers", 2));
+    o.parallel = cfg.getBool("system.parallel", false);
     o.noc = noc::NocParams::fromConfig(cfg);
     o.mem = mem::MemParams::fromConfig(cfg);
     return o;
@@ -95,10 +96,15 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
     switch (options_.mode) {
       case Mode::Abstract:
       case Mode::TunedAbstract:
-      case Mode::Monolithic:
         // Event-exact integration: the quantum degenerates to a cycle.
         bo.quantum = 1;
         bo.overlap = false;
+        break;
+      case Mode::Monolithic:
+        bo.quantum = 1;
+        bo.overlap = false;
+        if (options_.parallel)
+            bo.engine_workers = options_.engine_workers;
         break;
       case Mode::CosimCycle:
         bo.quantum = options_.quantum;
@@ -106,6 +112,8 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
         bo.coupling = options_.conservative
                           ? QuantumBridge::Coupling::Conservative
                           : QuantumBridge::Coupling::Reciprocal;
+        if (options_.parallel)
+            bo.engine_workers = options_.engine_workers;
         break;
       case Mode::CosimGpu:
         bo.quantum = options_.quantum;
@@ -113,9 +121,7 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
         bo.coupling = options_.conservative
                           ? QuantumBridge::Coupling::Conservative
                           : QuantumBridge::Coupling::Reciprocal;
-        engine_ = std::make_unique<gpu::ThreadPoolEngine>(
-            options_.engine_workers);
-        cycle_net_->setEngine(engine_.get());
+        bo.engine_workers = options_.engine_workers;
         break;
     }
     bridge_ = std::make_unique<QuantumBridge>(*sim_, "bridge", *backend,

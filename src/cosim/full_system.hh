@@ -15,7 +15,6 @@
 #include "abstractnet/abstract_network.hh"
 #include "cosim/bridge.hh"
 #include "cpu/core.hh"
-#include "gpu/thread_pool_engine.hh"
 #include "mem/memory_system.hh"
 #include "noc/cycle_network.hh"
 #include "sim/config.hh"
@@ -61,8 +60,17 @@ struct FullSystemOptions
      * E5 quantum sweep ablates against.
      */
     bool conservative = false;
-    /** Worker threads of the coprocessor engine (CosimGpu). */
+    /** Worker threads of the pool engine driving the detailed
+     *  network's phases. Always used by CosimGpu; other cycle-level
+     *  modes use it when @ref parallel is set. */
     int engine_workers = 2;
+    /**
+     * Run the detailed network's phases on the worker pool in the
+     * non-overlapped cycle-level modes too (CosimCycle, Monolithic).
+     * Bit-identical to serial execution by the determinism contract;
+     * defaults off so single-core hosts skip the dispatch overhead.
+     */
+    bool parallel = false;
     noc::NocParams noc;
     mem::MemParams mem;
 
@@ -111,7 +119,6 @@ class FullSystem
     std::unique_ptr<Simulation> sim_;
     std::unique_ptr<noc::CycleNetwork> cycle_net_;
     std::unique_ptr<abstractnet::AbstractNetwork> abstract_net_;
-    std::unique_ptr<gpu::ThreadPoolEngine> engine_;
     std::unique_ptr<QuantumBridge> bridge_;
     std::unique_ptr<mem::MemorySystem> memory_;
     std::vector<std::unique_ptr<cpu::SyntheticCore>> cores_;

@@ -17,8 +17,8 @@
 #include "noc/params.hh"
 #include "noc/router.hh"
 #include "noc/routing.hh"
-#include "noc/step_engine.hh"
 #include "noc/topology.hh"
+#include "sim/step_engine.hh"
 #include "sim/sim_object.hh"
 #include "stats/distribution.hh"
 #include "stats/stat.hh"
@@ -51,7 +51,7 @@ class CycleNetwork : public SimObject, public NetworkModel
      * network does not own the engine; it must outlive the network's
      * last advanceTo().
      */
-    void setEngine(StepEngine *engine);
+    void setEngine(StepEngine *engine) override;
 
     const NocParams &params() const { return params_; }
     const Topology &topology() const { return *topo_; }

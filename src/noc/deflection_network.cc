@@ -28,7 +28,7 @@ DeflectionNetwork::DeflectionNetwork(Simulation &sim,
                    "inject-to-deliver latency (cycles)"),
       deflectionsPerFlit(this, "deflections_per_flit",
                          "deflections each flit suffered"),
-      params_(params)
+      params_(params), engine_(&serial_engine_)
 {
     if (params_.topology != "mesh" && params_.topology != "torus")
         fatal("deflection network needs a mesh or torus topology");
@@ -36,11 +36,31 @@ DeflectionNetwork::DeflectionNetwork(Simulation &sim,
                          params_.rows);
     int n = topo_->numNodes();
     arriving_.resize(n);
-    next_.resize(n);
+    out_.resize(n);
+    sources_.resize(n);
     inject_queues_.resize(n);
+    rx_.resize(n);
+    scratch_.resize(n);
+    for (int i = 0; i < n; ++i)
+        out_[i].resize(topo_->numPorts());
+    // Gather order: upstream node index ascending (then port), the
+    // same order the pre-refactor per-node loop produced arrivals in.
+    for (int i = 0; i < n; ++i) {
+        for (int p = 1; p < topo_->numPorts(); ++p) {
+            int j = topo_->neighbor(i, p);
+            if (j >= 0)
+                sources_[j].emplace_back(i, p);
+        }
+    }
 }
 
 DeflectionNetwork::~DeflectionNetwork() = default;
+
+void
+DeflectionNetwork::setEngine(StepEngine *engine)
+{
+    engine_ = engine ? engine : &serial_engine_;
+}
 
 std::size_t
 DeflectionNetwork::numNodes() const
@@ -73,13 +93,182 @@ DeflectionNetwork::idle() const
 }
 
 void
+DeflectionNetwork::routeNode(int i, Cycle now)
+{
+    std::vector<DFlit> &cand = arriving_[i];
+    NodeScratch &s = scratch_[i];
+
+    // Ejection: one flit per cycle, oldest first. Reassembly state is
+    // per destination node, so only this partition touches rx_[i].
+    if (!cand.empty()) {
+        int eject = -1;
+        for (std::size_t k = 0; k < cand.size(); ++k) {
+            if (cand[k].pkt->dst != static_cast<NodeId>(i))
+                continue;
+            if (eject < 0 || cand[k].birth < cand[eject].birth ||
+                (cand[k].birth == cand[eject].birth &&
+                 cand[k].pkt->id < cand[eject].pkt->id)) {
+                eject = static_cast<int>(k);
+            }
+        }
+        if (eject >= 0) {
+            DFlit f = std::move(cand[eject]);
+            cand.erase(cand.begin() + eject);
+            --s.fabric_delta;
+            s.eject_deflections.push_back(f.deflections);
+            PacketPtr pkt = f.pkt;
+            // Hop accounting happens at ejection (not en route) so a
+            // packet's flits never race on the shared Packet: every
+            // flit of a packet ejects at the same node's partition.
+            pkt->hops = std::max(pkt->hops, f.hops);
+            std::uint32_t want = params_.flitsPerPacket(pkt->size_bytes);
+            auto &rx = rx_[i];
+            if (++rx[pkt->id] == want) {
+                rx.erase(pkt->id);
+                pkt->deliver_tick = now + 1;
+                s.delivered.push_back(pkt);
+            }
+        }
+    }
+
+    // Count usable (connected) output ports.
+    std::vector<int> free_ports;
+    for (int p = 1; p < topo_->numPorts(); ++p)
+        if (topo_->neighbor(i, p) >= 0)
+            free_ports.push_back(p);
+
+    // Injection: one flit per cycle when a slot remains.
+    if (!inject_queues_[i].empty()) {
+        if (cand.size() < free_ports.size()) {
+            DFlit f = std::move(inject_queues_[i].front());
+            inject_queues_[i].pop_front();
+            --s.queued_delta;
+            ++s.fabric_delta;
+            f.birth = now;
+            if (f.seq == 0)
+                f.pkt->enter_tick = now;
+            cand.push_back(std::move(f));
+        } else {
+            ++s.stalls;
+        }
+    }
+
+    if (cand.size() > free_ports.size())
+        panic("deflection: more flits than ports at node ", i);
+
+    // Oldest-first port assignment.
+    std::sort(cand.begin(), cand.end(),
+              [](const DFlit &a, const DFlit &b) {
+                  if (a.birth != b.birth)
+                      return a.birth < b.birth;
+                  if (a.pkt->id != b.pkt->id)
+                      return a.pkt->id < b.pkt->id;
+                  return a.seq < b.seq;
+              });
+
+    for (DFlit &f : cand) {
+        auto [x, y] = topo_->coords(static_cast<NodeId>(i));
+        auto [tx, ty] = topo_->coords(f.pkt->dst);
+        // Productive direction preference: X first, then Y,
+        // honouring torus wrap via the shorter way.
+        std::vector<int> prefs;
+        int dx = tx - x, dy = ty - y;
+        if (topo_->isWrapLink(topo_->nodeAt(topo_->columns() - 1, y),
+                              port_east)) {
+            if (dx > topo_->columns() / 2)
+                dx -= topo_->columns();
+            else if (dx < -(topo_->columns() / 2))
+                dx += topo_->columns();
+            if (dy > topo_->rows() / 2)
+                dy -= topo_->rows();
+            else if (dy < -(topo_->rows() / 2))
+                dy += topo_->rows();
+        }
+        if (dx > 0)
+            prefs.push_back(port_east);
+        else if (dx < 0)
+            prefs.push_back(port_west);
+        if (dy > 0)
+            prefs.push_back(port_south);
+        else if (dy < 0)
+            prefs.push_back(port_north);
+
+        int chosen = -1;
+        for (int p : prefs) {
+            auto it =
+                std::find(free_ports.begin(), free_ports.end(), p);
+            if (it != free_ports.end()) {
+                chosen = p;
+                free_ports.erase(it);
+                break;
+            }
+        }
+        if (chosen < 0) {
+            // Deflected: take any remaining port.
+            if (free_ports.empty())
+                panic("deflection: no port left for a flit");
+            chosen = free_ports.front();
+            free_ports.erase(free_ports.begin());
+            ++f.deflections;
+            ++s.deflected;
+        }
+        ++f.hops;
+        out_[i][chosen] = std::move(f);
+    }
+    cand.clear();
+}
+
+void
+DeflectionNetwork::gatherNode(int j)
+{
+    std::vector<DFlit> &arr = arriving_[j];
+    for (const auto &[i, p] : sources_[j]) {
+        DFlit &slot = out_[i][p];
+        if (!slot.pkt)
+            continue;
+        arr.push_back(std::move(slot));
+        slot.pkt.reset();
+    }
+}
+
+void
+DeflectionNetwork::reduceScratch(Cycle now)
+{
+    int n = topo_->numNodes();
+    for (int i = 0; i < n; ++i) {
+        NodeScratch &s = scratch_[i];
+        in_fabric_flits_ += s.fabric_delta;
+        queued_flits_ += s.queued_delta;
+        flitsDeflected += static_cast<double>(s.deflected);
+        injectionStalls += static_cast<double>(s.stalls);
+        flitsEjected += static_cast<double>(s.eject_deflections.size());
+        for (std::uint32_t d : s.eject_deflections)
+            deflectionsPerFlit.sample(d);
+        for (const PacketPtr &pkt : s.delivered) {
+            ++delivered_;
+            ++packetsDelivered;
+            totalLatency.sample(static_cast<double>(pkt->latency()));
+            if (handler_)
+                handler_(pkt);
+        }
+        s.eject_deflections.clear();
+        s.delivered.clear();
+        s.deflected = 0;
+        s.stalls = 0;
+        s.fabric_delta = 0;
+        s.queued_delta = 0;
+    }
+    (void)now;
+}
+
+void
 DeflectionNetwork::stepCycle()
 {
     Cycle now = time_;
     int n = topo_->numNodes();
 
-    // Move due packets into the per-node injection queues, flit by
-    // flit.
+    // Sequential: move due packets into the per-node injection queues,
+    // flit by flit.
     while (!pending_.empty() && pending_.top()->inject_tick <= now) {
         PacketPtr pkt = pending_.top();
         pending_.pop();
@@ -106,133 +295,23 @@ DeflectionNetwork::stepCycle()
         }
     }
 
-    for (int i = 0; i < n; ++i) {
-        std::vector<DFlit> &cand = arriving_[i];
+    // Phase 1: eject/inject/route — node i writes only arriving_[i],
+    // out_[i], rx_[i], inject_queues_[i] and scratch_[i].
+    engine_->forEach(static_cast<std::size_t>(n),
+                     [this, now](std::size_t i) {
+                         routeNode(static_cast<int>(i), now);
+                     });
 
-        // Ejection: one flit per cycle, oldest first.
-        if (!cand.empty()) {
-            int eject = -1;
-            for (std::size_t k = 0; k < cand.size(); ++k) {
-                if (cand[k].pkt->dst != static_cast<NodeId>(i))
-                    continue;
-                if (eject < 0 || cand[k].birth < cand[eject].birth ||
-                    (cand[k].birth == cand[eject].birth &&
-                     cand[k].pkt->id < cand[eject].pkt->id)) {
-                    eject = static_cast<int>(k);
-                }
-            }
-            if (eject >= 0) {
-                DFlit f = std::move(cand[eject]);
-                cand.erase(cand.begin() + eject);
-                --in_fabric_flits_;
-                ++flitsEjected;
-                deflectionsPerFlit.sample(f.deflections);
-                PacketPtr pkt = f.pkt;
-                std::uint32_t want =
-                    params_.flitsPerPacket(pkt->size_bytes);
-                if (++rx_[pkt->id] == want) {
-                    rx_.erase(pkt->id);
-                    pkt->deliver_tick = now + 1;
-                    ++delivered_;
-                    ++packetsDelivered;
-                    totalLatency.sample(
-                        static_cast<double>(pkt->latency()));
-                    if (handler_)
-                        handler_(pkt);
-                }
-            }
-        }
+    // Phase 2: gather — node j rebuilds arriving_[j] from its
+    // upstream staging slots (sole reader of each slot).
+    engine_->forEach(static_cast<std::size_t>(n),
+                     [this](std::size_t j) {
+                         gatherNode(static_cast<int>(j));
+                     });
 
-        // Count usable (connected) output ports.
-        std::vector<int> free_ports;
-        for (int p = 1; p < topo_->numPorts(); ++p)
-            if (topo_->neighbor(i, p) >= 0)
-                free_ports.push_back(p);
+    // Sequential: fold per-node side effects in fixed index order.
+    reduceScratch(now);
 
-        // Injection: one flit per cycle when a slot remains.
-        if (!inject_queues_[i].empty()) {
-            if (cand.size() < free_ports.size()) {
-                DFlit f = std::move(inject_queues_[i].front());
-                inject_queues_[i].pop_front();
-                --queued_flits_;
-                ++in_fabric_flits_;
-                f.birth = now;
-                if (f.seq == 0)
-                    f.pkt->enter_tick = now;
-                cand.push_back(std::move(f));
-            } else {
-                ++injectionStalls;
-            }
-        }
-
-        if (cand.size() > free_ports.size())
-            panic("deflection: more flits than ports at node ", i);
-
-        // Oldest-first port assignment.
-        std::sort(cand.begin(), cand.end(),
-                  [](const DFlit &a, const DFlit &b) {
-                      if (a.birth != b.birth)
-                          return a.birth < b.birth;
-                      if (a.pkt->id != b.pkt->id)
-                          return a.pkt->id < b.pkt->id;
-                      return a.seq < b.seq;
-                  });
-
-        for (DFlit &f : cand) {
-            auto [x, y] = topo_->coords(static_cast<NodeId>(i));
-            auto [tx, ty] = topo_->coords(f.pkt->dst);
-            // Productive direction preference: X first, then Y,
-            // honouring torus wrap via the shorter way.
-            std::vector<int> prefs;
-            int dx = tx - x, dy = ty - y;
-            if (topo_->isWrapLink(topo_->nodeAt(topo_->columns() - 1, y),
-                                  port_east)) {
-                if (dx > topo_->columns() / 2)
-                    dx -= topo_->columns();
-                else if (dx < -(topo_->columns() / 2))
-                    dx += topo_->columns();
-                if (dy > topo_->rows() / 2)
-                    dy -= topo_->rows();
-                else if (dy < -(topo_->rows() / 2))
-                    dy += topo_->rows();
-            }
-            if (dx > 0)
-                prefs.push_back(port_east);
-            else if (dx < 0)
-                prefs.push_back(port_west);
-            if (dy > 0)
-                prefs.push_back(port_south);
-            else if (dy < 0)
-                prefs.push_back(port_north);
-
-            int chosen = -1;
-            for (int p : prefs) {
-                auto it = std::find(free_ports.begin(),
-                                    free_ports.end(), p);
-                if (it != free_ports.end()) {
-                    chosen = p;
-                    free_ports.erase(it);
-                    break;
-                }
-            }
-            if (chosen < 0) {
-                // Deflected: take any remaining port.
-                if (free_ports.empty())
-                    panic("deflection: no port left for a flit");
-                chosen = free_ports.front();
-                free_ports.erase(free_ports.begin());
-                ++f.deflections;
-                ++flitsDeflected;
-            }
-            int j = topo_->neighbor(i, chosen);
-            ++f.hops;
-            f.pkt->hops = std::max(f.pkt->hops, f.hops);
-            next_[j].push_back(std::move(f));
-        }
-        cand.clear();
-    }
-
-    arriving_.swap(next_);
     ++time_;
 }
 

@@ -11,6 +11,14 @@
  * Packets travel as independent single-flit "worms" (each flit routes
  * alone and is reassembled at the destination NIC), the classic
  * bufferless formulation.
+ *
+ * Like CycleNetwork, the per-cycle update is phase-structured so an
+ * exchangeable StepEngine can run it data-parallel and bit-identical
+ * to serial execution: a route phase in which node i consumes its own
+ * arrival set and writes only its own per-port output staging, a
+ * gather phase in which node j pulls from its upstream neighbours'
+ * staging in a fixed order, and a sequential reduction that folds
+ * per-node scratch (stats, deliveries, counters) in node-index order.
  */
 
 #ifndef RASIM_NOC_DEFLECTION_NETWORK_HH
@@ -27,6 +35,7 @@
 #include "noc/params.hh"
 #include "noc/topology.hh"
 #include "sim/sim_object.hh"
+#include "sim/step_engine.hh"
 #include "stats/distribution.hh"
 #include "stats/stat.hh"
 
@@ -59,6 +68,13 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     bool idle() const override;
     std::size_t numNodes() const override;
 
+    /**
+     * Replace the execution engine (default: SerialEngine). The
+     * network does not own the engine; it must outlive the network's
+     * last advanceTo().
+     */
+    void setEngine(StepEngine *engine) override;
+
     const NocParams &params() const { return params_; }
     const Topology &topology() const { return *topo_; }
 
@@ -81,19 +97,58 @@ class DeflectionNetwork : public SimObject, public NetworkModel
         Tick birth = 0; ///< cycle the flit entered the fabric
     };
 
+    /**
+     * Per-node side effects produced inside a parallel phase. Only
+     * node i touches scratch_[i]; reduceScratch() folds the slots
+     * into the aggregate stats and fires delivery callbacks in node
+     * index order, so serial and parallel runs accumulate (and
+     * float-round) identically.
+     */
+    struct NodeScratch
+    {
+        /** Deflection count of each flit ejected this cycle. */
+        std::vector<std::uint32_t> eject_deflections;
+        /** Packets whose last flit ejected this cycle. */
+        std::vector<PacketPtr> delivered;
+        std::uint64_t deflected = 0;
+        std::uint64_t stalls = 0;
+        std::int64_t fabric_delta = 0;
+        std::int64_t queued_delta = 0;
+    };
+
     void stepCycle();
+    /** Phase 1: eject, inject and route node i's arrival set into its
+     *  own output staging (partition-local). */
+    void routeNode(int i, Cycle now);
+    /** Phase 2: rebuild node j's arrival set from upstream staging in
+     *  the fixed sources_[j] order (partition-local). */
+    void gatherNode(int j);
+    /** Fold scratch into stats/deliveries in node index order. */
+    void reduceScratch(Cycle now);
 
     NocParams params_;
     std::unique_ptr<Topology> topo_;
+    SerialEngine serial_engine_;
+    StepEngine *engine_;
 
-    /** Flits arriving at router i this cycle (by input port). */
+    /** Flits arriving at router i this cycle. */
     std::vector<std::vector<DFlit>> arriving_;
-    /** Staged flits that will arrive next cycle. */
-    std::vector<std::vector<DFlit>> next_;
+    /** Flit leaving node i through port p this cycle (out_[i][p]);
+     *  a null pkt marks an empty slot. Written only by node i in the
+     *  route phase, drained only by neighbor(i, p) in the gather
+     *  phase — each slot has exactly one reader. */
+    std::vector<std::vector<DFlit>> out_;
+    /** Upstream (node, port) pairs feeding node j, ordered by node
+     *  index: the fixed gather order that keeps arrival sets (and so
+     *  the whole simulation) deterministic. */
+    std::vector<std::vector<std::pair<int, int>>> sources_;
     /** Per-node injection queues (flits waiting for a free slot). */
     std::vector<std::deque<DFlit>> inject_queues_;
-    /** Reassembly: flits received per packet id. */
-    std::unordered_map<PacketId, std::uint32_t> rx_;
+    /** Reassembly state per destination node: flits received per
+     *  packet id. Split per node so the route phase stays
+     *  partition-local. */
+    std::vector<std::unordered_map<PacketId, std::uint32_t>> rx_;
+    std::vector<NodeScratch> scratch_;
 
     struct InjectOrder
     {

@@ -17,6 +17,9 @@
 
 namespace rasim
 {
+
+class StepEngine;
+
 namespace noc
 {
 
@@ -44,6 +47,16 @@ class NetworkModel
     virtual void advanceTo(Tick t) = 0;
 
     virtual void setDeliveryHandler(DeliveryHandler handler) = 0;
+
+    /**
+     * Install the execution engine running this model's data-parallel
+     * phases (nullptr restores serial execution). The model does not
+     * own the engine; it must outlive the model's last advanceTo().
+     * Models without parallel phases (analytical networks) ignore it —
+     * the co-simulation bridge can therefore install an engine on any
+     * backend fidelity.
+     */
+    virtual void setEngine(StepEngine *engine) { (void)engine; }
 
     /** Current internal time of the network. */
     virtual Tick curTime() const = 0;

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Execution engines for data-parallel simulation phases. A phase is a
+ * loop over partition indices in which iteration i only touches
+ * partition-i state (the caller's phase discipline guarantees this);
+ * an engine decides where those iterations run — the calling thread,
+ * a persistent worker pool, or (in the paper's setting) a GPU
+ * coprocessor.
+ *
+ * Determinism contract: because every iteration is partition-local,
+ * an engine may execute iterations in any order and on any thread
+ * without changing simulation results. Anything that is *not*
+ * partition-local (aggregate statistics, delivery callbacks, global
+ * counters) must stay outside forEach() and be reduced in a fixed
+ * index order so serial and parallel runs stay bit-identical.
+ */
+
+#ifndef RASIM_SIM_STEP_ENGINE_HH
+#define RASIM_SIM_STEP_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace rasim
+{
+
+class StepEngine
+{
+  public:
+    virtual ~StepEngine() = default;
+
+    /**
+     * Apply @p fn to every index in [0, n) exactly once. Iterations
+     * may run concurrently but all complete before forEach() returns.
+     * If any iteration throws, the first exception (by partition slot
+     * order) is rethrown after the phase barrier; the engine stays
+     * usable afterwards.
+     */
+    virtual void forEach(std::size_t n,
+                         const std::function<void(std::size_t)> &fn) = 0;
+
+    /** Human-readable engine name for logs and reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Plain sequential execution on the calling thread. */
+class SerialEngine : public StepEngine
+{
+  public:
+    void
+    forEach(std::size_t n,
+            const std::function<void(std::size_t)> &fn) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+    }
+
+    const char *name() const override { return "serial"; }
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_STEP_ENGINE_HH
