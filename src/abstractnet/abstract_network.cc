@@ -74,6 +74,16 @@ AbstractNetwork::numNodes() const
     return static_cast<std::size_t>(topo_->numNodes());
 }
 
+std::optional<noc::NetworkModel::Accounting>
+AbstractNetwork::accounting() const
+{
+    Accounting acc;
+    acc.injected = injected_;
+    acc.delivered = delivered_;
+    acc.in_flight = in_flight_.size();
+    return acc;
+}
+
 double
 AbstractNetwork::utilization() const
 {
@@ -120,6 +130,7 @@ AbstractNetwork::inject(const noc::PacketPtr &pkt)
         fatal("packet ", pkt->toString(),
               " references nodes outside the abstract network");
     ++packetsInjected;
+    ++injected_;
     Tick start = std::max(pkt->inject_tick, time_);
     accountLoad(pkt);
     pkt->enter_tick = start;
@@ -144,6 +155,7 @@ AbstractNetwork::advanceTo(Tick t)
         in_flight_.pop();
         time_ = std::max(time_, pkt->deliver_tick);
         ++packetsDelivered;
+        ++delivered_;
         totalLatency.sample(static_cast<double>(pkt->latency()));
         vnetLatency[static_cast<int>(pkt->cls)]->sample(
             static_cast<double>(pkt->latency()));

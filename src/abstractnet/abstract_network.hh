@@ -57,6 +57,7 @@ class AbstractNetwork : public SimObject, public noc::NetworkModel
     Tick curTime() const override { return time_; }
     bool idle() const override { return in_flight_.empty(); }
     std::size_t numNodes() const override;
+    std::optional<Accounting> accounting() const override;
 
     Mode mode() const { return mode_; }
 
@@ -99,6 +100,8 @@ class AbstractNetwork : public SimObject, public noc::NetworkModel
     LatencyTable table_;
 
     Tick time_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
     std::priority_queue<noc::PacketPtr, std::vector<noc::PacketPtr>,
                         DeliverOrder>
         in_flight_;

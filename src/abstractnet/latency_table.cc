@@ -104,6 +104,24 @@ LatencyTable::reset()
     observations_ = 0;
 }
 
+double
+LatencyTable::maxSeedRatio() const
+{
+    double worst = 1.0;
+    for (int v = 0; v < noc::num_vnets; ++v) {
+        for (int h = 0; h <= max_hops_; ++h) {
+            const Entry &e = entries_[index(v, h)];
+            if (e.samples == 0)
+                continue;
+            double seed = std::max(
+                1.0,
+                static_cast<double>(zeroLoadLatency(params_, h, 1)));
+            worst = std::max(worst, e.ewma / seed);
+        }
+    }
+    return worst;
+}
+
 void
 LatencyTable::save(std::ostream &os) const
 {

@@ -25,6 +25,10 @@ namespace abstractnet
  * stored quantity is the latency of a single-flit packet; wormhole
  * serialisation (flits - 1) is factored out on observe() and added
  * back on estimate(), so packets of different sizes share statistics.
+ *
+ * Intentionally copyable: the co-simulation bridge checkpoints the
+ * table at healthy quantum boundaries (a plain copy) and restores the
+ * last-good copy when a health guard quarantines the detailed backend.
  */
 class LatencyTable
 {
@@ -75,6 +79,16 @@ class LatencyTable
 
     /** Discard all observations, reverting to the zero-load seed. */
     void reset();
+
+    /**
+     * Divergence probe: the largest ratio of a tuned (distance)
+     * estimate to its zero-load seed, or 1.0 with no observations. A
+     * healthy table tracks contention, so the ratio stays moderate; a
+     * poisoned feedback stream drives it far above any physical
+     * queueing bound — the health monitor trips when it exceeds the
+     * configured factor.
+     */
+    double maxSeedRatio() const;
 
     /**
      * Persist the tuned estimates as CSV ("vnet,hops,ewma,samples");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <future>
+#include <sstream>
 
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
@@ -47,7 +49,8 @@ QuantumBridge::QuantumBridge(Simulation &sim, const std::string &name,
                                     "distance") == "pair"
                  ? abstractnet::LatencyTable::Granularity::Pair
                  : abstractnet::LatencyTable::Granularity::Distance,
-             net_params.numNodes())
+             net_params.numNodes()),
+      checkpoint_(table_)
 {
     if (options_.quantum == 0)
         fatal("co-simulation quantum must be positive");
@@ -57,6 +60,10 @@ QuantumBridge::QuantumBridge(Simulation &sim, const std::string &name,
         engine_ =
             std::make_unique<ParallelEngine>(options_.engine_workers);
         backend_.setEngine(engine_.get());
+    }
+    if (options_.health.enabled) {
+        health_ = std::make_unique<HealthMonitor>(
+            sim, "health", options_.health, this);
     }
     backend_.setDeliveryHandler(
         [this](const noc::PacketPtr &pkt) { onBackendDelivery(pkt); });
@@ -91,6 +98,12 @@ QuantumBridge::inject(const noc::PacketPtr &pkt)
         if (system_handler_)
             system_handler_(pkt);
 
+        // Quarantined: the system keeps running on the checkpointed
+        // table (the Tuned-abstract fallback); no clone reaches the
+        // detailed backend until it is re-engaged.
+        if (state_ == HealthState::Degraded)
+            return;
+
         // Downward abstraction: the detailed network sees the same
         // contextual traffic stream through a clone whose true
         // latency will re-tune the table.
@@ -105,6 +118,14 @@ QuantumBridge::inject(const noc::PacketPtr &pkt)
             backend_.inject(clone);
         return;
     }
+    if (state_ == HealthState::Degraded) {
+        // Conservative fallback: the detailed network is quarantined,
+        // so the delivery is synthesised from the tuned estimate.
+        scheduleSynthetic(pkt, 0);
+        return;
+    }
+    if (health_)
+        outstanding_.emplace(pkt->id, pkt);
     if (options_.overlap) {
         // The backend may be advancing on the worker right now; hold
         // the packet until the boundary.
@@ -136,7 +157,7 @@ bool
 QuantumBridge::idle() const
 {
     return backend_.idle() && pending_injections_.empty() &&
-           pending_deliveries_.empty();
+           pending_deliveries_.empty() && degraded_out_.empty();
 }
 
 std::size_t
@@ -158,6 +179,7 @@ void
 QuantumBridge::applyDeliveries(Tick boundary)
 {
     bool reciprocal = options_.coupling == Coupling::Reciprocal;
+    bool track = health_ && !reciprocal;
     for (const noc::PacketPtr &pkt : pending_deliveries_) {
         ++packetsDelivered;
         deliverySlack.sample(
@@ -173,8 +195,17 @@ QuantumBridge::applyDeliveries(Tick boundary)
         if (reciprocal) {
             // The system already received this packet from the
             // estimate; only the feedback matters here.
-            estimateError.sample(static_cast<double>(pkt->context) -
-                                 static_cast<double>(pkt->latency()));
+            double err = static_cast<double>(pkt->context) -
+                         static_cast<double>(pkt->latency());
+            estimateError.sample(err);
+            err_abs_window_ += std::abs(err);
+            ++err_samples_window_;
+            continue;
+        }
+        if (track && outstanding_.erase(pkt->id) == 0) {
+            // A quarantine already served this packet from the
+            // estimate; the late real delivery still calibrates the
+            // table (above) but must not reach the system twice.
             continue;
         }
         if (system_handler_)
@@ -184,15 +215,72 @@ QuantumBridge::applyDeliveries(Tick boundary)
 }
 
 void
+QuantumBridge::advanceBackendChecked(Tick q_end)
+{
+    auto t1 = std::chrono::steady_clock::now();
+    double budget_ms = health_ ? options_.health.worker_timeout_ms : 0.0;
+    if (budget_ms <= 0.0) {
+        if (health_) {
+            // Backend panic()/fatal() become catchable SimError so a
+            // misbehaving model degrades instead of killing the run.
+            logging::ThrowOnError guard;
+            backend_.advanceTo(q_end);
+        } else {
+            backend_.advanceTo(q_end);
+        }
+        double ns = elapsedNs(t1);
+        net_ns_ += ns;
+        last_worker_ms_ = ns / 1e6;
+        return;
+    }
+
+    // Budgeted advance: run on a joinable worker so a hung backend can
+    // be preempted (cooperatively, via requestAbort) instead of
+    // wedging the host forever.
+    std::promise<void> done;
+    auto fut = done.get_future();
+    std::thread worker([this, q_end, &done] {
+        try {
+            logging::ThrowOnError guard;
+            backend_.advanceTo(q_end);
+            done.set_value();
+        } catch (...) {
+            done.set_exception(std::current_exception());
+        }
+    });
+    auto budget = std::chrono::duration<double, std::milli>(budget_ms);
+    bool timed_out =
+        fut.wait_for(budget) == std::future_status::timeout;
+    if (timed_out)
+        backend_.requestAbort();
+    worker.join();
+    double ns = elapsedNs(t1);
+    net_ns_ += ns;
+    last_worker_ms_ = ns / 1e6;
+    if (timed_out) {
+        try {
+            fut.get();
+        } catch (...) {
+            // The abort itself may surface as an exception; the trip
+            // below already tells the whole story.
+        }
+        std::ostringstream os;
+        os << "backend exceeded its " << budget_ms
+           << " ms wall-clock budget on the quantum ending at tick "
+           << q_end;
+        throw SimError(ErrorKind::Timeout, os.str());
+    }
+    fut.get();
+}
+
+void
 QuantumBridge::runQuantumSync(Tick q_end)
 {
     auto t0 = std::chrono::steady_clock::now();
     sim().run(q_end);
     host_ns_ += elapsedNs(t0);
 
-    auto t1 = std::chrono::steady_clock::now();
-    backend_.advanceTo(q_end);
-    net_ns_ += elapsedNs(t1);
+    advanceBackendChecked(q_end);
 
     applyDeliveries(q_end);
 }
@@ -215,18 +303,251 @@ QuantumBridge::runQuantumOverlapped(Tick q_end)
     }
     pending_injections_.clear();
 
-    std::thread net_worker([this, q_end] {
+    bool monitored = static_cast<bool>(health_);
+    std::promise<void> done;
+    auto fut = done.get_future();
+    std::thread net_worker([this, q_end, &done, monitored] {
         auto t1 = std::chrono::steady_clock::now();
-        backend_.advanceTo(q_end);
-        net_ns_ += elapsedNs(t1);
+        try {
+            if (monitored) {
+                logging::ThrowOnError guard;
+                backend_.advanceTo(q_end);
+            } else {
+                backend_.advanceTo(q_end);
+            }
+            double ns = elapsedNs(t1);
+            net_ns_ += ns;
+            last_worker_ms_ = ns / 1e6;
+            done.set_value();
+        } catch (...) {
+            double ns = elapsedNs(t1);
+            net_ns_ += ns;
+            last_worker_ms_ = ns / 1e6;
+            done.set_exception(std::current_exception());
+        }
     });
 
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        sim().run(q_end);
+    } catch (...) {
+        // Host-side failure mid-overlap: never leak the worker (or the
+        // deliveries it already produced — they stay queued in
+        // pending_deliveries_ for whoever catches this).
+        backend_.requestAbort();
+        net_worker.join();
+        host_ns_ += elapsedNs(t0);
+        throw;
+    }
+    host_ns_ += elapsedNs(t0);
+
+    double budget_ms = health_ ? options_.health.worker_timeout_ms : 0.0;
+    bool timed_out = false;
+    if (budget_ms > 0.0) {
+        // The worker already had the whole host quantum; grant the
+        // remaining wall-clock budget before preempting it.
+        auto budget = std::chrono::duration<double, std::milli>(budget_ms);
+        timed_out = fut.wait_for(budget) == std::future_status::timeout;
+        if (timed_out)
+            backend_.requestAbort();
+    }
+    net_worker.join();
+    if (timed_out) {
+        try {
+            fut.get();
+        } catch (...) {
+        }
+        std::ostringstream os;
+        os << "overlapped backend worker exceeded its " << budget_ms
+           << " ms wall-clock budget on the quantum ending at tick "
+           << q_end;
+        throw SimError(ErrorKind::Timeout, os.str());
+    }
+    fut.get();
+    applyDeliveries(q_end);
+}
+
+void
+QuantumBridge::runQuantumDegraded(Tick q_end)
+{
     auto t0 = std::chrono::steady_clock::now();
     sim().run(q_end);
     host_ns_ += elapsedNs(t0);
 
-    net_worker.join();
+    health_->noteDegradedQuantum();
+    drainDegraded(q_end);
+
+    if (cooldown_ > 0 && --cooldown_ == 0)
+        beginProbation();
+}
+
+std::optional<std::pair<ErrorKind, std::string>>
+QuantumBridge::boundaryHealthCheck(Tick q_end, Tick quantum_cycles)
+{
+    // Synthetic deliveries can outlive the degraded window; serve the
+    // due ones even after the backend re-engaged.
+    drainDegraded(q_end);
+
+    HealthMonitor::Snapshot s;
+    s.acc = backend_.accounting();
+    s.quantum_cycles = quantum_cycles;
+    s.err_abs_sum = err_abs_window_;
+    s.err_samples = err_samples_window_;
+    // The divergence guard protects the estimates the system consumes;
+    // under Conservative coupling the system never consumes them, and
+    // the table legitimately tracks boundary-rounded latencies far
+    // above zero-load, so the probe only applies to Reciprocal runs.
+    if (options_.coupling == Coupling::Reciprocal)
+        s.table_seed_ratio = table_.maxSeedRatio();
+    s.worker_ms = last_worker_ms_;
+    err_abs_window_ = 0.0;
+    err_samples_window_ = 0;
+
+    auto trip = health_->checkBoundary(s);
+    if (trip)
+        return std::make_pair(trip->kind, trip->detail);
+
+    // A clean boundary: advance probation and take the periodic
+    // last-good checkpoint of the reciprocal table.
+    if (state_ == HealthState::Probation && probation_left_ > 0 &&
+        --probation_left_ == 0) {
+        state_ = HealthState::Healthy;
+        backoff_ = 1;
+        health_->noteRecovered();
+        inform("health: backend re-engaged and recovered at tick ",
+               q_end);
+    }
+    if (++boundaries_since_checkpoint_ >=
+        options_.health.checkpoint_quanta) {
+        checkpoint_ = table_;
+        boundaries_since_checkpoint_ = 0;
+        health_->noteCheckpoint();
+    }
+    return std::nullopt;
+}
+
+void
+QuantumBridge::handleTrip(ErrorKind kind, const std::string &detail,
+                          Tick q_end)
+{
+    warn("health: ", toString(kind), " guard tripped at tick ", q_end,
+         ": ", detail);
+    if (!options_.health.degrade)
+        throw SimError(kind, detail);
+    quarantine(q_end);
+}
+
+void
+QuantumBridge::quarantine(Tick q_end)
+{
+    // Real deliveries collected this quantum still count — apply them
+    // before the rollback (a poisoned sample folded into the table is
+    // undone by the checkpoint restore below).
     applyDeliveries(q_end);
+
+    if (state_ == HealthState::Probation) {
+        health_->noteRecoveryFailure();
+        backoff_ = std::min(backoff_ * 2, options_.health.max_backoff);
+    }
+    state_ = HealthState::Degraded;
+    health_->noteDegraded();
+    cooldown_ = options_.health.recovery_quanta * backoff_;
+
+    // Tuned-abstract fallback: estimates come from the last-good
+    // checkpoint from here on.
+    table_ = checkpoint_;
+    boundaries_since_checkpoint_ = 0;
+    err_abs_window_ = 0.0;
+    err_samples_window_ = 0;
+
+    // Clones (Reciprocal) or packets (Conservative) buffered for a
+    // backend that will not run; the conservative ones are served from
+    // estimates below via outstanding_.
+    pending_injections_.clear();
+
+    if (options_.coupling == Coupling::Conservative) {
+        // Everything the quarantined backend still owes the system is
+        // synthesised from estimates, due no earlier than now.
+        std::vector<noc::PacketPtr> owed;
+        owed.reserve(outstanding_.size());
+        for (auto &kv : outstanding_)
+            owed.push_back(kv.second);
+        std::sort(owed.begin(), owed.end(),
+                  [](const noc::PacketPtr &a, const noc::PacketPtr &b) {
+                      return a->id < b->id;
+                  });
+        for (const noc::PacketPtr &pkt : owed)
+            scheduleSynthetic(pkt, q_end);
+        outstanding_.clear();
+        drainDegraded(q_end);
+    }
+
+    if (cooldown_ > 0) {
+        inform("health: detailed backend quarantined at tick ", q_end,
+               "; retrying after ", cooldown_, " quanta");
+    } else {
+        inform("health: detailed backend quarantined at tick ", q_end,
+               "; running tuned-abstract for the rest of the run");
+    }
+}
+
+void
+QuantumBridge::beginProbation()
+{
+    state_ = HealthState::Probation;
+    probation_left_ = options_.health.probation_quanta;
+    health_->noteProbation();
+    // Forgive pre-quarantine damage: conservation losses are
+    // re-baselined and the watchdog restarts from scratch.
+    health_->rebase(backend_.accounting());
+}
+
+void
+QuantumBridge::scheduleSynthetic(const noc::PacketPtr &pkt, Tick floor)
+{
+    int hops = topo_->minHops(pkt->src, pkt->dst);
+    std::uint32_t flits = net_params_.flitsPerPacket(pkt->size_bytes);
+    double est = table_.estimate(static_cast<int>(pkt->cls), hops,
+                                 flits, pkt->src, pkt->dst);
+    auto est_ticks =
+        std::max<Tick>(1, static_cast<Tick>(std::llround(est)));
+    pkt->enter_tick = pkt->inject_tick;
+    pkt->hops = static_cast<std::uint32_t>(hops);
+    pkt->deliver_tick = std::max(pkt->inject_tick + est_ticks, floor);
+    degraded_out_.push_back(pkt);
+}
+
+void
+QuantumBridge::drainDegraded(Tick boundary)
+{
+    if (degraded_out_.empty())
+        return;
+    // Stable order: (due tick, id) makes degraded runs reproducible.
+    std::sort(degraded_out_.begin(), degraded_out_.end(),
+              [](const noc::PacketPtr &a, const noc::PacketPtr &b) {
+                  if (a->deliver_tick != b->deliver_tick)
+                      return a->deliver_tick < b->deliver_tick;
+                  return a->id < b->id;
+              });
+    std::size_t n = 0;
+    while (n < degraded_out_.size() &&
+           degraded_out_[n]->deliver_tick <= boundary) {
+        const noc::PacketPtr &pkt = degraded_out_[n];
+        ++packetsDelivered;
+        deliverySlack.sample(
+            static_cast<double>(boundary - pkt->deliver_tick));
+        // No observer_ call: the observer contract is "deliveries the
+        // detailed backend actually made".
+        if (system_handler_)
+            system_handler_(pkt);
+        ++n;
+    }
+    if (n > 0) {
+        health_->noteSynthesized(n);
+        degraded_out_.erase(degraded_out_.begin(),
+                            degraded_out_.begin() +
+                                static_cast<std::ptrdiff_t>(n));
+    }
 }
 
 void
@@ -235,10 +556,29 @@ QuantumBridge::advanceCoupled(Tick t)
     Tick cur = std::max(sim().curTick(), backend_.curTime());
     while (cur < t) {
         Tick q_end = std::min(cur + options_.quantum, t);
-        if (options_.overlap)
-            runQuantumOverlapped(q_end);
-        else
-            runQuantumSync(q_end);
+        if (state_ == HealthState::Degraded) {
+            runQuantumDegraded(q_end);
+        } else if (health_) {
+            std::optional<std::pair<ErrorKind, std::string>> trip;
+            try {
+                if (options_.overlap)
+                    runQuantumOverlapped(q_end);
+                else
+                    runQuantumSync(q_end);
+            } catch (const SimError &e) {
+                health_->noteTrip(e.kind());
+                trip = std::make_pair(e.kind(), std::string(e.what()));
+            }
+            if (!trip)
+                trip = boundaryHealthCheck(q_end, q_end - cur);
+            if (trip)
+                handleTrip(trip->first, trip->second, q_end);
+        } else {
+            if (options_.overlap)
+                runQuantumOverlapped(q_end);
+            else
+                runQuantumSync(q_end);
+        }
         ++quanta_;
         cur = q_end;
     }

@@ -26,14 +26,21 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "abstractnet/latency_table.hh"
+#include "cosim/health_monitor.hh"
 #include "noc/network_model.hh"
 #include "noc/params.hh"
 #include "noc/topology.hh"
 #include "sim/parallel_engine.hh"
+#include "sim/sim_error.hh"
 #include "sim/sim_object.hh"
 #include "stats/distribution.hh"
 #include "stats/stat.hh"
@@ -89,6 +96,31 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
          * sim/step_engine.hh.
          */
         int engine_workers = 0;
+        /** Guard thresholds and degradation policy (see
+         *  HealthOptions); health.enabled=false disables the monitor
+         *  entirely. */
+        HealthOptions health;
+    };
+
+    /**
+     * Degradation state machine, driven by the health monitor's guard
+     * verdicts at quantum boundaries:
+     *
+     *   Healthy --trip--> Degraded --cooldown--> Probation
+     *   Probation --clean quanta--> Healthy (backoff resets)
+     *   Probation --trip--> Degraded (cooldown doubles, capped)
+     *
+     * Degraded quanta run without the detailed backend: the system is
+     * served tuned-abstract estimates from the last-good checkpoint of
+     * the latency table (Reciprocal), or synthesised estimate-based
+     * deliveries (Conservative). With health.recovery_quanta = 0 a
+     * degraded bridge never re-engages the backend.
+     */
+    enum class HealthState
+    {
+        Healthy,
+        Degraded,
+        Probation,
     };
 
     QuantumBridge(Simulation &sim, const std::string &name,
@@ -132,6 +164,11 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
     const Options &options() const { return options_; }
     noc::NetworkModel &backend() { return backend_; }
 
+    HealthState healthState() const { return state_; }
+    /** Null when health.enabled is false. */
+    HealthMonitor *health() { return health_.get(); }
+    const HealthMonitor *health() const { return health_.get(); }
+
     /** Host nanoseconds spent inside full-system event simulation. */
     double hostNs() const { return host_ns_; }
     /** Host nanoseconds spent advancing the network backend. */
@@ -152,8 +189,37 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
   private:
     void runQuantumSync(Tick q_end);
     void runQuantumOverlapped(Tick q_end);
+    void runQuantumDegraded(Tick q_end);
     void applyDeliveries(Tick boundary);
     void onBackendDelivery(const noc::PacketPtr &pkt);
+
+    /**
+     * Advance the backend to @p q_end under the health monitor: backend
+     * panic()/fatal() surface as catchable SimError, and with a
+     * configured wall-clock budget the advance runs on a joinable
+     * worker that is cooperatively preempted (requestAbort) on
+     * overrun. Records the elapsed wall-clock in last_worker_ms_.
+     * @throws SimError on backend failure or budget overrun.
+     */
+    void advanceBackendChecked(Tick q_end);
+
+    /** Evaluate the guard set at a boundary; returns the trip if any
+     *  guard fired (already counted in the monitor's stats). */
+    std::optional<std::pair<ErrorKind, std::string>>
+    boundaryHealthCheck(Tick q_end, Tick quantum_cycles);
+
+    /** React to a tripped guard: quarantine the backend, or rethrow
+     *  when health.degrade is off. */
+    void handleTrip(ErrorKind kind, const std::string &detail,
+                    Tick q_end);
+    void quarantine(Tick q_end);
+    void beginProbation();
+
+    /** Queue an estimate-based delivery for @p pkt (Conservative
+     *  coupling while degraded); never delivered before @p floor. */
+    void scheduleSynthetic(const noc::PacketPtr &pkt, Tick floor);
+    /** Apply queued synthetic deliveries due by @p boundary. */
+    void drainDegraded(Tick boundary);
 
     noc::NetworkModel &backend_;
     Options options_;
@@ -162,6 +228,9 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
     std::unique_ptr<ParallelEngine> engine_;
     std::unique_ptr<noc::Topology> topo_;
     abstractnet::LatencyTable table_;
+    /** Last-good copy of table_, restored on quarantine. */
+    abstractnet::LatencyTable checkpoint_;
+    std::unique_ptr<HealthMonitor> health_;
     DeliveryHandler system_handler_;
     DeliveryHandler observer_;
 
@@ -170,6 +239,29 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
     std::vector<noc::PacketPtr> pending_injections_;
     /** Deliveries produced by the backend, applied at the boundary. */
     std::vector<noc::PacketPtr> pending_deliveries_;
+
+    /** @name Degradation state (health monitoring only) */
+    /// @{
+    HealthState state_ = HealthState::Healthy;
+    /** Degraded quanta left before probation (0 = no recovery due). */
+    std::uint64_t cooldown_ = 0;
+    /** Clean probation quanta left before declaring recovery. */
+    std::uint64_t probation_left_ = 0;
+    /** Cooldown multiplier; doubles on each failed recovery. */
+    std::uint64_t backoff_ = 1;
+    std::uint64_t boundaries_since_checkpoint_ = 0;
+    /** |estimate error| accumulated since the last boundary. */
+    double err_abs_window_ = 0.0;
+    std::uint64_t err_samples_window_ = 0;
+    /** Wall-clock the backend burnt on the last quantum (ms). */
+    double last_worker_ms_ = 0.0;
+    /** Conservative coupling: packets the backend owes the system,
+     *  so a quarantine can serve them from estimates and late real
+     *  deliveries after re-engagement are not applied twice. */
+    std::unordered_map<PacketId, noc::PacketPtr> outstanding_;
+    /** Synthetic deliveries waiting for their due boundary. */
+    std::vector<noc::PacketPtr> degraded_out_;
+    /// @}
 
     double host_ns_ = 0.0;
     double net_ns_ = 0.0;

@@ -59,6 +59,8 @@ FullSystemOptions::fromConfig(const Config &cfg)
     o.parallel = cfg.getBool("system.parallel", false);
     o.noc = noc::NocParams::fromConfig(cfg);
     o.mem = mem::MemParams::fromConfig(cfg);
+    o.health = HealthOptions::fromConfig(cfg);
+    o.fault = FaultOptions::fromConfig(cfg);
     return o;
 }
 
@@ -91,8 +93,17 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
         break;
     }
 
+    // Deterministic fault injection sits between the bridge and the
+    // backend, so every health guard is exercisable on demand.
+    if (options_.fault.enabled) {
+        fault_injector_ =
+            std::make_unique<FaultInjector>(*backend, options_.fault);
+        backend = fault_injector_.get();
+    }
+
     QuantumBridge::Options bo;
     bo.feedback = options_.feedback;
+    bo.health = options_.health;
     switch (options_.mode) {
       case Mode::Abstract:
       case Mode::TunedAbstract:
@@ -145,6 +156,12 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
                 sim_->makeRng(0xa99 + n)),
             cp));
     }
+
+    // Config hygiene: every consumer has pulled its keys by now, so
+    // anything left unread under the known prefixes is a misspelling
+    // ("noc.colums") silently falling back to a default.
+    sim_->config().warnUnread({"system.", "noc.", "mem.", "abstract.",
+                               "fault.", "health.", "sim."});
 }
 
 FullSystem::~FullSystem() = default;

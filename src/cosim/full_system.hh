@@ -18,6 +18,7 @@
 #include "mem/memory_system.hh"
 #include "noc/cycle_network.hh"
 #include "sim/config.hh"
+#include "sim/fault_injector.hh"
 #include "sim/simulation.hh"
 #include "workload/app_profiles.hh"
 
@@ -73,6 +74,11 @@ struct FullSystemOptions
     bool parallel = false;
     noc::NocParams noc;
     mem::MemParams mem;
+    /** Health-guard thresholds and degradation policy ("health.*"). */
+    HealthOptions health;
+    /** Deterministic fault injection ("fault.*"); when enabled the
+     *  injector is interposed between the bridge and the backend. */
+    FaultOptions fault;
 
     static FullSystemOptions fromConfig(const Config &cfg);
 };
@@ -113,12 +119,15 @@ class FullSystem
     {
         return abstract_net_.get();
     }
+    /** Non-null when fault.enabled interposed the injector. */
+    FaultInjector *faultInjector() { return fault_injector_.get(); }
 
   private:
     FullSystemOptions options_;
     std::unique_ptr<Simulation> sim_;
     std::unique_ptr<noc::CycleNetwork> cycle_net_;
     std::unique_ptr<abstractnet::AbstractNetwork> abstract_net_;
+    std::unique_ptr<FaultInjector> fault_injector_;
     std::unique_ptr<QuantumBridge> bridge_;
     std::unique_ptr<mem::MemorySystem> memory_;
     std::vector<std::unique_ptr<cpu::SyntheticCore>> cores_;

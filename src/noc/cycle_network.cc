@@ -39,6 +39,7 @@ CycleNetwork::CycleNetwork(Simulation &sim, const std::string &name,
     }
 
     int n = topo_->numNodes();
+    stalled_.assign(n, 0);
     routers_.reserve(n);
     nics_.reserve(n);
     for (int i = 0; i < n; ++i) {
@@ -115,6 +116,29 @@ CycleNetwork::idle() const
     return injected_ == delivered_ && pending_.empty();
 }
 
+std::optional<noc::NetworkModel::Accounting>
+CycleNetwork::accounting() const
+{
+    // in_flight is rebuilt from the real structures (injection heap +
+    // fabric-resident packets), not from injected - delivered, so a
+    // bookkeeping bug is visible as a conservation violation.
+    Accounting acc;
+    acc.injected = injected_;
+    acc.delivered = delivered_;
+    acc.in_flight = pending_.size() + in_fabric_;
+    return acc;
+}
+
+bool
+CycleNetwork::setNodeStalled(std::size_t node, bool stalled)
+{
+    if (node >= stalled_.size())
+        fatal("cycle network: cannot stall node ", node, " of ",
+              stalled_.size());
+    stalled_[node] = stalled ? 1 : 0;
+    return true;
+}
+
 void
 CycleNetwork::applyDelivery(const PacketPtr &pkt)
 {
@@ -149,14 +173,19 @@ CycleNetwork::stepCycle()
     }
 
     // Phase 1: allocation and traversal (pushes onto outgoing links).
+    // A stalled router freezes mid-pipeline: it neither allocates nor
+    // returns credits, so upstream backpressure builds into a genuine
+    // deadlock the watchdog has to catch.
     engine_->forEach(n, [this, now](std::size_t i) {
         nics_[i]->compute(now);
-        routers_[i]->compute(now);
+        if (!stalled_[i])
+            routers_[i]->compute(now);
     });
 
     // Phase 2: buffer writes and credit returns (pops incoming links).
     engine_->forEach(n, [this, now](std::size_t i) {
-        routers_[i]->commit(now);
+        if (!stalled_[i])
+            routers_[i]->commit(now);
         nics_[i]->commit(now);
     });
 

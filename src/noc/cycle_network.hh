@@ -45,6 +45,8 @@ class CycleNetwork : public SimObject, public NetworkModel
     Tick curTime() const override { return time_; }
     bool idle() const override;
     std::size_t numNodes() const override;
+    std::optional<Accounting> accounting() const override;
+    bool setNodeStalled(std::size_t node, bool stalled) override;
 
     /**
      * Replace the execution engine (default: SerialEngine). The
@@ -105,6 +107,9 @@ class CycleNetwork : public SimObject, public NetworkModel
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<Link>> links_;
+    /** Fault hook: routers whose pipeline is wedged (see
+     *  setNodeStalled). Written only between cycles. */
+    std::vector<char> stalled_;
 
     Tick time_ = 0;
     std::uint64_t injected_ = 0;

@@ -39,6 +39,7 @@ DeflectionNetwork::DeflectionNetwork(Simulation &sim,
     out_.resize(n);
     sources_.resize(n);
     inject_queues_.resize(n);
+    stalled_.assign(n, 0);
     rx_.resize(n);
     scratch_.resize(n);
     for (int i = 0; i < n; ++i)
@@ -92,6 +93,29 @@ DeflectionNetwork::idle() const
            in_fabric_flits_ == 0;
 }
 
+std::optional<noc::NetworkModel::Accounting>
+DeflectionNetwork::accounting() const
+{
+    // Flits travel independently, so packet-level in-flight is kept
+    // as the injected/delivered difference (flit-level residency is
+    // covered by queued_flits_/in_fabric_flits_).
+    Accounting acc;
+    acc.injected = injected_;
+    acc.delivered = delivered_;
+    acc.in_flight = injected_ - delivered_;
+    return acc;
+}
+
+bool
+DeflectionNetwork::setNodeStalled(std::size_t node, bool stalled)
+{
+    if (node >= stalled_.size())
+        fatal("deflection network: cannot stall node ", node, " of ",
+              stalled_.size());
+    stalled_[node] = stalled ? 1 : 0;
+    return true;
+}
+
 void
 DeflectionNetwork::routeNode(int i, Cycle now)
 {
@@ -100,7 +124,10 @@ DeflectionNetwork::routeNode(int i, Cycle now)
 
     // Ejection: one flit per cycle, oldest first. Reassembly state is
     // per destination node, so only this partition touches rx_[i].
-    if (!cand.empty()) {
+    // A stalled node's ejection port is wedged: its flits keep routing
+    // (bufferless fabrics cannot hold them) but never leave — a
+    // livelock only the progress watchdog can detect.
+    if (!cand.empty() && !stalled_[i]) {
         int eject = -1;
         for (std::size_t k = 0; k < cand.size(); ++k) {
             if (cand[k].pkt->dst != static_cast<NodeId>(i))

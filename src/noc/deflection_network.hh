@@ -67,6 +67,8 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     Tick curTime() const override { return time_; }
     bool idle() const override;
     std::size_t numNodes() const override;
+    std::optional<Accounting> accounting() const override;
+    bool setNodeStalled(std::size_t node, bool stalled) override;
 
     /**
      * Replace the execution engine (default: SerialEngine). The
@@ -144,6 +146,9 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     std::vector<std::vector<std::pair<int, int>>> sources_;
     /** Per-node injection queues (flits waiting for a free slot). */
     std::vector<std::deque<DFlit>> inject_queues_;
+    /** Fault hook: nodes whose ejection port is wedged — their flits
+     *  circulate forever (livelock). Written only between cycles. */
+    std::vector<char> stalled_;
     /** Reassembly state per destination node: flits received per
      *  packet id. Split per node so the route phase stays
      *  partition-local. */

@@ -10,7 +10,9 @@
 #define RASIM_NOC_NETWORK_MODEL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "noc/packet.hh"
 #include "sim/types.hh"
@@ -66,6 +68,58 @@ class NetworkModel
 
     /** Number of endpoints (nodes) the network connects. */
     virtual std::size_t numNodes() const = 0;
+
+    /**
+     * Packet bookkeeping for machine-checked conservation: a healthy
+     * model satisfies injected == delivered + in_flight at any point
+     * where advanceTo() is not running. A model that loses packets
+     * (or a fault injector that drops them) breaks the identity —
+     * exactly what the health monitor's conservation guard checks.
+     */
+    struct Accounting
+    {
+        /** Packets accepted through inject(). */
+        std::uint64_t injected = 0;
+        /** Packets reported through the delivery handler. */
+        std::uint64_t delivered = 0;
+        /** Packets accepted but not yet delivered, derived from the
+         *  model's real queues/fabric state where possible. */
+        std::uint64_t in_flight = 0;
+    };
+
+    /**
+     * Report packet accounting, or nullopt when the model cannot be
+     * audited (conservation checks are then skipped).
+     */
+    virtual std::optional<Accounting> accounting() const
+    {
+        return std::nullopt;
+    }
+
+    /**
+     * Debug/fault hook: wedge (or release) node @p node. Semantics are
+     * model-specific — a stalled cycle-network router stops its
+     * pipeline (credits freeze, upstream backpressure builds into a
+     * deadlock); a stalled deflection node stops ejecting (its flits
+     * circulate forever, a livelock). Returns false when unsupported.
+     */
+    virtual bool
+    setNodeStalled(std::size_t node, bool stalled)
+    {
+        (void)node;
+        (void)stalled;
+        return false;
+    }
+
+    /**
+     * Cooperative cancellation: ask an in-progress advanceTo() (possibly
+     * running on another thread) to return as soon as it is safe —
+     * used by the health monitor's wall-clock watchdog to reclaim a
+     * stuck worker. Models advance cycle-at-a-time and so return
+     * naturally; only models that can block mid-quantum need to honour
+     * it. The request is sticky until the next advanceTo() call.
+     */
+    virtual void requestAbort() {}
 };
 
 } // namespace noc

@@ -67,12 +67,14 @@ Config::set(const std::string &key, bool value)
 bool
 Config::has(const std::string &key) const
 {
+    read_.insert(key);
     return values_.count(key) > 0;
 }
 
 const std::string *
 Config::find(const std::string &key) const
 {
+    read_.insert(key);
     auto it = values_.find(key);
     return it == values_.end() ? nullptr : &it->second;
 }
@@ -222,6 +224,25 @@ Config::keysWithPrefix(const std::string &prefix) const
         if (k.rfind(prefix, 0) == 0)
             out.push_back(k);
     return out;
+}
+
+std::vector<std::string>
+Config::unreadKeysWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : values_)
+        if (k.rfind(prefix, 0) == 0 && read_.count(k) == 0)
+            out.push_back(k);
+    return out;
+}
+
+void
+Config::warnUnread(const std::vector<std::string> &prefixes) const
+{
+    for (const std::string &prefix : prefixes)
+        for (const std::string &k : unreadKeysWithPrefix(prefix))
+            warn("unknown config key '", k,
+                 "' was never consulted (misspelled?)");
 }
 
 std::string

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,18 @@ class Config
     /** All keys with the given prefix (for diagnostics). */
     std::vector<std::string> keysWithPrefix(const std::string &prefix) const;
 
+    /**
+     * Config hygiene: keys under @p prefix that were set but never
+     * consulted by any getter — almost always a misspelling
+     * ("noc.colums"). Every getter (including has()) marks its key as
+     * read, so call this only after the consumers constructed.
+     */
+    std::vector<std::string>
+    unreadKeysWithPrefix(const std::string &prefix) const;
+
+    /** warn() once per unread key under any of @p prefixes. */
+    void warnUnread(const std::vector<std::string> &prefixes) const;
+
     /** Render the whole configuration (sorted) for logging. */
     std::string toString() const;
 
@@ -71,6 +84,8 @@ class Config
     const std::string *find(const std::string &key) const;
 
     std::map<std::string, std::string> values_;
+    /** Keys consulted by getters/has(); mutable read-side bookkeeping. */
+    mutable std::set<std::string> read_;
 };
 
 } // namespace rasim

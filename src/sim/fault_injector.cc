@@ -1,0 +1,205 @@
+#include "sim/fault_injector.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace rasim
+{
+
+FaultOptions
+FaultOptions::fromConfig(const Config &cfg)
+{
+    FaultOptions o;
+    o.enabled = cfg.getBool("fault.enabled", false);
+    o.drop_every = cfg.getUInt("fault.drop_every", 0);
+    o.delay_every = cfg.getUInt("fault.delay_every", 0);
+    o.delay_cycles = cfg.getUInt("fault.delay_cycles", 64);
+    o.stall_node = static_cast<int>(cfg.getInt("fault.stall_node", -1));
+    o.stall_from = cfg.getUInt("fault.stall_from", 0);
+    o.stall_until = cfg.getUInt("fault.stall_until", 0);
+    o.freeze_from = cfg.getUInt("fault.freeze_from", 0);
+    o.freeze_until = cfg.getUInt("fault.freeze_until", 0);
+    o.poison_every = cfg.getUInt("fault.poison_every", 0);
+    o.poison_offset = cfg.getUInt("fault.poison_offset", 10000);
+    o.hang_ms = cfg.getUInt("fault.hang_ms", 0);
+    o.hang_from = cfg.getUInt("fault.hang_from", 0);
+    o.hang_until = cfg.getUInt("fault.hang_until", 0);
+    if (o.delay_every > 0 && o.delay_cycles == 0)
+        fatal("fault.delay_cycles must be positive when delays are on");
+    if (o.poison_every > 0 && o.poison_offset == 0)
+        fatal("fault.poison_offset must be positive when poisoning");
+    return o;
+}
+
+FaultInjector::FaultInjector(noc::NetworkModel &inner, FaultOptions opts)
+    : inner_(inner), opts_(opts)
+{
+    inner_.setDeliveryHandler(
+        [this](const noc::PacketPtr &pkt) { onInnerDelivery(pkt); });
+}
+
+void
+FaultInjector::inject(const noc::PacketPtr &pkt)
+{
+    ++received_;
+    if (opts_.drop_every > 0 && received_ % opts_.drop_every == 0) {
+        ++dropped_;
+        return;
+    }
+    if (opts_.delay_every > 0 && received_ % opts_.delay_every == 0) {
+        ++delayed_;
+        held_.emplace_back(pkt->inject_tick + opts_.delay_cycles, pkt);
+        return;
+    }
+    inner_.inject(pkt);
+}
+
+void
+FaultInjector::releaseHeld(Tick t)
+{
+    // Stable order: release in (tick, id) order so a run is exactly
+    // reproducible regardless of how many packets share a release tick.
+    std::sort(held_.begin(), held_.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second->id < b.second->id;
+              });
+    // Advance the inner network up to each release point before
+    // injecting: the inner model treats inject ticks in its past as
+    // "now", so injecting without the advance would let a held packet
+    // re-enter (and be delivered) before its delay expired.
+    std::size_t n = 0;
+    while (n < held_.size() && held_[n].first <= t) {
+        Tick release = held_[n].first;
+        if (release > inner_.curTime())
+            inner_.advanceTo(release);
+        while (n < held_.size() && held_[n].first == release)
+            inner_.inject(held_[n++].second);
+    }
+    held_.erase(held_.begin(), held_.begin() + n);
+}
+
+void
+FaultInjector::advanceTo(Tick t)
+{
+    abort_.store(false, std::memory_order_relaxed);
+
+    // Engage/release the router stall at boundary granularity.
+    if (opts_.stall_node >= 0) {
+        if (!stall_engaged_ && t >= opts_.stall_from) {
+            inner_.setNodeStalled(
+                static_cast<std::size_t>(opts_.stall_node), true);
+            stall_engaged_ = true;
+        }
+        if (stall_engaged_ && opts_.stall_until > 0 &&
+            t >= opts_.stall_until) {
+            inner_.setNodeStalled(
+                static_cast<std::size_t>(opts_.stall_node), false);
+            stall_engaged_ = false;
+        }
+    }
+
+    // Wall-clock hang, honouring cooperative cancellation.
+    if (opts_.hang_ms > 0 && t >= opts_.hang_from &&
+        (opts_.hang_until == 0 || t <= opts_.hang_until)) {
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.hang_ms);
+        while (std::chrono::steady_clock::now() < deadline) {
+            if (abort_.load(std::memory_order_relaxed)) {
+                ++aborted_;
+                return; // abandon the quantum without advancing
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+
+    // Frozen: the backend makes no progress inside the window (held
+    // packets stay held — releasing them would advance the inner net).
+    if (opts_.freeze_from > 0 && t >= opts_.freeze_from &&
+        (opts_.freeze_until == 0 || t < opts_.freeze_until)) {
+        return;
+    }
+
+    releaseHeld(t);
+    inner_.advanceTo(t);
+}
+
+void
+FaultInjector::onInnerDelivery(const noc::PacketPtr &pkt)
+{
+    ++deliveries_seen_;
+    if (opts_.poison_every > 0 &&
+        deliveries_seen_ % opts_.poison_every == 0) {
+        pkt->deliver_tick += opts_.poison_offset;
+        ++poisoned_;
+    }
+    ++forwarded_up_;
+    if (handler_)
+        handler_(pkt);
+}
+
+void
+FaultInjector::setDeliveryHandler(DeliveryHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+void
+FaultInjector::setEngine(StepEngine *engine)
+{
+    inner_.setEngine(engine);
+}
+
+Tick
+FaultInjector::curTime() const
+{
+    return inner_.curTime();
+}
+
+bool
+FaultInjector::idle() const
+{
+    return held_.empty() && inner_.idle();
+}
+
+std::size_t
+FaultInjector::numNodes() const
+{
+    return inner_.numNodes();
+}
+
+std::optional<noc::NetworkModel::Accounting>
+FaultInjector::accounting() const
+{
+    auto inner_acc = inner_.accounting();
+    if (!inner_acc)
+        return std::nullopt;
+    // Report what the bridge handed *us*: dropped packets are neither
+    // delivered nor in flight, so they surface as a conservation
+    // violation — by design.
+    Accounting acc;
+    acc.injected = received_;
+    acc.delivered = forwarded_up_;
+    acc.in_flight = inner_acc->in_flight + held_.size();
+    return acc;
+}
+
+bool
+FaultInjector::setNodeStalled(std::size_t node, bool stalled)
+{
+    return inner_.setNodeStalled(node, stalled);
+}
+
+void
+FaultInjector::requestAbort()
+{
+    abort_.store(true, std::memory_order_relaxed);
+    inner_.requestAbort();
+}
+
+} // namespace rasim

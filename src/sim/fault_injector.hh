@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic, config-driven fault injection at the network-model
+ * boundary. The injector is a transparent NetworkModel decorator the
+ * full system interposes between the co-simulation bridge and the
+ * detailed backend, so every health guard is exercisable on demand:
+ *
+ *  - drop:   swallow every Nth injected packet (breaks conservation);
+ *  - delay:  hold every Nth packet for extra cycles before forwarding;
+ *  - stall:  wedge one router/ejection port via setNodeStalled()
+ *            (deadlock/livelock for the progress watchdog);
+ *  - freeze: stop advancing the backend inside a tick window (no
+ *            progress while packets are in flight);
+ *  - poison: inflate the reported latency of every Nth delivery
+ *            (corrupts the reciprocal feedback — divergence guard);
+ *  - hang:   burn wall-clock inside advanceTo(), honouring
+ *            requestAbort() (overlapped-worker timeout guard).
+ *
+ * All faults are counter- or tick-keyed, never randomised, so a
+ * faulty run is exactly reproducible.
+ */
+
+#ifndef RASIM_SIM_FAULT_INJECTOR_HH
+#define RASIM_SIM_FAULT_INJECTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "noc/network_model.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+
+class Config;
+
+/** Which faults fire and when — read from the "fault.*" config keys. */
+struct FaultOptions
+{
+    /** Master switch; when false the injector is never interposed. */
+    bool enabled = false;
+
+    /** Drop every Nth injected packet (0 = off). */
+    std::uint64_t drop_every = 0;
+
+    /** Hold every Nth injected packet (0 = off) ... */
+    std::uint64_t delay_every = 0;
+    /** ... for this many cycles past its injection tick. */
+    Tick delay_cycles = 64;
+
+    /** Node to wedge via setNodeStalled() (-1 = off). */
+    int stall_node = -1;
+    /** Engage the stall at the first boundary reaching this tick. */
+    Tick stall_from = 0;
+    /** Release the stall at this tick (0 = never release). */
+    Tick stall_until = 0;
+
+    /** Stop advancing the backend from this tick on (0 = off). */
+    Tick freeze_from = 0;
+    /** Resume advancing at this tick (0 = never resume). */
+    Tick freeze_until = 0;
+
+    /** Inflate every Nth delivery's reported latency (0 = off) ... */
+    std::uint64_t poison_every = 0;
+    /** ... by this many cycles. */
+    Tick poison_offset = 10000;
+
+    /** Burn this much wall-clock per advanceTo() call (0 = off). */
+    std::uint64_t hang_ms = 0;
+    /** Only hang for horizons at or past this tick. */
+    Tick hang_from = 0;
+    /** Stop hanging for horizons past this tick (0 = never stop). */
+    Tick hang_until = 0;
+
+    /** Read the "fault.*" keys. */
+    static FaultOptions fromConfig(const Config &cfg);
+};
+
+class FaultInjector final : public noc::NetworkModel
+{
+  public:
+    /** Decorate @p inner; does not take ownership. */
+    FaultInjector(noc::NetworkModel &inner, FaultOptions opts);
+
+    // NetworkModel facade: forwards to the inner model, applying the
+    // configured faults.
+    void inject(const noc::PacketPtr &pkt) override;
+    void advanceTo(Tick t) override;
+    void setDeliveryHandler(DeliveryHandler handler) override;
+    void setEngine(StepEngine *engine) override;
+    Tick curTime() const override;
+    bool idle() const override;
+    std::size_t numNodes() const override;
+    std::optional<Accounting> accounting() const override;
+    bool setNodeStalled(std::size_t node, bool stalled) override;
+    void requestAbort() override;
+
+    const FaultOptions &options() const { return opts_; }
+    noc::NetworkModel &inner() { return inner_; }
+
+    /** @name Fault activity counters (deterministic) */
+    /// @{
+    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t delayed() const { return delayed_; }
+    std::uint64_t poisoned() const { return poisoned_; }
+    std::uint64_t aborted() const { return aborted_; }
+    /// @}
+
+  private:
+    void onInnerDelivery(const noc::PacketPtr &pkt);
+    void releaseHeld(Tick t);
+
+    noc::NetworkModel &inner_;
+    FaultOptions opts_;
+    DeliveryHandler handler_;
+
+    /** Delayed packets waiting for their release tick. */
+    std::vector<std::pair<Tick, noc::PacketPtr>> held_;
+
+    std::uint64_t received_ = 0;
+    std::uint64_t forwarded_up_ = 0;
+    std::uint64_t deliveries_seen_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t delayed_ = 0;
+    std::uint64_t poisoned_ = 0;
+    std::uint64_t aborted_ = 0;
+    bool stall_engaged_ = false;
+    /** Cooperative-cancellation flag (set cross-thread). */
+    std::atomic<bool> abort_{false};
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_FAULT_INJECTOR_HH

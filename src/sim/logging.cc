@@ -10,7 +10,29 @@ namespace rasim
 namespace
 {
 std::atomic<std::uint64_t> warn_count{0};
+thread_local int throw_depth = 0;
 } // namespace
+
+namespace logging
+{
+
+ThrowOnError::ThrowOnError()
+{
+    ++throw_depth;
+}
+
+ThrowOnError::~ThrowOnError()
+{
+    --throw_depth;
+}
+
+bool
+throwing()
+{
+    return throw_depth > 0;
+}
+
+} // namespace logging
 
 namespace detail
 {
@@ -18,6 +40,8 @@ namespace detail
 void
 panicImpl(const std::string &msg, const char *file, int line)
 {
+    if (logging::throwing())
+        throw SimError(ErrorKind::Internal, msg);
     std::cerr << "panic: " << msg;
     if (file)
         std::cerr << " (" << file << ":" << line << ")";
@@ -28,6 +52,8 @@ panicImpl(const std::string &msg, const char *file, int line)
 void
 fatalImpl(const std::string &msg)
 {
+    if (logging::throwing())
+        throw SimError(ErrorKind::Config, msg);
     std::cerr << "fatal: " << msg << std::endl;
     std::exit(1);
 }

@@ -2,6 +2,13 @@
  * @file
  * gem5-style status and error reporting: panic() for simulator bugs,
  * fatal() for user errors, warn()/inform() for status messages.
+ *
+ * Both error entry points are rebased on the SimError taxonomy: by
+ * default they terminate the process (the classic behaviour), but
+ * while a logging::ThrowOnError guard is alive on the current thread
+ * they throw SimError instead, so error paths are unit-testable
+ * without death tests and embedding applications can survive a sick
+ * component.
  */
 
 #ifndef RASIM_SIM_LOGGING_HH
@@ -9,6 +16,8 @@
 
 #include <sstream>
 #include <string>
+
+#include "sim/sim_error.hh"
 
 namespace rasim
 {
@@ -74,6 +83,31 @@ inform(Args &&...args)
 
 /** Number of warnings emitted so far (used by tests). */
 std::uint64_t warnCount();
+
+namespace logging
+{
+
+/**
+ * Scoped, thread-local switch turning fatal()/panic() into throws:
+ * while at least one guard is alive on this thread, fatal() throws
+ * SimError(ErrorKind::Config) and panic() throws
+ * SimError(ErrorKind::Internal) instead of terminating the process.
+ * Nestable; restores the previous behaviour on destruction.
+ */
+class ThrowOnError
+{
+  public:
+    ThrowOnError();
+    ~ThrowOnError();
+
+    ThrowOnError(const ThrowOnError &) = delete;
+    ThrowOnError &operator=(const ThrowOnError &) = delete;
+};
+
+/** True when fatal()/panic() throw on the current thread. */
+bool throwing();
+
+} // namespace logging
 
 } // namespace rasim
 

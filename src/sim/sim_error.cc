@@ -1,0 +1,32 @@
+#include "sim/sim_error.hh"
+
+namespace rasim
+{
+
+const char *
+toString(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config:
+        return "config";
+      case ErrorKind::Internal:
+        return "internal";
+      case ErrorKind::Conservation:
+        return "conservation";
+      case ErrorKind::Deadlock:
+        return "deadlock";
+      case ErrorKind::Divergence:
+        return "divergence";
+      case ErrorKind::Timeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+SimError::SimError(ErrorKind kind, const std::string &msg)
+    : std::runtime_error(std::string("[") + toString(kind) + "] " + msg),
+      kind_(kind)
+{
+}
+
+} // namespace rasim

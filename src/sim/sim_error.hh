@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Structured, catchable simulation errors.
+ *
+ * Library code raises SimError (directly or through fatal()/panic()
+ * with a logging::ThrowOnError guard active) instead of aborting the
+ * process, so long co-simulation campaigns can quarantine a sick
+ * component and degrade a run rather than kill it. The Kind taxonomy
+ * distinguishes user misconfiguration from internal bugs and from the
+ * machine-checked runtime invariants the health monitor enforces at
+ * quantum boundaries.
+ */
+
+#ifndef RASIM_SIM_SIM_ERROR_HH
+#define RASIM_SIM_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace rasim
+{
+
+/** What went wrong — the failure taxonomy (see DESIGN.md section 7). */
+enum class ErrorKind
+{
+    /** User error: bad configuration or invalid arguments (fatal()). */
+    Config,
+    /** Internal simulator bug: a broken invariant (panic()). */
+    Internal,
+    /** Packet-conservation violation: injected != delivered + in-flight. */
+    Conservation,
+    /** No delivery progress while packets are in flight (deadlock or
+     *  livelock in the detailed network). */
+    Deadlock,
+    /** Estimate/feedback divergence: the latency table left its
+     *  trusted bounds or the estimate error blew up. */
+    Divergence,
+    /** Wall-clock timeout: a worker failed to finish a quantum. */
+    Timeout,
+};
+
+/** Render a Kind as a short lowercase tag ("deadlock"). */
+const char *toString(ErrorKind kind);
+
+/**
+ * The catchable error every recoverable failure path raises. what()
+ * carries the "[kind] message" rendering; kind() drives the policy
+ * decision (degrade, retry, abort) at the catch site.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &msg);
+
+    ErrorKind kind() const { return kind_; }
+
+  private:
+    ErrorKind kind_;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_SIM_ERROR_HH

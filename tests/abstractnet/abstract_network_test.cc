@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <vector>
 
 #include "abstractnet/abstract_network.hh"
@@ -150,7 +152,7 @@ TEST(AbstractNetwork, InvalidNodeIsFatal)
 {
     AbsFixture f(AbstractNetwork::Mode::Static);
     auto pkt = noc::makePacket(1, 0, 999, MsgClass::Request, 8, 0);
-    EXPECT_DEATH(f.net.inject(pkt), "outside");
+    EXPECT_SIM_ERROR(f.net.inject(pkt), "outside");
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <sstream>
 
 #include "abstractnet/latency_model.hh"
@@ -111,8 +113,8 @@ TEST(LatencyTable, ResetRevertsToSeed)
 TEST(LatencyTable, BadAlphaIsFatal)
 {
     auto p = defaultParams();
-    EXPECT_DEATH(LatencyTable(p, 14, 0.0), "EWMA weight");
-    EXPECT_DEATH(LatencyTable(p, 14, 1.5), "EWMA weight");
+    EXPECT_SIM_ERROR(LatencyTable(p, 14, 0.0), "EWMA weight");
+    EXPECT_SIM_ERROR(LatencyTable(p, 14, 1.5), "EWMA weight");
 }
 
 TEST(LatencyTable, SaveLoadRoundTrip)
@@ -139,9 +141,9 @@ TEST(LatencyTable, LoadRejectsGarbageAndMismatch)
     auto p = defaultParams();
     LatencyTable t(p, 4, 0.3);
     std::stringstream bad("vnet,hops,ewma,samples\n0,2\n");
-    EXPECT_DEATH(t.load(bad), "malformed");
+    EXPECT_SIM_ERROR(t.load(bad), "malformed");
     std::stringstream deep("0,99,10.0,5\n");
-    EXPECT_DEATH(t.load(deep), "geometry");
+    EXPECT_SIM_ERROR(t.load(deep), "geometry");
 }
 
 TEST(LatencyTable, PairGranularityRefinesPerFlow)
@@ -173,7 +175,7 @@ TEST(LatencyTable, DistanceGranularityIgnoresEndpoints)
 TEST(LatencyTable, PairWithoutNodeCountIsFatal)
 {
     auto p = defaultParams();
-    EXPECT_DEATH(
+    EXPECT_SIM_ERROR(
         LatencyTable(p, 14, 0.5, LatencyTable::Granularity::Pair, 0),
         "node count");
 }

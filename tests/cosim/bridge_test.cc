@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <vector>
 
 #include "abstractnet/latency_model.hh"
@@ -211,7 +213,7 @@ TEST(QuantumBridge, ZeroQuantumIsFatal)
     noc::CycleNetwork net(sim, "noc", p);
     QuantumBridge::Options o;
     o.quantum = 0;
-    EXPECT_DEATH(QuantumBridge(sim, "bridge", net, p, o), "positive");
+    EXPECT_SIM_ERROR(QuantumBridge(sim, "bridge", net, p, o), "positive");
 }
 
 TEST(QuantumBridge, SyncDeterministicAcrossRuns)

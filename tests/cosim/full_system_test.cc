@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include "cosim/full_system.hh"
+#include "sim/logging.hh"
 
 namespace
 {
@@ -34,7 +37,7 @@ TEST(FullSystem, ModeNamesRoundTrip)
          {"abstract", "tuned", "cosim", "cosim-gpu", "monolithic"}) {
         EXPECT_STREQ(toString(modeFromName(name)), name);
     }
-    EXPECT_DEATH(modeFromName("bogus"), "unknown mode");
+    EXPECT_SIM_ERROR(modeFromName("bogus"), "unknown mode");
 }
 
 TEST(FullSystem, OptionsFromConfig)
@@ -80,6 +83,32 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return n;
     });
+
+TEST(FullSystem, MisspelledConfigKeyWarns)
+{
+    // A typo'd key is never read by any consumer, so assembling the
+    // system flags it instead of silently ignoring it.
+    Config cfg;
+    cfg.set("noc.colums", 4);
+    auto before = warnCount();
+    FullSystem sys(cfg, smallOptions(Mode::Abstract));
+    EXPECT_EQ(warnCount() - before, 1u);
+}
+
+TEST(FullSystem, WellFormedConfigDoesNotWarn)
+{
+    Config cfg;
+    cfg.set("system.mode", std::string("abstract"));
+    cfg.set("noc.columns", 4);
+    cfg.set("noc.rows", 4);
+    auto o = FullSystemOptions::fromConfig(cfg);
+    o.app = "lu";
+    o.ops_per_core = 60;
+    o.mem.l1_sets = 16;
+    auto before = warnCount();
+    FullSystem sys(cfg, o);
+    EXPECT_EQ(warnCount() - before, 0u);
+}
 
 TEST(FullSystem, MonolithicDeterministic)
 {

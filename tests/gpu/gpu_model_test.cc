@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include "gpu/gpu_model.hh"
 #include "sim/config.hh"
 
@@ -98,7 +100,7 @@ TEST(GpuDeviceParams, BadWidthIsFatal)
 {
     Config cfg;
     cfg.set("gpu.parallel_width", 0);
-    EXPECT_DEATH(GpuDeviceParams::fromConfig(cfg), "positive");
+    EXPECT_SIM_ERROR(GpuDeviceParams::fromConfig(cfg), "positive");
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include "mem/dram.hh"
 #include "stats/group.hh"
 
@@ -64,7 +66,7 @@ TEST(Dram, StatsTrackQueueing)
 TEST(Dram, BadConfigIsFatal)
 {
     stats::Group root(nullptr, "root");
-    EXPECT_DEATH(Dram(&root, "dram", 0, 100, 64), "bank");
+    EXPECT_SIM_ERROR(Dram(&root, "dram", 0, 100, 64), "bank");
 }
 
 } // namespace

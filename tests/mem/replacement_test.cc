@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include "mem/replacement.hh"
 #include "sim/rng.hh"
 
@@ -88,7 +90,7 @@ TEST(ReplacementFactory, MakesAllKinds)
     EXPECT_EQ(makeReplacement("lru", 2, 2, rng)->name(), "lru");
     EXPECT_EQ(makeReplacement("fifo", 2, 2, rng)->name(), "fifo");
     EXPECT_EQ(makeReplacement("random", 2, 2, rng)->name(), "random");
-    EXPECT_DEATH(makeReplacement("plru", 2, 2, rng), "unknown");
+    EXPECT_SIM_ERROR(makeReplacement("plru", 2, 2, rng), "unknown");
 }
 
 } // namespace

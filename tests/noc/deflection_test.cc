@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <map>
 #include <vector>
 
@@ -171,7 +173,7 @@ TEST(DeflectionNetwork, InvalidNodeIsFatal)
 {
     DefFixture f;
     auto pkt = makePacket(1, 0, 999, MsgClass::Request, 8, 0);
-    EXPECT_DEATH(f.net.inject(pkt), "outside");
+    EXPECT_SIM_ERROR(f.net.inject(pkt), "outside");
 }
 
 } // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <map>
 #include <vector>
 
@@ -275,7 +277,7 @@ TEST(CycleNetwork, InvalidNodeIsFatal)
 {
     NetFixture f;
     auto pkt = makePacket(99, 0, 200, MsgClass::Request, 8, 0);
-    EXPECT_DEATH(f.net.inject(pkt), "outside");
+    EXPECT_SIM_ERROR(f.net.inject(pkt), "outside");
 }
 
 TEST(CycleNetwork, HeavyCongestionDrains)

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include "noc/cycle_network.hh"
 #include "noc/power.hh"
 #include "sim/config.hh"
@@ -115,7 +117,7 @@ TEST(PowerParams, ConfigOverridesAndValidation)
     auto p = PowerParams::fromConfig(cfg);
     EXPECT_DOUBLE_EQ(p.link_traversal_pj, 9.5);
     cfg.set("power.ns_per_cycle", -1.0);
-    EXPECT_DEATH(PowerParams::fromConfig(cfg), "positive");
+    EXPECT_SIM_ERROR(PowerParams::fromConfig(cfg), "positive");
 }
 
 } // namespace

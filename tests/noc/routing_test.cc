@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <vector>
 
 #include "noc/routing.hh"
@@ -166,7 +168,7 @@ TEST(RoutingFactory, MakesAllKinds)
 
 TEST(RoutingFactory, UnknownIsFatal)
 {
-    EXPECT_DEATH(makeRouting("random"), "unknown routing");
+    EXPECT_SIM_ERROR(makeRouting("random"), "unknown routing");
 }
 
 } // namespace

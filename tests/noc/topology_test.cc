@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include "noc/topology.hh"
 
 namespace
@@ -120,12 +122,12 @@ TEST(TopologyFactory, MakesBothKinds)
 
 TEST(TopologyFactory, UnknownKindIsFatal)
 {
-    EXPECT_DEATH(makeTopology("hypercube", 2, 2), "unknown topology");
+    EXPECT_SIM_ERROR(makeTopology("hypercube", 2, 2), "unknown topology");
 }
 
 TEST(Mesh2D, BadDimensionsAreFatal)
 {
-    EXPECT_DEATH(Mesh2D(0, 4), "positive");
+    EXPECT_SIM_ERROR(Mesh2D(0, 4), "positive");
 }
 
 } // namespace

@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "sim/config.hh"
+#include "sim/logging.hh"
 
 namespace
 {
@@ -123,20 +126,58 @@ TEST(Config, MalformedIntIsFatal)
 {
     Config c;
     c.set("k", std::string("notanumber"));
-    EXPECT_DEATH(c.getInt("k", 0), "not an integer");
+    EXPECT_SIM_ERROR(c.getInt("k", 0), "not an integer");
 }
 
 TEST(Config, NegativeForUnsignedIsFatal)
 {
     Config c;
     c.set("k", std::string("-5"));
-    EXPECT_DEATH(c.getUInt("k", 0), "not an unsigned");
+    EXPECT_SIM_ERROR(c.getUInt("k", 0), "not an unsigned");
 }
 
 TEST(Config, RequireMissingIsFatal)
 {
     Config c;
-    EXPECT_DEATH(c.requireString("missing"), "missing");
+    EXPECT_SIM_ERROR(c.requireString("missing"), "missing");
+}
+
+TEST(Config, UnreadKeysTrackEveryGetterAndHas)
+{
+    Config c;
+    c.set("noc.rows", 8);
+    c.set("noc.cols", 8);
+    c.set("noc.colums", 4); // the classic typo — nobody reads it
+    EXPECT_EQ(c.unreadKeysWithPrefix("noc.").size(), 3u);
+    (void)c.getUInt("noc.rows", 0);
+    (void)c.has("noc.cols"); // has() counts as a read too
+    auto unread = c.unreadKeysWithPrefix("noc.");
+    ASSERT_EQ(unread.size(), 1u);
+    EXPECT_EQ(unread[0], "noc.colums");
+    // Prefix filtering: an unrelated key is not reported under noc.
+    c.set("cpu.count", 64);
+    EXPECT_EQ(c.unreadKeysWithPrefix("noc.").size(), 1u);
+}
+
+TEST(Config, WarnUnreadWarnsOncePerMisspelledKey)
+{
+    Config c;
+    c.set("mem.l1_sets", 16);
+    c.set("mem.l1_stes", 32); // typo
+    c.set("noc.colums", 4);   // typo
+    (void)c.getUInt("mem.l1_sets", 0);
+    auto before = rasim::warnCount();
+    c.warnUnread({"mem.", "noc."});
+    EXPECT_EQ(rasim::warnCount() - before, 2u);
+}
+
+TEST(Config, CopiesCarryReadMarks)
+{
+    Config c;
+    c.set("a.k", 1);
+    (void)c.getInt("a.k", 0);
+    Config copy = c;
+    EXPECT_TRUE(copy.unreadKeysWithPrefix("a.").empty());
 }
 
 TEST(Config, ToStringListsSortedPairs)

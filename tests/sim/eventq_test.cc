@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <vector>
 
 #include "sim/eventq.hh"
@@ -214,7 +216,7 @@ TEST(EventQueue, PastScheduleDies)
     }
     std::vector<int> log;
     RecordingEvent a(log, 1);
-    EXPECT_DEATH(eq.schedule(&a, 5), "in the past");
+    EXPECT_SIM_ERROR(eq.schedule(&a, 5), "in the past");
 }
 
 TEST(EventQueue, DoubleScheduleDies)
@@ -223,7 +225,7 @@ TEST(EventQueue, DoubleScheduleDies)
     std::vector<int> log;
     RecordingEvent a(log, 1);
     eq.schedule(&a, 5);
-    EXPECT_DEATH(eq.schedule(&a, 6), "already-scheduled");
+    EXPECT_SIM_ERROR(eq.schedule(&a, 6), "already-scheduled");
     eq.deschedule(&a);
 }
 

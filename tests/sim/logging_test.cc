@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the error taxonomy and the throwing error mode: SimError
+ * kinds, fatal()/panic() rebasing under logging::ThrowOnError, guard
+ * nesting and thread-locality, and the classic terminating behaviour
+ * when no guard is active.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace
+{
+
+using namespace rasim;
+
+TEST(SimError, WhatCarriesKindTag)
+{
+    SimError e(ErrorKind::Deadlock, "router 3 wedged");
+    EXPECT_EQ(e.kind(), ErrorKind::Deadlock);
+    EXPECT_EQ(std::string(e.what()), "[deadlock] router 3 wedged");
+}
+
+TEST(SimError, KindNames)
+{
+    EXPECT_STREQ(toString(ErrorKind::Config), "config");
+    EXPECT_STREQ(toString(ErrorKind::Internal), "internal");
+    EXPECT_STREQ(toString(ErrorKind::Conservation), "conservation");
+    EXPECT_STREQ(toString(ErrorKind::Deadlock), "deadlock");
+    EXPECT_STREQ(toString(ErrorKind::Divergence), "divergence");
+    EXPECT_STREQ(toString(ErrorKind::Timeout), "timeout");
+}
+
+TEST(ThrowOnError, FatalThrowsConfigKind)
+{
+    logging::ThrowOnError guard;
+    try {
+        fatal("bad knob ", 42);
+        FAIL() << "fatal() returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("bad knob 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(ThrowOnError, PanicThrowsInternalKind)
+{
+    logging::ThrowOnError guard;
+    try {
+        panic("broken invariant");
+        FAIL() << "panic() returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Internal);
+        EXPECT_NE(std::string(e.what()).find("broken invariant"),
+                  std::string::npos);
+    }
+}
+
+TEST(ThrowOnError, GuardNestsAndRestores)
+{
+    EXPECT_FALSE(logging::throwing());
+    {
+        logging::ThrowOnError outer;
+        EXPECT_TRUE(logging::throwing());
+        {
+            logging::ThrowOnError inner;
+            EXPECT_TRUE(logging::throwing());
+        }
+        // The outer guard is still alive.
+        EXPECT_TRUE(logging::throwing());
+    }
+    EXPECT_FALSE(logging::throwing());
+}
+
+TEST(ThrowOnError, GuardIsThreadLocal)
+{
+    logging::ThrowOnError guard;
+    ASSERT_TRUE(logging::throwing());
+    bool other_thread_throwing = true;
+    std::thread t([&] { other_thread_throwing = logging::throwing(); });
+    t.join();
+    // The guard on this thread does not leak into other threads.
+    EXPECT_FALSE(other_thread_throwing);
+}
+
+TEST(ThrowOnError, SurvivesAStackUnwind)
+{
+    // A guard destroyed by an unwinding exception must still restore
+    // the terminating behaviour.
+    try {
+        logging::ThrowOnError guard;
+        fatal("unwind me");
+    } catch (const SimError &) {
+    }
+    EXPECT_FALSE(logging::throwing());
+}
+
+// The classic behaviour is retained when no guard is active: fatal()
+// exits with status 1, panic() aborts. One death test each keeps the
+// default-terminating contract pinned down.
+TEST(LoggingDeathTest, FatalExitsWithoutGuard)
+{
+    EXPECT_EXIT(fatal("configuration is broken"),
+                ::testing::ExitedWithCode(1), "configuration is broken");
+}
+
+TEST(LoggingDeathTest, PanicAbortsWithoutGuard)
+{
+    EXPECT_DEATH(panic("simulator bug"), "simulator bug");
+}
+
+} // namespace

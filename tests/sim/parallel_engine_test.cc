@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <atomic>
 #include <memory>
 #include <stdexcept>
@@ -74,7 +76,7 @@ TEST(ParallelEngine, WorkerCountApi)
 
 TEST(ParallelEngine, NegativeWorkerCountIsFatal)
 {
-    EXPECT_DEATH(ParallelEngine(-1), "non-negative");
+    EXPECT_SIM_ERROR(ParallelEngine(-1), "non-negative");
 }
 
 TEST(ParallelEngine, ExceptionFromPhasePropagatesWithoutDeadlock)

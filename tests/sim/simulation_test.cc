@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <string>
 #include <vector>
 
@@ -126,7 +128,7 @@ TEST(Simulation, LateConstructionDies)
     std::vector<std::string> log;
     Probe a(sim, "a", log);
     sim.run(1);
-    EXPECT_DEATH(Probe(sim, "late", log), "after simulation start");
+    EXPECT_SIM_ERROR(Probe(sim, "late", log), "after simulation start");
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <set>
 
 #include "workload/address_stream.hh"
@@ -117,7 +119,7 @@ TEST(SyntheticStream, BadProfileIsFatal)
 {
     StreamProfile p;
     p.hotspot_blocks = 1 << 20;
-    EXPECT_DEATH(SyntheticStream(p, 0, 64, Rng(1, 1)), "hotspot");
+    EXPECT_SIM_ERROR(SyntheticStream(p, 0, 64, Rng(1, 1)), "hotspot");
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <set>
 
 #include "workload/app_profiles.hh"
@@ -28,7 +30,7 @@ TEST(AppProfiles, LookupByName)
 {
     EXPECT_EQ(appProfile("fft").name, "fft");
     EXPECT_EQ(appProfile("radix").stream.hotspot_frac, 0.5);
-    EXPECT_DEATH(appProfile("doom"), "unknown application");
+    EXPECT_SIM_ERROR(appProfile("doom"), "unknown application");
 }
 
 TEST(AppProfiles, ParametersAreSane)

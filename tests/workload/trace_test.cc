@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <sstream>
 
 #include "noc/cycle_network.hh"
@@ -51,7 +53,7 @@ TEST(PacketTrace, SaveLoadRoundTrip)
 TEST(PacketTrace, LoadRejectsGarbage)
 {
     std::stringstream ss("tick,src,dst,class,bytes\n1,2\n");
-    EXPECT_DEATH(PacketTrace::load(ss), "malformed");
+    EXPECT_SIM_ERROR(PacketTrace::load(ss), "malformed");
 }
 
 TEST(TraceReplayer, ReplaysAtRecordedTimes)

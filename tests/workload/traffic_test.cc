@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect_error.hh"
+
 #include <map>
 
 #include "noc/cycle_network.hh"
@@ -65,7 +67,7 @@ TEST(Patterns, NamesRoundTrip)
                              "hotspot", "tornado", "neighbor"}) {
         EXPECT_STREQ(toString(patternFromName(name)), name);
     }
-    EXPECT_DEATH(patternFromName("nope"), "unknown traffic pattern");
+    EXPECT_SIM_ERROR(patternFromName("nope"), "unknown traffic pattern");
 }
 
 TEST(TrafficGenerator, RateIsRespected)
@@ -120,7 +122,7 @@ TEST(TrafficGenerator, MismatchedGridIsFatal)
     noc::NocParams p;
     noc::CycleNetwork net(sim, "noc", p);
     TrafficGenerator::Options opts;
-    EXPECT_DEATH(TrafficGenerator(net, 4, 4, opts, Rng(1, 1)),
+    EXPECT_SIM_ERROR(TrafficGenerator(net, 4, 4, opts, Rng(1, 1)),
                  "does not match");
 }
 
