@@ -5,10 +5,18 @@
  * results — the five-minute tour of the public API.
  *
  *   ./quickstart [system.app=radix] [noc.columns=8] [key=value ...]
+ *                [--checkpoint-dir=DIR] [--restore=PATH]
+ *
+ * --checkpoint-dir=DIR turns on periodic crash-safe checkpointing into
+ * DIR (every 8 quanta unless checkpoint.interval_quanta says
+ * otherwise); --restore=PATH boots from a checkpoint image or the
+ * newest image in a checkpoint directory.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "cosim/full_system.hh"
 #include "stats/output.hh"
@@ -25,7 +33,23 @@ main(int argc, char **argv)
     cfg.set("system.ops_per_core", 300);
     cfg.set("noc.columns", 4);
     cfg.set("noc.rows", 4);
-    cfg.parseArgs(argc, argv);
+
+    // Checkpoint convenience flags, translated to checkpoint.* keys
+    // (explicit key=value arguments still win: they parse later).
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+            cfg.set("checkpoint.dir", arg.substr(17));
+            cfg.set("checkpoint.interval_quanta", 8);
+        } else if (arg.rfind("--restore=", 0) == 0) {
+            cfg.set("checkpoint.restore", arg.substr(10));
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    cfg.parseArgs(static_cast<int>(args.size()), args.data());
 
     // 2. Build the full system: cores, caches, directories, and a
     //    cycle-level NoC coupled through the reciprocal bridge.

@@ -5,9 +5,16 @@
  * coprocessor (see DESIGN.md substitution) buys at each scale.
  *
  *   ./scale_out_gpu [system.ops_per_core=80]
+ *                   [--checkpoint-dir=DIR] [--restore=DIR]
+ *
+ * With --checkpoint-dir each target checkpoints into its own
+ * DIR/<cols>x<rows> subdirectory; --restore resumes every target from
+ * the matching subdirectory.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cosim/full_system.hh"
 #include "gpu/gpu_model.hh"
@@ -20,7 +27,22 @@ main(int argc, char **argv)
     Config cfg;
     cfg.set("system.app", std::string("fft"));
     cfg.set("system.ops_per_core", 80);
-    cfg.parseArgs(argc, argv);
+
+    // Checkpoint convenience flags (per-target subdirectories; the
+    // config fingerprint refuses cross-target images anyway).
+    std::string ckpt_root, restore_root;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--checkpoint-dir=", 0) == 0)
+            ckpt_root = arg.substr(17);
+        else if (arg.rfind("--restore=", 0) == 0)
+            restore_root = arg.substr(10);
+        else
+            args.push_back(argv[i]);
+    }
+    cfg.parseArgs(static_cast<int>(args.size()), args.data());
 
     gpu::GpuTimingModel device(gpu::GpuDeviceParams::fromConfig(cfg));
 
@@ -36,6 +58,15 @@ main(int argc, char **argv)
         options.mode = cosim::Mode::CosimCycle;
         options.noc.columns = t.cols;
         options.noc.rows = t.rows;
+        std::string target = std::to_string(t.cols) + "x" +
+                             std::to_string(t.rows);
+        if (!ckpt_root.empty()) {
+            options.checkpoint.dir = ckpt_root + "/" + target;
+            if (options.checkpoint.interval_quanta == 0)
+                options.checkpoint.interval_quanta = 8;
+        }
+        if (!restore_root.empty())
+            options.checkpoint.restore = restore_root + "/" + target;
         cosim::FullSystem system(cfg, options);
         system.run();
 

@@ -165,5 +165,51 @@ AbstractNetwork::advanceTo(Tick t)
     time_ = std::max(time_, t);
 }
 
+void
+AbstractNetwork::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("abstract_net");
+    aw.putU64(time_);
+    aw.putU64(injected_);
+    aw.putU64(delivered_);
+    aw.putU64(window_start_);
+    aw.putDouble(window_flit_hops_);
+    aw.putDouble(rho_);
+
+    auto in_flight = in_flight_;
+    std::vector<noc::PacketPtr> pkts;
+    pkts.reserve(in_flight.size());
+    while (!in_flight.empty()) {
+        pkts.push_back(in_flight.top());
+        in_flight.pop();
+    }
+    aw.putU64(pkts.size());
+    for (const noc::PacketPtr &pkt : pkts)
+        noc::savePacket(aw, *pkt);
+
+    table_.saveBinary(aw);
+    aw.endSection();
+}
+
+void
+AbstractNetwork::restore(ArchiveReader &ar)
+{
+    ar.expectSection("abstract_net");
+    time_ = ar.getU64();
+    injected_ = ar.getU64();
+    delivered_ = ar.getU64();
+    window_start_ = ar.getU64();
+    window_flit_hops_ = ar.getDouble();
+    rho_ = ar.getDouble();
+
+    in_flight_ = {};
+    std::uint64_t n = ar.getU64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        in_flight_.push(noc::restorePacket(ar));
+
+    table_.restoreBinary(ar);
+    ar.endSection();
+}
+
 } // namespace abstractnet
 } // namespace rasim

@@ -74,6 +74,10 @@ class AbstractNetwork : public SimObject, public noc::NetworkModel
      */
     double utilization() const;
 
+    /** Checkpoint in-flight packets, load window and tuned table. */
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar);
+
     stats::Scalar packetsInjected;
     stats::Scalar packetsDelivered;
     stats::Distribution totalLatency;

@@ -168,5 +168,65 @@ LatencyTable::load(std::istream &is)
     }
 }
 
+void
+LatencyTable::saveBinary(ArchiveWriter &aw) const
+{
+    aw.beginSection("lat_table");
+    aw.putU64(observations_);
+    aw.putU64(entries_.size());
+    for (const Entry &e : entries_) {
+        aw.putDouble(e.ewma);
+        aw.putU64(e.samples);
+    }
+    aw.putU64(pair_entries_.size());
+    for (const Entry &e : pair_entries_) {
+        aw.putDouble(e.ewma);
+        aw.putU64(e.samples);
+    }
+    aw.endSection();
+}
+
+void
+LatencyTable::restoreBinary(ArchiveReader &ar)
+{
+    ar.expectSection("lat_table");
+    observations_ = ar.getU64();
+    std::uint64_t n = ar.getU64();
+    if (n != entries_.size())
+        panic("latency table restore: ", n, " entries vs ",
+              entries_.size(), " expected");
+    for (Entry &e : entries_) {
+        e.ewma = ar.getDouble();
+        e.samples = ar.getU64();
+    }
+    std::uint64_t n_pair = ar.getU64();
+    if (n_pair != pair_entries_.size())
+        panic("latency table restore: ", n_pair, " pair entries vs ",
+              pair_entries_.size(), " expected");
+    for (Entry &e : pair_entries_) {
+        e.ewma = ar.getDouble();
+        e.samples = ar.getU64();
+    }
+    ar.endSection();
+}
+
+bool
+LatencyTable::identicalTo(const LatencyTable &other) const
+{
+    if (observations_ != other.observations_ ||
+        entries_.size() != other.entries_.size() ||
+        pair_entries_.size() != other.pair_entries_.size())
+        return false;
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].ewma != other.entries_[i].ewma ||
+            entries_[i].samples != other.entries_[i].samples)
+            return false;
+    for (std::size_t i = 0; i < pair_entries_.size(); ++i)
+        if (pair_entries_[i].ewma != other.pair_entries_[i].ewma ||
+            pair_entries_[i].samples != other.pair_entries_[i].samples)
+            return false;
+    return true;
+}
+
 } // namespace abstractnet
 } // namespace rasim

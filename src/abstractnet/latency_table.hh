@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "noc/params.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace rasim
@@ -100,6 +101,16 @@ class LatencyTable
     /** Load estimates saved by save(); fatal() on malformed rows or a
      *  geometry mismatch. */
     void load(std::istream &is);
+
+    /**
+     * Exact binary checkpoint of the tuned state (unlike the CSV
+     * export, which rounds). Bit-identical resume depends on it.
+     */
+    void saveBinary(ArchiveWriter &aw) const;
+    void restoreBinary(ArchiveReader &ar);
+
+    /** Exact state comparison (differential resume tests). */
+    bool identicalTo(const LatencyTable &other) const;
 
     double alpha() const { return alpha_; }
     int maxHops() const { return max_hops_; }

@@ -551,6 +551,100 @@ QuantumBridge::drainDegraded(Tick boundary)
 }
 
 void
+QuantumBridge::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("bridge");
+    if (!pending_deliveries_.empty()) {
+        panic("bridge checkpoint outside a quantum boundary (",
+              pending_deliveries_.size(), " deliveries unapplied)");
+    }
+    table_.saveBinary(aw);
+    checkpoint_.saveBinary(aw);
+    aw.putU8(static_cast<std::uint8_t>(state_));
+    aw.putU64(cooldown_);
+    aw.putU64(probation_left_);
+    aw.putU64(backoff_);
+    aw.putU64(boundaries_since_checkpoint_);
+    aw.putDouble(err_abs_window_);
+    aw.putU64(err_samples_window_);
+    aw.putU64(quanta_);
+
+    // Overlap mode buffers the host quantum's injections until the
+    // next boundary; they are part of the coupling state.
+    aw.putU64(pending_injections_.size());
+    for (const noc::PacketPtr &pkt : pending_injections_)
+        noc::savePacket(aw, *pkt);
+
+    // Conservative accounting of what the backend owes the system.
+    // The map is unordered; archive in id order so the image (and its
+    // CRC) is reproducible.
+    std::vector<noc::PacketPtr> owed;
+    owed.reserve(outstanding_.size());
+    for (const auto &kv : outstanding_)
+        owed.push_back(kv.second);
+    std::sort(owed.begin(), owed.end(),
+              [](const noc::PacketPtr &a, const noc::PacketPtr &b) {
+                  return a->id < b->id;
+              });
+    aw.putU64(owed.size());
+    for (const noc::PacketPtr &pkt : owed)
+        noc::savePacket(aw, *pkt);
+
+    aw.putU64(degraded_out_.size());
+    for (const noc::PacketPtr &pkt : degraded_out_)
+        noc::savePacket(aw, *pkt);
+
+    aw.putBool(static_cast<bool>(health_));
+    if (health_)
+        health_->save(aw);
+    aw.endSection();
+}
+
+void
+QuantumBridge::restore(ArchiveReader &ar)
+{
+    ar.expectSection("bridge");
+    table_.restoreBinary(ar);
+    checkpoint_.restoreBinary(ar);
+    state_ = static_cast<HealthState>(ar.getU8());
+    cooldown_ = ar.getU64();
+    probation_left_ = ar.getU64();
+    backoff_ = ar.getU64();
+    boundaries_since_checkpoint_ = ar.getU64();
+    err_abs_window_ = ar.getDouble();
+    err_samples_window_ = ar.getU64();
+    quanta_ = ar.getU64();
+
+    pending_injections_.clear();
+    std::uint64_t n_inj = ar.getU64();
+    for (std::uint64_t i = 0; i < n_inj; ++i)
+        pending_injections_.push_back(noc::restorePacket(ar));
+
+    outstanding_.clear();
+    std::uint64_t n_out = ar.getU64();
+    for (std::uint64_t i = 0; i < n_out; ++i) {
+        noc::PacketPtr pkt = noc::restorePacket(ar);
+        outstanding_.emplace(pkt->id, pkt);
+    }
+
+    degraded_out_.clear();
+    std::uint64_t n_deg = ar.getU64();
+    for (std::uint64_t i = 0; i < n_deg; ++i)
+        degraded_out_.push_back(noc::restorePacket(ar));
+
+    pending_deliveries_.clear();
+    bool had_health = ar.getBool();
+    if (had_health != static_cast<bool>(health_)) {
+        panic("checkpoint ", had_health ? "has" : "lacks",
+              " health-monitor state but the restored bridge ",
+              health_ ? "has" : "lacks", " a monitor");
+    }
+    if (health_)
+        health_->restore(ar);
+    ar.endSection();
+}
+
+void
 QuantumBridge::advanceCoupled(Tick t)
 {
     Tick cur = std::max(sim().curTick(), backend_.curTime());

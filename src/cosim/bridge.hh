@@ -40,6 +40,7 @@
 #include "noc/params.hh"
 #include "noc/topology.hh"
 #include "sim/parallel_engine.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_error.hh"
 #include "sim/sim_object.hh"
 #include "stats/distribution.hh"
@@ -50,7 +51,9 @@ namespace rasim
 namespace cosim
 {
 
-class QuantumBridge : public SimObject, public noc::NetworkModel
+class QuantumBridge : public SimObject,
+                      public noc::NetworkModel,
+                      public Serializable
 {
   public:
     /**
@@ -168,6 +171,16 @@ class QuantumBridge : public SimObject, public noc::NetworkModel
     /** Null when health.enabled is false. */
     HealthMonitor *health() { return health_.get(); }
     const HealthMonitor *health() const { return health_.get(); }
+
+    /**
+     * Checkpoint the coupling state. Only valid at a quantum boundary
+     * (after advanceCoupled returned): pending_deliveries_ must be
+     * empty, which the save asserts. Wall-clock accounting (hostNs,
+     * netNs, the last worker budget sample) is intentionally excluded
+     * from the bit-identical contract.
+     */
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
     /** Host nanoseconds spent inside full-system event simulation. */
     double hostNs() const { return host_ns_; }

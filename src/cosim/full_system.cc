@@ -1,8 +1,18 @@
 #include "cosim/full_system.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
 #include <utility>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace rasim
 {
@@ -44,6 +54,21 @@ toString(Mode mode)
     return "unknown";
 }
 
+CheckpointOptions
+CheckpointOptions::fromConfig(const Config &cfg)
+{
+    CheckpointOptions o;
+    o.interval_quanta = cfg.getUInt("checkpoint.interval_quanta", 0);
+    o.dir = cfg.getString("checkpoint.dir", "checkpoints");
+    o.keep = cfg.getUInt("checkpoint.keep", 3);
+    o.restore = cfg.getString("checkpoint.restore", "");
+    if (o.keep == 0)
+        fatal("checkpoint.keep must be positive");
+    if (o.interval_quanta > 0 && o.dir.empty())
+        fatal("checkpoint.dir must be set when checkpointing is on");
+    return o;
+}
+
 FullSystemOptions
 FullSystemOptions::fromConfig(const Config &cfg)
 {
@@ -61,6 +86,7 @@ FullSystemOptions::fromConfig(const Config &cfg)
     o.mem = mem::MemParams::fromConfig(cfg);
     o.health = HealthOptions::fromConfig(cfg);
     o.fault = FaultOptions::fromConfig(cfg);
+    o.checkpoint = CheckpointOptions::fromConfig(cfg);
     return o;
 }
 
@@ -161,7 +187,11 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
     // anything left unread under the known prefixes is a misspelling
     // ("noc.colums") silently falling back to a default.
     sim_->config().warnUnread({"system.", "noc.", "mem.", "abstract.",
-                               "fault.", "health.", "sim."});
+                               "fault.", "health.", "sim.",
+                               "checkpoint."});
+
+    if (!options_.checkpoint.restore.empty())
+        restoreFromPath(options_.checkpoint.restore);
 }
 
 FullSystem::~FullSystem() = default;
@@ -182,7 +212,11 @@ FullSystem::run(Tick limit)
     while (t < limit) {
         t += options_.quantum;
         bridge_->advanceCoupled(t);
-        if (allCoresDone() && memory_->quiescent() && bridge_->idle())
+        bool done = allCoresDone() && memory_->quiescent() &&
+                    bridge_->idle();
+        if (!done)
+            maybeCheckpoint(t);
+        if (done)
             break;
     }
     if (!allCoresDone())
@@ -191,6 +225,300 @@ FullSystem::run(Tick limit)
     for (const auto &core : cores_)
         finish = std::max(finish, core->finishTick());
     return finish;
+}
+
+namespace
+{
+
+/** Keyed on the absolute boundary so a restored run checkpoints at
+ *  exactly the same ticks as an uninterrupted one. */
+bool
+atCheckpointBoundary(Tick t, Tick quantum, std::uint64_t interval)
+{
+    return interval > 0 && quantum > 0 && t % quantum == 0 &&
+           (t / quantum) % interval == 0;
+}
+
+std::string
+checkpointName(Tick t)
+{
+    std::ostringstream os;
+    os << "ckpt-" << std::setw(20) << std::setfill('0') << t << ".ckpt";
+    return os.str();
+}
+
+bool
+isCheckpointName(const std::string &name)
+{
+    return name.size() > 10 && name.rfind("ckpt-", 0) == 0 &&
+           name.size() >= 5 &&
+           name.compare(name.size() - 5, 5, ".ckpt") == 0;
+}
+
+/** Retained images in @p dir, newest (largest tick) first. Zero-padded
+ *  names make the lexicographic order the chronological one. */
+std::vector<std::filesystem::path>
+listCheckpoints(const std::filesystem::path &dir)
+{
+    std::vector<std::filesystem::path> out;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            isCheckpointName(entry.path().filename().string())) {
+            out.push_back(entry.path());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.filename().string() > b.filename().string();
+              });
+    return out;
+}
+
+bool
+readFile(const std::filesystem::path &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+void
+FullSystem::save(ArchiveWriter &aw) const
+{
+    // Configuration fingerprint: a checkpoint only restores into a
+    // system built from the same knobs that shape dynamic state.
+    aw.beginSection("meta");
+    aw.putString(toString(options_.mode));
+    aw.putString(options_.app);
+    aw.putU64(cores_.size());
+    aw.putU64(options_.quantum);
+    aw.putBool(options_.conservative);
+    aw.putBool(options_.feedback);
+    aw.putBool(options_.fault.enabled);
+    aw.putBool(options_.health.enabled);
+    aw.endSection();
+
+    aw.beginSection("sim");
+    aw.putU64(sim_->curTick());
+    aw.putU64(sim_->eventq().nextSequence());
+    aw.putU64(sim_->eventq().numProcessed());
+    aw.endSection();
+
+    saveStats(aw, sim_->statsRoot());
+
+    if (cycle_net_)
+        cycle_net_->save(aw);
+    else
+        abstract_net_->save(aw);
+    if (fault_injector_)
+        fault_injector_->save(aw);
+    bridge_->save(aw);
+    memory_->save(aw);
+    for (const auto &core : cores_)
+        core->save(aw);
+}
+
+void
+FullSystem::saveTo(std::ostream &os) const
+{
+    ArchiveWriter aw;
+    save(aw);
+    aw.writeTo(os);
+}
+
+bool
+FullSystem::restoreArchive(ArchiveReader &ar, std::string *why)
+{
+    auto mismatch = [why](const std::string &what) {
+        if (why)
+            *why = "configuration mismatch: " + what;
+        return false;
+    };
+    ar.expectSection("meta");
+    if (ar.getString() != toString(options_.mode))
+        return mismatch("mode");
+    if (ar.getString() != options_.app)
+        return mismatch("app");
+    if (ar.getU64() != cores_.size())
+        return mismatch("node count");
+    if (ar.getU64() != options_.quantum)
+        return mismatch("quantum");
+    if (ar.getBool() != options_.conservative)
+        return mismatch("coupling");
+    if (ar.getBool() != options_.feedback)
+        return mismatch("feedback");
+    if (ar.getBool() != options_.fault.enabled)
+        return mismatch("fault injection");
+    if (ar.getBool() != options_.health.enabled)
+        return mismatch("health monitoring");
+    ar.endSection();
+
+    // Validation passed — from here on the image is committed to and
+    // structural trouble is a panic, not a fallback.
+    ar.expectSection("sim");
+    Tick cur_tick = ar.getU64();
+    std::uint64_t next_seq = ar.getU64();
+    std::uint64_t num_processed = ar.getU64();
+    ar.endSection();
+    // First, so the components' restore() calls can re-schedule their
+    // pending events against the restored clock and sequence space.
+    sim_->eventq().restoreState(cur_tick, next_seq, num_processed);
+
+    restoreStats(ar, sim_->statsRoot());
+
+    if (cycle_net_)
+        cycle_net_->restore(ar);
+    else
+        abstract_net_->restore(ar);
+    if (fault_injector_)
+        fault_injector_->restore(ar);
+    bridge_->restore(ar);
+    memory_->restore(ar);
+    for (const auto &core : cores_)
+        core->restore(ar);
+
+    // init() would schedule fresh startup events on top of the
+    // restored ones; the archive already carries every pending event.
+    sim_->markInitialized();
+    return true;
+}
+
+bool
+FullSystem::restoreFromBytes(std::string bytes, std::string *why)
+{
+    ArchiveReader ar(std::move(bytes));
+    if (!ar.ok()) {
+        if (why)
+            *why = ar.error();
+        return false;
+    }
+    return restoreArchive(ar, why);
+}
+
+void
+FullSystem::restoreFromPath(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    // Candidate chain: the named image (or the newest in the named
+    // directory) first, then every older retained sibling — so a
+    // corrupt or mismatched newest image degrades the restore instead
+    // of aborting it.
+    std::vector<fs::path> candidates;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        candidates = listCheckpoints(path);
+        if (candidates.empty())
+            fatal("checkpoint.restore: no checkpoints in '", path, "'");
+    } else {
+        fs::path p(path);
+        candidates.push_back(p);
+        for (const auto &sibling : listCheckpoints(p.parent_path())) {
+            if (sibling.filename().string() < p.filename().string())
+                candidates.push_back(sibling);
+        }
+    }
+
+    for (const auto &candidate : candidates) {
+        std::string bytes;
+        if (!readFile(candidate, bytes)) {
+            warn("checkpoint.restore: cannot read '", candidate.string(),
+                 "', trying an older image");
+            continue;
+        }
+        std::string why;
+        if (restoreFromBytes(std::move(bytes), &why)) {
+            inform("restored from checkpoint '", candidate.string(),
+                   "' at tick ", sim_->curTick());
+            return;
+        }
+        warn("checkpoint.restore: rejected '", candidate.string(),
+             "' (", why, "), trying an older image");
+    }
+    fatal("checkpoint.restore: no usable checkpoint for '", path, "'");
+}
+
+std::string
+FullSystem::writeCheckpoint()
+{
+    namespace fs = std::filesystem;
+    const fs::path dir(options_.checkpoint.dir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create checkpoint directory '", dir.string(),
+              "': ", ec.message());
+
+    ArchiveWriter aw;
+    save(aw);
+    std::string bytes = aw.finish();
+
+    // Crash-safe publication: the image becomes visible under its
+    // final name only after its bytes are durable, so a crash at any
+    // point leaves either the old set or the old set plus a complete
+    // new image — never a torn file.
+    fs::path final_path = dir / checkpointName(sim_->curTick());
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp";
+    int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY,
+                    0644);
+    if (fd < 0)
+        fatal("cannot create '", tmp_path.string(), "'");
+    const char *p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            ::close(fd);
+            fatal("short write to '", tmp_path.string(), "'");
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal("fsync failed on '", tmp_path.string(), "'");
+    }
+    ::close(fd);
+    fs::rename(tmp_path, final_path, ec);
+    if (ec)
+        fatal("cannot publish checkpoint '", final_path.string(),
+              "': ", ec.message());
+    if (int dfd = ::open(dir.c_str(), O_RDONLY); dfd >= 0) {
+        ::fsync(dfd); // make the rename itself durable
+        ::close(dfd);
+    }
+
+    rotateCheckpoints();
+    return final_path.string();
+}
+
+void
+FullSystem::rotateCheckpoints()
+{
+    auto images = listCheckpoints(options_.checkpoint.dir);
+    for (std::size_t i = options_.checkpoint.keep; i < images.size();
+         ++i) {
+        std::error_code ec;
+        std::filesystem::remove(images[i], ec);
+    }
+}
+
+void
+FullSystem::maybeCheckpoint(Tick t)
+{
+    if (!atCheckpointBoundary(t, options_.quantum,
+                              options_.checkpoint.interval_quanta)) {
+        return;
+    }
+    writeCheckpoint();
 }
 
 double

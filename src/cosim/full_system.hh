@@ -8,6 +8,7 @@
 #ifndef RASIM_COSIM_FULL_SYSTEM_HH
 #define RASIM_COSIM_FULL_SYSTEM_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,30 @@ enum class Mode
 Mode modeFromName(const std::string &name);
 const char *toString(Mode mode);
 
+/**
+ * Crash-safe periodic checkpointing ("checkpoint.*" keys). Checkpoints
+ * are taken at quantum boundaries — the only globally consistent
+ * points of the coupled pair — and written atomically (temp file,
+ * fsync, rename) so a crash mid-write never clobbers the previous
+ * image.
+ */
+struct CheckpointOptions
+{
+    /** Take a checkpoint every N run-loop quanta (0 = off). */
+    std::uint64_t interval_quanta = 0;
+    /** Directory receiving ckpt-<tick>.ckpt images. */
+    std::string dir = "checkpoints";
+    /** Retained images; older ones are deleted after each write. */
+    std::uint64_t keep = 3;
+    /** Boot from this image (or the newest in this directory) instead
+     *  of cold-starting. Corrupt or mismatched images fall back to the
+     *  next-oldest retained checkpoint. */
+    std::string restore;
+
+    /** Read the "checkpoint.*" keys. */
+    static CheckpointOptions fromConfig(const Config &cfg);
+};
+
 struct FullSystemOptions
 {
     Mode mode = Mode::CosimCycle;
@@ -79,6 +104,8 @@ struct FullSystemOptions
     /** Deterministic fault injection ("fault.*"); when enabled the
      *  injector is interposed between the bridge and the backend. */
     FaultOptions fault;
+    /** Periodic crash-safe checkpointing ("checkpoint.*"). */
+    CheckpointOptions checkpoint;
 
     static FullSystemOptions fromConfig(const Config &cfg);
 };
@@ -122,7 +149,41 @@ class FullSystem
     /** Non-null when fault.enabled interposed the injector. */
     FaultInjector *faultInjector() { return fault_injector_.get(); }
 
+    /** @name Checkpoint / restore */
+    /// @{
+    /**
+     * Archive the full dynamic state. Only valid at a quantum boundary
+     * (construction time or after run() / advanceCoupled returned).
+     */
+    void save(ArchiveWriter &aw) const;
+    /** Seal a complete archive image onto @p os. */
+    void saveTo(std::ostream &os) const;
+
+    /**
+     * Restore this (freshly constructed, never run) system from a
+     * complete archive image. Validation — magic, version, CRC and the
+     * configuration fingerprint — happens before any state is touched;
+     * a failed candidate leaves the system untouched and @p why set.
+     * Structural errors after validation panic: the CRC passed, so a
+     * short or misshapen body is a programming error, not bad input.
+     */
+    bool restoreFromBytes(std::string bytes, std::string *why = nullptr);
+
+    /**
+     * Write an atomic checkpoint of the current state into
+     * checkpoint.dir and rotate old images down to checkpoint.keep.
+     * @return the path of the image written.
+     */
+    std::string writeCheckpoint();
+    /// @}
+
   private:
+    bool restoreArchive(ArchiveReader &ar, std::string *why);
+    /** Boot-time restore honouring the fallback chain. */
+    void restoreFromPath(const std::string &path);
+    void maybeCheckpoint(Tick t);
+    void rotateCheckpoints();
+
     FullSystemOptions options_;
     std::unique_ptr<Simulation> sim_;
     std::unique_ptr<noc::CycleNetwork> cycle_net_;

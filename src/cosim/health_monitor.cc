@@ -235,5 +235,29 @@ HealthMonitor::noteSynthesized(std::uint64_t n)
     syntheticDeliveries += static_cast<double>(n);
 }
 
+void
+HealthMonitor::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("health");
+    aw.putU64(last_delivered_);
+    aw.putBool(have_last_delivered_);
+    aw.putU64(stalled_cycles_);
+    aw.putI64(lost_baseline_);
+    aw.putI64(state_);
+    aw.endSection();
+}
+
+void
+HealthMonitor::restore(ArchiveReader &ar)
+{
+    ar.expectSection("health");
+    last_delivered_ = ar.getU64();
+    have_last_delivered_ = ar.getBool();
+    stalled_cycles_ = ar.getU64();
+    lost_baseline_ = ar.getI64();
+    state_ = static_cast<int>(ar.getI64());
+    ar.endSection();
+}
+
 } // namespace cosim
 } // namespace rasim

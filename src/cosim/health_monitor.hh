@@ -34,6 +34,7 @@
 #include <string>
 
 #include "noc/network_model.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_error.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
@@ -133,6 +134,11 @@ class HealthMonitor : public SimObject
 
     /** Count a trip detected outside checkBoundary (backend threw). */
     void noteTrip(ErrorKind kind);
+
+    /** Checkpoint watchdog/conservation tracking (stats are archived
+     *  with the global stats tree). */
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar);
 
     /** @name State-machine transitions, reported by the bridge */
     /// @{

@@ -29,6 +29,12 @@ SyntheticCore::SyntheticCore(
     if (params_.store_buffer < 1)
         fatal("core store buffer must hold at least one entry");
     l1_.setRetryCallback([this] { step(); });
+    // Lets the L1 rebuild our completion closures when restoring a
+    // checkpoint: they are fully determined by the operation kind.
+    l1_.setCompletionFactory([this](bool is_write) {
+        return is_write ? mem::L1Cache::Callback([this] { storeDone(); })
+                        : mem::L1Cache::Callback([this] { loadDone(); });
+    });
 }
 
 SyntheticCore::~SyntheticCore()
@@ -139,6 +145,65 @@ bool
 SyntheticCore::done() const
 {
     return finished_;
+}
+
+void
+SyntheticCore::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("core");
+    const Rng::State rs = rng_.state();
+    aw.putU64(rs.state);
+    aw.putU64(rs.inc);
+    stream_->save(aw);
+
+    aw.putBool(step_event_.scheduled());
+    if (step_event_.scheduled()) {
+        aw.putU64(step_event_.when());
+        aw.putU64(step_event_.sequence());
+    }
+
+    aw.putU64(issued_);
+    aw.putU64(completed_);
+    aw.putI64(stores_in_flight_);
+    aw.putBool(waiting_load_);
+    aw.putBool(blocked_store_full_);
+    aw.putBool(have_pending_op_);
+    aw.putU64(pending_op_.addr);
+    aw.putBool(pending_op_.is_write);
+    aw.putBool(finished_);
+    aw.putU64(finish_tick_);
+    aw.putU64(last_stall_start_);
+    aw.endSection();
+}
+
+void
+SyntheticCore::restore(ArchiveReader &ar)
+{
+    ar.expectSection("core");
+    Rng::State rs;
+    rs.state = ar.getU64();
+    rs.inc = ar.getU64();
+    rng_.setState(rs);
+    stream_->restore(ar);
+
+    if (ar.getBool()) {
+        Tick when = ar.getU64();
+        std::uint64_t seq = ar.getU64();
+        eventQueue().scheduleWithSequence(&step_event_, when, seq);
+    }
+
+    issued_ = ar.getU64();
+    completed_ = ar.getU64();
+    stores_in_flight_ = static_cast<int>(ar.getI64());
+    waiting_load_ = ar.getBool();
+    blocked_store_full_ = ar.getBool();
+    have_pending_op_ = ar.getBool();
+    pending_op_.addr = ar.getU64();
+    pending_op_.is_write = ar.getBool();
+    finished_ = ar.getBool();
+    finish_tick_ = ar.getU64();
+    last_stall_start_ = ar.getU64();
+    ar.endSection();
 }
 
 } // namespace cpu

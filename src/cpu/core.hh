@@ -17,6 +17,7 @@
 #include "mem/l1_cache.hh"
 #include "sim/event.hh"
 #include "sim/rng.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
 #include "workload/address_stream.hh"
@@ -36,7 +37,7 @@ struct CoreParams
     int store_buffer = 8;
 };
 
-class SyntheticCore : public SimObject
+class SyntheticCore : public SimObject, public Serializable
 {
   public:
     SyntheticCore(Simulation &sim, const std::string &name, NodeId node,
@@ -54,6 +55,9 @@ class SyntheticCore : public SimObject
     Tick finishTick() const { return finish_tick_; }
 
     NodeId node() const { return node_; }
+
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
     stats::Scalar opsIssued;
     stats::Scalar loadsCompleted;

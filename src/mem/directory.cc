@@ -1,5 +1,8 @@
 #include "mem/directory.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -28,9 +31,13 @@ Directory::Directory(Simulation &sim, const std::string &name,
 void
 Directory::sendAt(Tick when, const CoherenceMsg &msg, NodeId dst)
 {
-    sim().eventq().scheduleLambda(
-        std::max(when, curTick()),
-        [this, msg, dst] { hub_.send(msg, dst); });
+    Tick at = std::max(when, curTick());
+    std::uint64_t seq = sim().eventq().nextSequence();
+    pending_sends_.emplace(seq, PendingSend{at, msg, dst});
+    sim().eventq().scheduleLambda(at, [this, seq, msg, dst] {
+        pending_sends_.erase(seq);
+        hub_.send(msg, dst);
+    });
 }
 
 Tick
@@ -273,6 +280,89 @@ Directory::probeSharerCount(Addr addr) const
 {
     auto it = entries_.find(params_.blockAlign(addr));
     return it == entries_.end() ? 0 : it->second.sharers.size();
+}
+
+void
+Directory::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("dir");
+    dram_.save(aw);
+    aw.putU64(busy_count_);
+
+    std::vector<Addr> addrs;
+    addrs.reserve(entries_.size());
+    for (const auto &[addr, entry] : entries_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    aw.putU64(addrs.size());
+    for (Addr addr : addrs) {
+        const Entry &entry = entries_.at(addr);
+        aw.putU64(addr);
+        aw.putU8(static_cast<std::uint8_t>(entry.state));
+        aw.putU64(entry.sharers.size());
+        for (NodeId sharer : entry.sharers) // std::set: sorted
+            aw.putU32(sharer);
+        aw.putU32(entry.owner);
+        aw.putBool(entry.cached);
+        aw.putBool(entry.busy);
+        aw.putU32(entry.pending_requestor);
+        aw.putU64(entry.queue.size());
+        for (const CoherenceMsg &msg : entry.queue)
+            saveMsg(aw, msg);
+    }
+
+    aw.putU64(pending_sends_.size());
+    for (const auto &[seq, ps] : pending_sends_) {
+        aw.putU64(seq);
+        aw.putU64(ps.when);
+        saveMsg(aw, ps.msg);
+        aw.putU32(ps.dst);
+    }
+    aw.endSection();
+}
+
+void
+Directory::restore(ArchiveReader &ar)
+{
+    ar.expectSection("dir");
+    dram_.restore(ar);
+    busy_count_ = ar.getU64();
+
+    entries_.clear();
+    std::uint64_t n_entries = ar.getU64();
+    for (std::uint64_t i = 0; i < n_entries; ++i) {
+        Addr addr = ar.getU64();
+        Entry &entry = entries_[addr];
+        entry.state = static_cast<DirState>(ar.getU8());
+        std::uint64_t n_sharers = ar.getU64();
+        for (std::uint64_t s = 0; s < n_sharers; ++s)
+            entry.sharers.insert(ar.getU32());
+        entry.owner = ar.getU32();
+        entry.cached = ar.getBool();
+        entry.busy = ar.getBool();
+        entry.pending_requestor = ar.getU32();
+        std::uint64_t n_queued = ar.getU64();
+        for (std::uint64_t q = 0; q < n_queued; ++q)
+            entry.queue.push_back(restoreMsg(ar));
+    }
+
+    pending_sends_.clear();
+    std::uint64_t n_sends = ar.getU64();
+    for (std::uint64_t i = 0; i < n_sends; ++i) {
+        std::uint64_t seq = ar.getU64();
+        Tick when = ar.getU64();
+        CoherenceMsg msg = restoreMsg(ar);
+        NodeId dst = ar.getU32();
+        pending_sends_.emplace(seq, PendingSend{when, msg, dst});
+        sim().eventq().scheduleLambdaWithSequence(
+            when,
+            [this, seq, msg, dst] {
+                pending_sends_.erase(seq);
+                hub_.send(msg, dst);
+            },
+            Event::default_pri, seq);
+    }
+    ar.endSection();
 }
 
 } // namespace mem

@@ -10,6 +10,7 @@
 #define RASIM_MEM_DIRECTORY_HH
 
 #include <deque>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -17,6 +18,7 @@
 #include "mem/message_hub.hh"
 #include "mem/msg.hh"
 #include "mem/params.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
 
@@ -25,7 +27,7 @@ namespace rasim
 namespace mem
 {
 
-class Directory : public SimObject
+class Directory : public SimObject, public Serializable
 {
   public:
     Directory(Simulation &sim, const std::string &name, NodeId node,
@@ -43,6 +45,9 @@ class Directory : public SimObject
     /** Introspection for tests: 'I'/'S'/'M', 'B' while busy. */
     char probeState(Addr addr) const;
     std::size_t probeSharerCount(Addr addr) const;
+
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
     stats::Scalar getSReceived;
     stats::Scalar getMReceived;
@@ -79,11 +84,20 @@ class Directory : public SimObject
 
     void sendAt(Tick when, const CoherenceMsg &msg, NodeId dst);
 
+    struct PendingSend
+    {
+        Tick when = 0;
+        CoherenceMsg msg;
+        NodeId dst = 0;
+    };
+
     NodeId node_;
     const MemParams &params_;
     MessageHub &hub_;
     Dram dram_;
     std::unordered_map<Addr, Entry> entries_;
+    /** sendAt() events not yet fired, keyed by event sequence. */
+    std::map<std::uint64_t, PendingSend> pending_sends_;
     std::uint64_t busy_count_ = 0;
 };
 

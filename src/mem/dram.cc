@@ -36,5 +36,28 @@ Dram::access(Addr addr, Tick now)
     return done;
 }
 
+void
+Dram::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("dram");
+    aw.putU64(bank_free_.size());
+    for (Tick t : bank_free_)
+        aw.putU64(t);
+    aw.endSection();
+}
+
+void
+Dram::restore(ArchiveReader &ar)
+{
+    ar.expectSection("dram");
+    std::uint64_t n = ar.getU64();
+    if (n != bank_free_.size())
+        panic("dram restore: bank count mismatch (", n, " vs ",
+              bank_free_.size(), ")");
+    for (Tick &t : bank_free_)
+        t = ar.getU64();
+    ar.endSection();
+}
+
 } // namespace mem
 } // namespace rasim

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 #include "stats/stat.hh"
 #include "stats/distribution.hh"
@@ -39,6 +40,9 @@ class Dram : public stats::Group
 
     int banks() const { return static_cast<int>(bank_free_.size()); }
     Tick accessLatency() const { return access_latency_; }
+
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar);
 
     stats::Scalar accesses;
     stats::Distribution queueDelay;

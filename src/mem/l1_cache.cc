@@ -1,5 +1,6 @@
 #include "mem/l1_cache.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -124,6 +125,21 @@ L1Cache::access(Addr addr, bool is_write, Callback cb)
     return accessInternal(addr, is_write, std::move(cb), true);
 }
 
+void
+L1Cache::scheduleCompletion(Tick done, bool is_write, Callback cb)
+{
+    // Key the bookkeeping entry by the sequence the event is about to
+    // receive; the wrapper retires the entry before running the core's
+    // callback so the map mirrors the queue exactly.
+    std::uint64_t seq = sim().eventq().nextSequence();
+    pending_completions_.emplace(seq, std::make_pair(done, is_write));
+    sim().eventq().scheduleLambda(
+        done, [this, seq, cb = std::move(cb)] {
+            pending_completions_.erase(seq);
+            cb();
+        });
+}
+
 bool
 L1Cache::accessInternal(Addr addr, bool is_write, Callback cb,
                         bool count_stats)
@@ -151,14 +167,14 @@ L1Cache::accessInternal(Addr addr, bool is_write, Callback cb,
         if (count_stats)
             (is_write ? storeHits : loadHits) += 1;
         touchLine(block, line);
-        sim().eventq().scheduleLambda(done, std::move(cb));
+        scheduleCompletion(done, is_write, std::move(cb));
         return true;
     }
     if (line && line->state == State::S && !is_write) {
         if (count_stats)
             ++loadHits;
         touchLine(block, line);
-        sim().eventq().scheduleLambda(done, std::move(cb));
+        scheduleCompletion(done, false, std::move(cb));
         return true;
     }
 
@@ -426,6 +442,146 @@ bool
 L1Cache::quiescent() const
 {
     return mshrs_.empty() && wb_buffer_.empty() && deferred_.empty();
+}
+
+void
+L1Cache::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("l1");
+
+    for (const auto &set : sets_) {
+        for (const Line &line : set) {
+            aw.putU64(line.block);
+            aw.putU8(static_cast<std::uint8_t>(line.state));
+        }
+    }
+    repl_->save(aw);
+
+    // Unordered maps iterate in an implementation-defined order; sort
+    // by key so the archive (and therefore the CRC) is reproducible.
+    std::vector<Addr> addrs;
+    addrs.reserve(mshrs_.size());
+    for (const auto &[addr, m] : mshrs_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    aw.putU64(addrs.size());
+    for (Addr addr : addrs) {
+        const Mshr &m = mshrs_.at(addr);
+        aw.putU64(addr);
+        aw.putBool(m.is_write);
+        aw.putBool(m.data_received);
+        aw.putBool(m.was_invalidated);
+        aw.putI64(m.pending_acks);
+        aw.putU64(m.waiters.size());
+        for (const auto &[is_write, cb] : m.waiters)
+            aw.putBool(is_write);
+    }
+
+    addrs.clear();
+    for (const auto &[addr, dirty] : wb_buffer_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    aw.putU64(addrs.size());
+    for (Addr addr : addrs) {
+        aw.putU64(addr);
+        aw.putBool(wb_buffer_.at(addr));
+    }
+
+    addrs.clear();
+    for (const auto &[addr, msgs] : deferred_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    aw.putU64(addrs.size());
+    for (Addr addr : addrs) {
+        const auto &msgs = deferred_.at(addr);
+        aw.putU64(addr);
+        aw.putU64(msgs.size());
+        for (const CoherenceMsg &msg : msgs)
+            saveMsg(aw, msg);
+    }
+
+    aw.putU64(pending_completions_.size());
+    for (const auto &[seq, entry] : pending_completions_) {
+        aw.putU64(seq);
+        aw.putU64(entry.first);
+        aw.putBool(entry.second);
+    }
+
+    aw.putBool(want_retry_);
+    aw.endSection();
+}
+
+void
+L1Cache::restore(ArchiveReader &ar)
+{
+    ar.expectSection("l1");
+
+    for (auto &set : sets_) {
+        for (Line &line : set) {
+            line.block = ar.getU64();
+            line.state = static_cast<State>(ar.getU8());
+        }
+    }
+    repl_->restore(ar);
+
+    if (!completion_factory_)
+        panic("l1", node_,
+              ": restore without a completion factory installed");
+
+    mshrs_.clear();
+    std::uint64_t n_mshrs = ar.getU64();
+    for (std::uint64_t i = 0; i < n_mshrs; ++i) {
+        Addr addr = ar.getU64();
+        Mshr &m = mshrs_[addr];
+        m.is_write = ar.getBool();
+        m.data_received = ar.getBool();
+        m.was_invalidated = ar.getBool();
+        m.pending_acks = static_cast<int>(ar.getI64());
+        std::uint64_t n_waiters = ar.getU64();
+        for (std::uint64_t w = 0; w < n_waiters; ++w) {
+            bool is_write = ar.getBool();
+            m.waiters.emplace_back(is_write,
+                                   completion_factory_(is_write));
+        }
+    }
+
+    wb_buffer_.clear();
+    std::uint64_t n_wb = ar.getU64();
+    for (std::uint64_t i = 0; i < n_wb; ++i) {
+        Addr addr = ar.getU64();
+        wb_buffer_[addr] = ar.getBool();
+    }
+
+    deferred_.clear();
+    std::uint64_t n_def = ar.getU64();
+    for (std::uint64_t i = 0; i < n_def; ++i) {
+        Addr addr = ar.getU64();
+        std::uint64_t n_msgs = ar.getU64();
+        auto &msgs = deferred_[addr];
+        for (std::uint64_t k = 0; k < n_msgs; ++k)
+            msgs.push_back(restoreMsg(ar));
+    }
+
+    pending_completions_.clear();
+    std::uint64_t n_pc = ar.getU64();
+    for (std::uint64_t i = 0; i < n_pc; ++i) {
+        std::uint64_t seq = ar.getU64();
+        Tick when = ar.getU64();
+        bool is_write = ar.getBool();
+        pending_completions_.emplace(seq,
+                                     std::make_pair(when, is_write));
+        Callback cb = completion_factory_(is_write);
+        sim().eventq().scheduleLambdaWithSequence(
+            when,
+            [this, seq, cb = std::move(cb)] {
+                pending_completions_.erase(seq);
+                cb();
+            },
+            Event::default_pri, seq);
+    }
+
+    want_retry_ = ar.getBool();
+    ar.endSection();
 }
 
 char

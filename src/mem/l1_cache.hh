@@ -20,6 +20,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "mem/msg.hh"
 #include "mem/params.hh"
 #include "mem/replacement.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
 
@@ -35,13 +37,20 @@ namespace rasim
 namespace mem
 {
 
-class L1Cache : public SimObject
+class L1Cache : public SimObject, public Serializable
 {
   public:
     /** Completion callback for a core memory operation. */
     using Callback = std::function<void()>;
     /** Maps a block address to its home (directory) node. */
     using HomeOf = std::function<NodeId(Addr)>;
+    /**
+     * Rebuilds a core completion callback from its is_write flag when
+     * restoring a checkpoint: closures cannot be archived, but the
+     * core's load/store completion handlers are a pure function of the
+     * operation kind.
+     */
+    using CompletionFactory = std::function<Callback(bool is_write)>;
 
     L1Cache(Simulation &sim, const std::string &name, NodeId node,
             const MemParams &params, MessageHub &hub, HomeOf home_of,
@@ -62,6 +71,16 @@ class L1Cache : public SimObject
 
     /** Invoked when a previously exhausted resource frees up. */
     void setRetryCallback(Callback cb) { retry_cb_ = std::move(cb); }
+
+    /** Install the callback rebuilder used by restore(). */
+    void
+    setCompletionFactory(CompletionFactory f)
+    {
+        completion_factory_ = std::move(f);
+    }
+
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
     /** Coherence message entry point (registered with the hub). */
     void handleMessage(const CoherenceMsg &msg);
@@ -122,6 +141,8 @@ class L1Cache : public SimObject
     Line *allocateLine(Addr block);
 
     void sendToHome(MsgType type, Addr block);
+    /** Schedule a hit-path completion, tracked for checkpointing. */
+    void scheduleCompletion(Tick done, bool is_write, Callback cb);
     void completeTransaction(Addr block, Line &line);
     void finishMshr(Addr block);
     void processDeferred(Addr block);
@@ -145,6 +166,10 @@ class L1Cache : public SimObject
     /** Forwards stalled until the local transaction completes. */
     std::unordered_map<Addr, std::deque<CoherenceMsg>> deferred_;
     Callback retry_cb_;
+    CompletionFactory completion_factory_;
+    /** Hit completions in flight, keyed by their event's insertion
+     *  sequence: seq -> (completion tick, is_write). */
+    std::map<std::uint64_t, std::pair<Tick, bool>> pending_completions_;
     bool want_retry_ = false;
 };
 

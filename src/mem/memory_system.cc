@@ -114,5 +114,29 @@ MemorySystem::quiescent() const
     return true;
 }
 
+void
+MemorySystem::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("memory");
+    hub_.save(aw);
+    for (const auto &l1 : l1s_)
+        l1->save(aw);
+    for (const auto &dir : dirs_)
+        dir->save(aw);
+    aw.endSection();
+}
+
+void
+MemorySystem::restore(ArchiveReader &ar)
+{
+    ar.expectSection("memory");
+    hub_.restore(ar);
+    for (const auto &l1 : l1s_)
+        l1->restore(ar);
+    for (const auto &dir : dirs_)
+        dir->restore(ar);
+    ar.endSection();
+}
+
 } // namespace mem
 } // namespace rasim

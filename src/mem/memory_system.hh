@@ -16,6 +16,7 @@
 #include "mem/message_hub.hh"
 #include "mem/params.hh"
 #include "noc/network_model.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 
 namespace rasim
@@ -23,7 +24,7 @@ namespace rasim
 namespace mem
 {
 
-class MemorySystem : public SimObject
+class MemorySystem : public SimObject, public Serializable
 {
   public:
     MemorySystem(Simulation &sim, const std::string &name,
@@ -42,6 +43,9 @@ class MemorySystem : public SimObject
 
     /** True when no coherence activity is outstanding anywhere. */
     bool quiescent() const;
+
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
   private:
     MemParams params_;

@@ -1,5 +1,7 @@
 #include "mem/message_hub.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -58,11 +60,85 @@ MessageHub::deliver(const noc::PacketPtr &pkt)
         panic("hub: no handler registered at node ", dst);
 
     Tick when = std::max(pkt->deliver_tick, curTick());
-    sim().eventq().scheduleLambda(when, [this, msg, dst] {
+    scheduleDispatch(when, msg, dst);
+}
+
+void
+MessageHub::scheduleDispatch(Tick when, const CoherenceMsg &msg,
+                             NodeId dst)
+{
+    std::uint64_t seq = sim().eventq().nextSequence();
+    pending_dispatches_.emplace(seq, PendingDispatch{when, msg, dst});
+    sim().eventq().scheduleLambda(when, [this, seq, msg, dst] {
+        pending_dispatches_.erase(seq);
         --outstanding_;
         ++messagesDelivered;
         handlers_[dst](msg);
     });
+}
+
+void
+MessageHub::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("hub");
+    aw.putU64(next_id_);
+    aw.putU64(outstanding_);
+
+    std::vector<PacketId> ids;
+    ids.reserve(in_transit_.size());
+    for (const auto &[id, msg] : in_transit_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    aw.putU64(ids.size());
+    for (PacketId id : ids) {
+        aw.putU64(id);
+        saveMsg(aw, in_transit_.at(id));
+    }
+
+    aw.putU64(pending_dispatches_.size());
+    for (const auto &[seq, pd] : pending_dispatches_) {
+        aw.putU64(seq);
+        aw.putU64(pd.when);
+        saveMsg(aw, pd.msg);
+        aw.putU32(pd.dst);
+    }
+    aw.endSection();
+}
+
+void
+MessageHub::restore(ArchiveReader &ar)
+{
+    ar.expectSection("hub");
+    next_id_ = ar.getU64();
+    outstanding_ = ar.getU64();
+
+    in_transit_.clear();
+    std::uint64_t n_transit = ar.getU64();
+    for (std::uint64_t i = 0; i < n_transit; ++i) {
+        PacketId id = ar.getU64();
+        in_transit_.emplace(id, restoreMsg(ar));
+    }
+
+    pending_dispatches_.clear();
+    std::uint64_t n_disp = ar.getU64();
+    for (std::uint64_t i = 0; i < n_disp; ++i) {
+        std::uint64_t seq = ar.getU64();
+        Tick when = ar.getU64();
+        CoherenceMsg msg = restoreMsg(ar);
+        NodeId dst = ar.getU32();
+        pending_dispatches_.emplace(seq,
+                                    PendingDispatch{when, msg, dst});
+        sim().eventq().scheduleLambdaWithSequence(
+            when,
+            [this, seq, msg, dst] {
+                pending_dispatches_.erase(seq);
+                --outstanding_;
+                ++messagesDelivered;
+                handlers_[dst](msg);
+            },
+            Event::default_pri, seq);
+    }
+    ar.endSection();
 }
 
 } // namespace mem

@@ -12,11 +12,13 @@
 #define RASIM_MEM_MESSAGE_HUB_HH
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "mem/msg.hh"
 #include "noc/network_model.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
 
@@ -25,7 +27,7 @@ namespace rasim
 namespace mem
 {
 
-class MessageHub : public SimObject
+class MessageHub : public SimObject, public Serializable
 {
   public:
     using Handler = std::function<void(const CoherenceMsg &)>;
@@ -58,16 +60,33 @@ class MessageHub : public SimObject
     /** Messages still somewhere between send() and handler. */
     std::uint64_t outstanding() const { return outstanding_; }
 
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
+
     stats::Scalar messagesSent;
     stats::Scalar messagesDelivered;
     stats::Scalar bytesSent;
 
   private:
+    /** Schedule a handler dispatch, tracked for checkpointing. */
+    void scheduleDispatch(Tick when, const CoherenceMsg &msg,
+                          NodeId dst);
+
+    struct PendingDispatch
+    {
+        Tick when = 0;
+        CoherenceMsg msg;
+        NodeId dst = 0;
+    };
+
     noc::NetworkModel &net_;
     std::uint32_t control_bytes_;
     std::uint32_t data_bytes_;
     std::vector<Handler> handlers_;
     std::unordered_map<PacketId, CoherenceMsg> in_transit_;
+    /** Delivered messages whose handler event has not yet run, keyed
+     *  by the event's insertion sequence. */
+    std::map<std::uint64_t, PendingDispatch> pending_dispatches_;
     PacketId next_id_ = 1;
     std::uint64_t outstanding_ = 0;
 };

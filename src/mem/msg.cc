@@ -88,5 +88,27 @@ CoherenceMsg::toString() const
     return os.str();
 }
 
+void
+saveMsg(ArchiveWriter &aw, const CoherenceMsg &msg)
+{
+    aw.putU8(static_cast<std::uint8_t>(msg.type));
+    aw.putU64(msg.addr);
+    aw.putU32(msg.sender);
+    aw.putU32(msg.requestor);
+    aw.putI64(msg.ack_count);
+}
+
+CoherenceMsg
+restoreMsg(ArchiveReader &ar)
+{
+    CoherenceMsg msg;
+    msg.type = static_cast<MsgType>(ar.getU8());
+    msg.addr = ar.getU64();
+    msg.sender = ar.getU32();
+    msg.requestor = ar.getU32();
+    msg.ack_count = static_cast<int>(ar.getI64());
+    return msg;
+}
+
 } // namespace mem
 } // namespace rasim

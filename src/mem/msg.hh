@@ -15,6 +15,7 @@
 #include <string>
 
 #include "noc/packet.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace rasim
@@ -60,6 +61,10 @@ struct CoherenceMsg
 
     std::string toString() const;
 };
+
+/** Checkpoint helpers for in-flight protocol messages. */
+void saveMsg(ArchiveWriter &aw, const CoherenceMsg &msg);
+CoherenceMsg restoreMsg(ArchiveReader &ar);
 
 } // namespace mem
 } // namespace rasim

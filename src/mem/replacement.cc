@@ -46,6 +46,35 @@ LruPolicy::victim(int set, const std::vector<int> &candidates)
     return best;
 }
 
+void
+LruPolicy::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("lru");
+    aw.putU64(next_seq_);
+    aw.putU64(last_use_.size());
+    for (Tick t : last_use_)
+        aw.putU64(t);
+    for (std::uint64_t s : seq_)
+        aw.putU64(s);
+    aw.endSection();
+}
+
+void
+LruPolicy::restore(ArchiveReader &ar)
+{
+    ar.expectSection("lru");
+    next_seq_ = ar.getU64();
+    std::uint64_t n = ar.getU64();
+    if (n != last_use_.size())
+        panic("lru restore: geometry mismatch (", n, " vs ",
+              last_use_.size(), " ways)");
+    for (Tick &t : last_use_)
+        t = ar.getU64();
+    for (std::uint64_t &s : seq_)
+        s = ar.getU64();
+    ar.endSection();
+}
+
 FifoPolicy::FifoPolicy(int num_sets, int num_ways)
     : ReplacementPolicy(num_sets, num_ways),
       fill_seq_(static_cast<std::size_t>(num_sets) * num_ways, 0)
@@ -87,6 +116,31 @@ FifoPolicy::victim(int set, const std::vector<int> &candidates)
     return best;
 }
 
+void
+FifoPolicy::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("fifo");
+    aw.putU64(next_seq_);
+    aw.putU64(fill_seq_.size());
+    for (std::uint64_t s : fill_seq_)
+        aw.putU64(s);
+    aw.endSection();
+}
+
+void
+FifoPolicy::restore(ArchiveReader &ar)
+{
+    ar.expectSection("fifo");
+    next_seq_ = ar.getU64();
+    std::uint64_t n = ar.getU64();
+    if (n != fill_seq_.size())
+        panic("fifo restore: geometry mismatch (", n, " vs ",
+              fill_seq_.size(), " ways)");
+    for (std::uint64_t &s : fill_seq_)
+        s = ar.getU64();
+    ar.endSection();
+}
+
 RandomPolicy::RandomPolicy(int num_sets, int num_ways, Rng rng)
     : ReplacementPolicy(num_sets, num_ways), rng_(rng)
 {
@@ -108,6 +162,27 @@ RandomPolicy::victim(int set, const std::vector<int> &candidates)
         panic("random: no eviction candidates");
     return candidates[rng_.range(
         static_cast<std::uint32_t>(candidates.size()))];
+}
+
+void
+RandomPolicy::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("random");
+    const Rng::State rs = rng_.state();
+    aw.putU64(rs.state);
+    aw.putU64(rs.inc);
+    aw.endSection();
+}
+
+void
+RandomPolicy::restore(ArchiveReader &ar)
+{
+    ar.expectSection("random");
+    Rng::State rs;
+    rs.state = ar.getU64();
+    rs.inc = ar.getU64();
+    rng_.setState(rs);
+    ar.endSection();
 }
 
 std::unique_ptr<ReplacementPolicy>

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/rng.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace rasim
@@ -40,6 +41,11 @@ class ReplacementPolicy
 
     virtual std::string name() const = 0;
 
+    /** Checkpoint the policy's dynamic state (recency, fill order,
+     *  RNG position — whatever the concrete policy keeps). */
+    virtual void save(ArchiveWriter &aw) const = 0;
+    virtual void restore(ArchiveReader &ar) = 0;
+
   protected:
     int num_sets_;
     int num_ways_;
@@ -53,6 +59,8 @@ class LruPolicy : public ReplacementPolicy
     void touch(int set, int way, Tick now) override;
     int victim(int set, const std::vector<int> &candidates) override;
     std::string name() const override { return "lru"; }
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
   private:
     std::vector<Tick> last_use_;
@@ -72,6 +80,9 @@ class FifoPolicy : public ReplacementPolicy
     /** The cache calls this on fill (not on hit). */
     void filled(int set, int way);
 
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
+
   private:
     std::vector<std::uint64_t> fill_seq_;
     std::uint64_t next_seq_ = 1;
@@ -85,6 +96,8 @@ class RandomPolicy : public ReplacementPolicy
     void touch(int set, int way, Tick now) override;
     int victim(int set, const std::vector<int> &candidates) override;
     std::string name() const override { return "random"; }
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
   private:
     Rng rng_;

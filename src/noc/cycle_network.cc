@@ -219,5 +219,76 @@ CycleNetwork::advanceTo(Tick t)
     }
 }
 
+void
+CycleNetwork::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("cycle_net");
+    aw.putU64(time_);
+    aw.putU64(injected_);
+    aw.putU64(delivered_);
+    aw.putU64(in_fabric_);
+    for (char s : stalled_)
+        aw.putU8(static_cast<std::uint8_t>(s));
+
+    // Drain a copy of the injection heap in order (the heap does not
+    // expose its container).
+    auto pending = pending_;
+    std::vector<PacketPtr> queued;
+    queued.reserve(pending.size());
+    while (!pending.empty()) {
+        queued.push_back(pending.top());
+        pending.pop();
+    }
+    aw.putU64(queued.size());
+    for (const PacketPtr &pkt : queued)
+        savePacket(aw, *pkt);
+
+    // Every flit of a packet shares one Packet object; archive each
+    // referenced packet once and let flits point at it by id.
+    PacketTable table;
+    for (const auto &router : routers_)
+        router->collectPackets(table);
+    for (const auto &nic : nics_)
+        nic->collectPackets(table);
+    for (const auto &link : links_)
+        link->collectPackets(table);
+    savePacketTable(aw, table);
+
+    for (const auto &router : routers_)
+        router->save(aw);
+    for (const auto &nic : nics_)
+        nic->save(aw);
+    for (const auto &link : links_)
+        link->save(aw);
+    aw.endSection();
+}
+
+void
+CycleNetwork::restore(ArchiveReader &ar)
+{
+    ar.expectSection("cycle_net");
+    time_ = ar.getU64();
+    injected_ = ar.getU64();
+    delivered_ = ar.getU64();
+    in_fabric_ = ar.getU64();
+    for (char &s : stalled_)
+        s = static_cast<char>(ar.getU8());
+
+    pending_ = {};
+    std::uint64_t n_pending = ar.getU64();
+    for (std::uint64_t i = 0; i < n_pending; ++i)
+        pending_.push(restorePacket(ar));
+
+    PacketTable table = restorePacketTable(ar);
+
+    for (const auto &router : routers_)
+        router->restore(ar, table);
+    for (const auto &nic : nics_)
+        nic->restore(ar, table);
+    for (const auto &link : links_)
+        link->restore(ar, table);
+    ar.endSection();
+}
+
 } // namespace noc
 } // namespace rasim

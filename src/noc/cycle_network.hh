@@ -71,6 +71,10 @@ class CycleNetwork : public SimObject, public NetworkModel
     Router &router(std::size_t i) { return *routers_[i]; }
     Nic &nic(std::size_t i) { return *nics_[i]; }
 
+    /** Checkpoint the full fabric state between cycles. */
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar);
+
     /** @name Aggregate statistics */
     /// @{
     stats::Scalar packetsInjected;

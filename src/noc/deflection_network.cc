@@ -358,5 +358,146 @@ DeflectionNetwork::advanceTo(Tick t)
     }
 }
 
+namespace
+{
+
+void
+saveDFlitFields(ArchiveWriter &aw, std::uint32_t seq,
+                std::uint32_t deflections, std::uint32_t hops,
+                Tick birth, PacketId id)
+{
+    aw.putU64(id);
+    aw.putU32(seq);
+    aw.putU32(deflections);
+    aw.putU32(hops);
+    aw.putU64(birth);
+}
+
+} // namespace
+
+void
+DeflectionNetwork::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("deflection_net");
+    aw.putU64(time_);
+    aw.putU64(in_fabric_flits_);
+    aw.putU64(queued_flits_);
+    aw.putU64(delivered_);
+    aw.putU64(injected_);
+    for (char s : stalled_)
+        aw.putU8(static_cast<std::uint8_t>(s));
+
+    // out_ staging is drained every cycle; a populated slot would mean
+    // the checkpoint was taken mid-cycle.
+    for (const auto &slots : out_)
+        for (const DFlit &df : slots)
+            if (df.pkt)
+                panic("deflection net: checkpoint mid-cycle "
+                      "(staging slot occupied)");
+
+    auto pending = pending_;
+    std::vector<PacketPtr> queued;
+    queued.reserve(pending.size());
+    while (!pending.empty()) {
+        queued.push_back(pending.top());
+        pending.pop();
+    }
+    aw.putU64(queued.size());
+    for (const PacketPtr &pkt : queued)
+        savePacket(aw, *pkt);
+
+    PacketTable table;
+    for (const auto &flits : arriving_)
+        for (const DFlit &df : flits)
+            collectPacket(table, df.pkt);
+    for (const auto &q : inject_queues_)
+        for (const DFlit &df : q)
+            collectPacket(table, df.pkt);
+    savePacketTable(aw, table);
+
+    for (const auto &flits : arriving_) {
+        aw.putU64(flits.size());
+        for (const DFlit &df : flits)
+            saveDFlitFields(aw, df.seq, df.deflections, df.hops,
+                            df.birth, df.pkt->id);
+    }
+    for (const auto &q : inject_queues_) {
+        aw.putU64(q.size());
+        for (const DFlit &df : q)
+            saveDFlitFields(aw, df.seq, df.deflections, df.hops,
+                            df.birth, df.pkt->id);
+    }
+    for (const auto &rx : rx_) {
+        std::vector<PacketId> ids;
+        ids.reserve(rx.size());
+        for (const auto &[id, count] : rx)
+            ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        aw.putU64(ids.size());
+        for (PacketId id : ids) {
+            aw.putU64(id);
+            aw.putU32(rx.at(id));
+        }
+    }
+    aw.endSection();
+}
+
+void
+DeflectionNetwork::restore(ArchiveReader &ar)
+{
+    ar.expectSection("deflection_net");
+    time_ = ar.getU64();
+    in_fabric_flits_ = ar.getU64();
+    queued_flits_ = ar.getU64();
+    delivered_ = ar.getU64();
+    injected_ = ar.getU64();
+    for (char &s : stalled_)
+        s = static_cast<char>(ar.getU8());
+
+    pending_ = {};
+    std::uint64_t n_pending = ar.getU64();
+    for (std::uint64_t i = 0; i < n_pending; ++i)
+        pending_.push(restorePacket(ar));
+
+    PacketTable table = restorePacketTable(ar);
+
+    auto read_dflit = [&](std::vector<DFlit> *vec,
+                          std::deque<DFlit> *dq) {
+        DFlit df;
+        PacketId id = ar.getU64();
+        df.seq = ar.getU32();
+        df.deflections = ar.getU32();
+        df.hops = ar.getU32();
+        df.birth = ar.getU64();
+        df.pkt = table.at(id);
+        if (vec)
+            vec->push_back(std::move(df));
+        else
+            dq->push_back(std::move(df));
+    };
+
+    for (auto &flits : arriving_) {
+        flits.clear();
+        std::uint64_t n = ar.getU64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            read_dflit(&flits, nullptr);
+    }
+    for (auto &q : inject_queues_) {
+        q.clear();
+        std::uint64_t n = ar.getU64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            read_dflit(nullptr, &q);
+    }
+    for (auto &rx : rx_) {
+        rx.clear();
+        std::uint64_t n = ar.getU64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            PacketId id = ar.getU64();
+            rx[id] = ar.getU32();
+        }
+    }
+    ar.endSection();
+}
+
 } // namespace noc
 } // namespace rasim

@@ -80,6 +80,10 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     const NocParams &params() const { return params_; }
     const Topology &topology() const { return *topo_; }
 
+    /** Checkpoint the full fabric state between cycles. */
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar);
+
     stats::Scalar packetsInjected;
     stats::Scalar packetsDelivered;
     stats::Scalar flitsDeflected;

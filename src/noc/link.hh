@@ -82,6 +82,50 @@ class Link
     std::size_t flitsInFlight() const { return flits_.size(); }
     int latency() const { return latency_; }
 
+    void
+    collectPackets(PacketTable &table) const
+    {
+        for (const auto &[cycle, flit] : flits_)
+            collectPacket(table, flit.pkt);
+    }
+
+    void
+    save(ArchiveWriter &aw) const
+    {
+        aw.beginSection("link");
+        aw.putU64(flits_.size());
+        for (const auto &[cycle, flit] : flits_) {
+            aw.putU64(cycle);
+            saveFlit(aw, flit);
+        }
+        aw.putU64(credits_.size());
+        for (const auto &[cycle, vc] : credits_) {
+            aw.putU64(cycle);
+            aw.putI64(vc);
+        }
+        aw.endSection();
+    }
+
+    void
+    restore(ArchiveReader &ar, const PacketTable &table)
+    {
+        ar.expectSection("link");
+        flits_.clear();
+        std::uint64_t n_flits = ar.getU64();
+        for (std::uint64_t i = 0; i < n_flits; ++i) {
+            Cycle cycle = ar.getU64();
+            flits_.emplace_back(cycle, restoreFlit(ar, table));
+        }
+        credits_.clear();
+        std::uint64_t n_credits = ar.getU64();
+        for (std::uint64_t i = 0; i < n_credits; ++i) {
+            Cycle cycle = ar.getU64();
+            credits_.emplace_back(
+                cycle, static_cast<std::int16_t>(ar.getI64()));
+        }
+        ar.endSection();
+    }
+
   private:
     int latency_;
     std::deque<std::pair<Cycle, Flit>> flits_;

@@ -1,5 +1,7 @@
 #include "noc/nic.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace rasim
@@ -138,6 +140,79 @@ bool
 Nic::idle() const
 {
     return queued_flits_ == 0 && rx_flits_.empty() && completed_.empty();
+}
+
+void
+Nic::collectPackets(PacketTable &table) const
+{
+    for (const auto &q : queues_)
+        for (const Flit &flit : q.fifo)
+            collectPacket(table, flit.pkt);
+}
+
+void
+Nic::save(ArchiveWriter &aw) const
+{
+    if (!completed_.empty())
+        panic("nic", node_,
+              ": checkpoint with undrained completions");
+    aw.beginSection("nic");
+    for (const auto &q : queues_) {
+        aw.putI64(q.cur_vc);
+        aw.putU64(q.fifo.size());
+        for (const Flit &flit : q.fifo)
+            saveFlit(aw, flit);
+    }
+    for (const auto &vc : inj_vcs_) {
+        aw.putBool(vc.busy);
+        aw.putI64(vc.credits);
+    }
+    for (int rr : va_rr_)
+        aw.putI64(rr);
+    aw.putI64(rr_vnet_);
+    aw.putU64(queued_flits_);
+
+    std::vector<PacketId> ids;
+    ids.reserve(rx_flits_.size());
+    for (const auto &[id, count] : rx_flits_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    aw.putU64(ids.size());
+    for (PacketId id : ids) {
+        aw.putU64(id);
+        aw.putU32(rx_flits_.at(id));
+    }
+    aw.endSection();
+}
+
+void
+Nic::restore(ArchiveReader &ar, const PacketTable &table)
+{
+    ar.expectSection("nic");
+    for (auto &q : queues_) {
+        q.cur_vc = static_cast<int>(ar.getI64());
+        q.fifo.clear();
+        std::uint64_t n = ar.getU64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            q.fifo.push_back(restoreFlit(ar, table));
+    }
+    for (auto &vc : inj_vcs_) {
+        vc.busy = ar.getBool();
+        vc.credits = static_cast<int>(ar.getI64());
+    }
+    for (int &rr : va_rr_)
+        rr = static_cast<int>(ar.getI64());
+    rr_vnet_ = static_cast<int>(ar.getI64());
+    queued_flits_ = ar.getU64();
+
+    rx_flits_.clear();
+    std::uint64_t n_rx = ar.getU64();
+    for (std::uint64_t i = 0; i < n_rx; ++i) {
+        PacketId id = ar.getU64();
+        rx_flits_[id] = ar.getU32();
+    }
+    completed_.clear();
+    ar.endSection();
 }
 
 } // namespace noc

@@ -60,6 +60,14 @@ class Nic : public stats::Group
 
     NodeId node() const { return node_; }
 
+    /** Register packets referenced by queued flits. */
+    void collectPackets(PacketTable &table) const;
+
+    /** Checkpoint injection queues, VC state and reassembly counts.
+     *  completed() must be empty (drained every cycle). */
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar, const PacketTable &table);
+
     stats::Scalar flitsSent;
     stats::Scalar flitsReceived;
 

@@ -54,5 +54,67 @@ flitsForBytes(std::uint32_t size_bytes, std::uint32_t flit_bytes)
     return (size_bytes + flit_bytes - 1) / flit_bytes;
 }
 
+void
+collectPacket(PacketTable &table, const PacketPtr &pkt)
+{
+    if (pkt)
+        table.emplace(pkt->id, pkt);
+}
+
+void
+savePacketTable(ArchiveWriter &aw, const PacketTable &table)
+{
+    aw.beginSection("pkts");
+    aw.putU64(table.size());
+    for (const auto &[id, pkt] : table)
+        savePacket(aw, *pkt);
+    aw.endSection();
+}
+
+PacketTable
+restorePacketTable(ArchiveReader &ar)
+{
+    ar.expectSection("pkts");
+    PacketTable table;
+    std::uint64_t n = ar.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PacketPtr pkt = restorePacket(ar);
+        table.emplace(pkt->id, pkt);
+    }
+    ar.endSection();
+    return table;
+}
+
+void
+saveFlit(ArchiveWriter &aw, const Flit &flit)
+{
+    aw.putU8(static_cast<std::uint8_t>(flit.type));
+    aw.putU8(flit.vnet);
+    aw.putU8(static_cast<std::uint8_t>(flit.vc));
+    aw.putU8(flit.vc_class);
+    aw.putU8(flit.last_dim);
+    aw.putU32(flit.seq);
+    aw.putU64(flit.ready_cycle);
+    aw.putU64(flit.pkt ? flit.pkt->id : 0);
+    aw.putBool(static_cast<bool>(flit.pkt));
+}
+
+Flit
+restoreFlit(ArchiveReader &ar, const PacketTable &table)
+{
+    Flit flit;
+    flit.type = static_cast<Flit::Type>(ar.getU8());
+    flit.vnet = ar.getU8();
+    flit.vc = static_cast<std::int8_t>(ar.getU8());
+    flit.vc_class = ar.getU8();
+    flit.last_dim = ar.getU8();
+    flit.seq = static_cast<std::uint16_t>(ar.getU32());
+    flit.ready_cycle = ar.getU64();
+    PacketId id = ar.getU64();
+    if (ar.getBool())
+        flit.pkt = table.at(id);
+    return flit;
+}
+
 } // namespace noc
 } // namespace rasim

@@ -9,9 +9,11 @@
 #define RASIM_NOC_PACKET_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace rasim
@@ -124,6 +126,57 @@ struct Flit
 /** Flits a packet occupies given the link width. */
 std::uint32_t flitsForBytes(std::uint32_t size_bytes,
                             std::uint32_t flit_bytes);
+
+/** Checkpoint a packet's full field set. Inline so users outside the
+ *  noc library (e.g. the fault injector) need no link dependency. */
+inline void
+savePacket(ArchiveWriter &aw, const Packet &pkt)
+{
+    aw.putU64(pkt.id);
+    aw.putU32(pkt.src);
+    aw.putU32(pkt.dst);
+    aw.putU8(static_cast<std::uint8_t>(pkt.cls));
+    aw.putU32(pkt.size_bytes);
+    aw.putU64(pkt.inject_tick);
+    aw.putU64(pkt.enter_tick);
+    aw.putU64(pkt.deliver_tick);
+    aw.putU32(pkt.hops);
+    aw.putU64(pkt.context);
+}
+
+inline PacketPtr
+restorePacket(ArchiveReader &ar)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->id = ar.getU64();
+    pkt->src = ar.getU32();
+    pkt->dst = ar.getU32();
+    pkt->cls = static_cast<MsgClass>(ar.getU8());
+    pkt->size_bytes = ar.getU32();
+    pkt->inject_tick = ar.getU64();
+    pkt->enter_tick = ar.getU64();
+    pkt->deliver_tick = ar.getU64();
+    pkt->hops = ar.getU32();
+    pkt->context = ar.getU64();
+    return pkt;
+}
+
+/**
+ * Identity map for checkpointing flits: every flit of a packet shares
+ * one Packet object mutated en route, so archives store each packet
+ * once (keyed and ordered by id) and flits reference it by id.
+ */
+using PacketTable = std::map<PacketId, PacketPtr>;
+
+/** Collect @p pkt into @p table (id collisions must agree). */
+void collectPacket(PacketTable &table, const PacketPtr &pkt);
+
+void savePacketTable(ArchiveWriter &aw, const PacketTable &table);
+PacketTable restorePacketTable(ArchiveReader &ar);
+
+/** Checkpoint a flit; the owning packet is stored as an id. */
+void saveFlit(ArchiveWriter &aw, const Flit &flit);
+Flit restoreFlit(ArchiveReader &ar, const PacketTable &table);
 
 } // namespace noc
 } // namespace rasim

@@ -312,5 +312,77 @@ Router::outVcBusy(int port, int vc) const
     return outputs_[port].vcs[vc].busy;
 }
 
+void
+Router::collectPackets(PacketTable &table) const
+{
+    for (const auto &ip : inputs_)
+        for (const auto &ivc : ip.vcs)
+            for (const Flit &flit : ivc.fifo)
+                collectPacket(table, flit.pkt);
+}
+
+void
+Router::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("router");
+    for (const auto &ip : inputs_) {
+        aw.putI64(ip.sa_rr);
+        for (const auto &ivc : ip.vcs) {
+            aw.putU8(static_cast<std::uint8_t>(ivc.state));
+            aw.putI64(ivc.out_port);
+            aw.putI64(ivc.out_vc);
+            aw.putU8(ivc.out_class);
+            aw.putU8(ivc.out_dim);
+            aw.putU64(ivc.fifo.size());
+            for (const Flit &flit : ivc.fifo)
+                saveFlit(aw, flit);
+        }
+    }
+    for (const auto &op : outputs_) {
+        aw.putI64(op.sa_rr);
+        aw.putU64(op.va_rr.size());
+        for (int rr : op.va_rr)
+            aw.putI64(rr);
+        for (const auto &ovc : op.vcs) {
+            aw.putBool(ovc.busy);
+            aw.putI64(ovc.credits);
+        }
+    }
+    aw.endSection();
+}
+
+void
+Router::restore(ArchiveReader &ar, const PacketTable &table)
+{
+    ar.expectSection("router");
+    for (auto &ip : inputs_) {
+        ip.sa_rr = static_cast<int>(ar.getI64());
+        for (auto &ivc : ip.vcs) {
+            ivc.state = static_cast<VcState>(ar.getU8());
+            ivc.out_port = static_cast<int>(ar.getI64());
+            ivc.out_vc = static_cast<int>(ar.getI64());
+            ivc.out_class = ar.getU8();
+            ivc.out_dim = ar.getU8();
+            ivc.fifo.clear();
+            std::uint64_t n = ar.getU64();
+            for (std::uint64_t i = 0; i < n; ++i)
+                ivc.fifo.push_back(restoreFlit(ar, table));
+        }
+    }
+    for (auto &op : outputs_) {
+        op.sa_rr = static_cast<int>(ar.getI64());
+        std::uint64_t n_rr = ar.getU64();
+        if (n_rr != op.va_rr.size())
+            panic("router ", id_, ": VA arbiter shape mismatch");
+        for (int &rr : op.va_rr)
+            rr = static_cast<int>(ar.getI64());
+        for (auto &ovc : op.vcs) {
+            ovc.busy = ar.getBool();
+            ovc.credits = static_cast<int>(ar.getI64());
+        }
+    }
+    ar.endSection();
+}
+
 } // namespace noc
 } // namespace rasim

@@ -69,6 +69,13 @@ class Router : public stats::Group
     /** True when the output VC is allocated to an in-flight packet. */
     bool outVcBusy(int port, int vc) const;
 
+    /** Register packets referenced by buffered flits. */
+    void collectPackets(PacketTable &table) const;
+
+    /** Checkpoint buffered flits, VC allocation and arbiter state. */
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar, const PacketTable &table);
+
     /** Flits this router moved through its crossbar. */
     stats::Scalar flitsRouted;
     /** Flits written into input buffers (power model activity). */

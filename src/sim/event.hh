@@ -56,6 +56,13 @@ class Event
 
     Priority priority() const { return priority_; }
 
+    /**
+     * Insertion sequence assigned by the queue (valid while
+     * scheduled()). Checkpoints record it so restored events keep
+     * their same-tick ordering.
+     */
+    std::uint64_t sequence() const { return sequence_; }
+
   private:
     friend class EventQueue;
 

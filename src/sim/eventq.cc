@@ -91,6 +91,48 @@ EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
     schedule(new LambdaEvent(std::move(fn), pri), when);
 }
 
+void
+EventQueue::restoreState(Tick cur_tick, std::uint64_t next_sequence,
+                         std::uint64_t num_processed)
+{
+    if (!events_.empty())
+        panic("restoreState on a queue with ", events_.size(),
+              " pending event(s)");
+    cur_tick_ = cur_tick;
+    next_sequence_ = next_sequence;
+    num_processed_ = num_processed;
+}
+
+void
+EventQueue::scheduleWithSequence(Event *ev, Tick when,
+                                 std::uint64_t sequence)
+{
+    if (ev->scheduled())
+        panic("schedule of already-scheduled event '", ev->description(),
+              "'");
+    if (when < cur_tick_)
+        panic("event '", ev->description(), "' restored at ", when,
+              " in the past (now ", cur_tick_, ")");
+    if (sequence >= next_sequence_)
+        panic("event '", ev->description(), "' restored with sequence ",
+              sequence, " >= next sequence ", next_sequence_);
+    ev->when_ = when;
+    ev->sequence_ = sequence;
+    ev->queue_ = this;
+    if (!events_.insert(ev).second)
+        panic("event '", ev->description(),
+              "' restored with duplicate (when, priority, sequence)");
+}
+
+void
+EventQueue::scheduleLambdaWithSequence(Tick when, std::function<void()> fn,
+                                       Event::Priority pri,
+                                       std::uint64_t sequence)
+{
+    scheduleWithSequence(new LambdaEvent(std::move(fn), pri), when,
+                         sequence);
+}
+
 Tick
 EventQueue::nextTick() const
 {

@@ -78,6 +78,36 @@ class EventQueue
     /** Total number of events processed (statistics). */
     std::uint64_t numProcessed() const { return num_processed_; }
 
+    /**
+     * Sequence number the next schedule() will assign. Components peek
+     * this immediately before scheduling so they can key bookkeeping
+     * for a pending event by the sequence it is about to receive
+     * (scheduling is synchronous, so the peek cannot race).
+     */
+    std::uint64_t nextSequence() const { return next_sequence_; }
+
+    /**
+     * Overwrite time and bookkeeping counters from a checkpoint.
+     * @pre the queue is empty — restore happens before any events are
+     * re-scheduled.
+     */
+    void restoreState(Tick cur_tick, std::uint64_t next_sequence,
+                      std::uint64_t num_processed);
+
+    /**
+     * schedule() that reuses a saved insertion sequence instead of
+     * assigning a fresh one; used only when re-creating the pending
+     * events of a checkpoint so same-tick ordering is preserved
+     * exactly. Does not advance nextSequence().
+     */
+    void scheduleWithSequence(Event *ev, Tick when,
+                              std::uint64_t sequence);
+
+    /** scheduleLambda() variant of scheduleWithSequence(). */
+    void scheduleLambdaWithSequence(Tick when, std::function<void()> fn,
+                                    Event::Priority pri,
+                                    std::uint64_t sequence);
+
     const std::string &name() const { return name_; }
 
   private:

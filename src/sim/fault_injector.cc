@@ -202,4 +202,45 @@ FaultInjector::requestAbort()
     inner_.requestAbort();
 }
 
+void
+FaultInjector::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("fault");
+    aw.putU64(received_);
+    aw.putU64(forwarded_up_);
+    aw.putU64(deliveries_seen_);
+    aw.putU64(dropped_);
+    aw.putU64(delayed_);
+    aw.putU64(poisoned_);
+    aw.putU64(aborted_);
+    aw.putBool(stall_engaged_);
+    aw.putU64(held_.size());
+    for (const auto &[tick, pkt] : held_) {
+        aw.putU64(tick);
+        noc::savePacket(aw, *pkt);
+    }
+    aw.endSection();
+}
+
+void
+FaultInjector::restore(ArchiveReader &ar)
+{
+    ar.expectSection("fault");
+    received_ = ar.getU64();
+    forwarded_up_ = ar.getU64();
+    deliveries_seen_ = ar.getU64();
+    dropped_ = ar.getU64();
+    delayed_ = ar.getU64();
+    poisoned_ = ar.getU64();
+    aborted_ = ar.getU64();
+    stall_engaged_ = ar.getBool();
+    held_.clear();
+    std::uint64_t n = ar.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Tick tick = ar.getU64();
+        held_.emplace_back(tick, noc::restorePacket(ar));
+    }
+    ar.endSection();
+}
+
 } // namespace rasim

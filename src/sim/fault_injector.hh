@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "noc/network_model.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace rasim
@@ -107,6 +108,10 @@ class FaultInjector final : public noc::NetworkModel
     std::uint64_t poisoned() const { return poisoned_; }
     std::uint64_t aborted() const { return aborted_; }
     /// @}
+
+    /** Checkpoint fault counters and held (delayed) packets. */
+    void save(ArchiveWriter &aw) const;
+    void restore(ArchiveReader &ar);
 
   private:
     void onInnerDelivery(const noc::PacketPtr &pkt);

@@ -55,6 +55,30 @@ class Rng
     /** Exponential variate with the given mean. */
     double exponential(double mean);
 
+    /** Complete generator state; enough to resume the sequence. */
+    struct State
+    {
+        std::uint64_t state;
+        std::uint64_t inc;
+
+        bool
+        operator==(const State &o) const
+        {
+            return state == o.state && inc == o.inc;
+        }
+    };
+
+    /** Raw state for checkpointing. */
+    State state() const { return {state_, inc_}; }
+
+    /** Overwrite the raw state (checkpoint restore). */
+    void
+    setState(const State &s)
+    {
+        state_ = s.state;
+        inc_ = s.inc;
+    }
+
   private:
     std::uint64_t state_;
     std::uint64_t inc_;

@@ -77,6 +77,14 @@ class Simulation
     /** Clear an exit request so run() can be called again. */
     void clearExit();
 
+    /**
+     * Mark the simulation as initialized without calling init() on the
+     * components. Checkpoint restore uses this: init() would schedule
+     * fresh startup events, but a restored run re-creates its pending
+     * events from the archive instead.
+     */
+    void markInitialized() { initialized_ = true; }
+
   private:
     void initAll();
 

@@ -35,6 +35,24 @@ class Distribution : public Stat
     double stddev() const;
     double sum() const { return sum_; }
 
+    /** Raw accumulators for checkpointing (min/max without the
+     *  count-guard that minValue()/maxValue() apply). */
+    double sumSq() const { return sum_sq_; }
+    double rawMin() const { return min_; }
+    double rawMax() const { return max_; }
+
+    /** Overwrite the raw accumulators (checkpoint restore). */
+    void
+    setState(std::uint64_t count, double sum, double sum_sq, double min,
+             double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        sum_sq_ = sum_sq;
+        min_ = min;
+        max_ = max;
+    }
+
     std::vector<std::pair<std::string, double>> values() const override;
     void reset() override;
 
@@ -63,6 +81,17 @@ class Histogram : public Stat
     double bucketWidth() const { return width_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t totalCount() const { return total_; }
+
+    /** Overwrite bucket contents (checkpoint restore). @pre the bucket
+     *  count matches the configured geometry. */
+    void
+    setState(std::vector<std::uint64_t> buckets, std::uint64_t overflow,
+             std::uint64_t total)
+    {
+        buckets_ = std::move(buckets);
+        overflow_ = overflow;
+        total_ = total;
+    }
 
     std::vector<std::pair<std::string, double>> values() const override;
     void reset() override;

@@ -25,6 +25,14 @@ void dumpText(std::ostream &os, const Group &root);
 /** Dump as CSV with a "stat,value" header. */
 void dumpCsv(std::ostream &os, const Group &root);
 
+/**
+ * Dump as a flat JSON object mapping the full dotted path of every
+ * (stat, sub-value) to its value. Doubles are rendered at full
+ * round-trip precision; NaN and infinities (not representable in
+ * JSON) become null.
+ */
+void dumpJson(std::ostream &os, const Group &root);
+
 /** Find a stat value by full dotted path (for tests); NaN if missing. */
 double findValue(const Group &root, const std::string &path);
 

@@ -98,6 +98,14 @@ class Average : public Stat
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
 
+    /** Overwrite the raw accumulators (checkpoint restore). */
+    void
+    setState(double sum, std::uint64_t count)
+    {
+        sum_ = sum;
+        count_ = count;
+    }
+
     std::vector<std::pair<std::string, double>> values() const override;
 
     void

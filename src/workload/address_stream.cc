@@ -7,6 +7,18 @@ namespace rasim
 namespace workload
 {
 
+void
+AddressStream::save(ArchiveWriter &) const
+{
+    fatal("this address stream does not support checkpointing");
+}
+
+void
+AddressStream::restore(ArchiveReader &)
+{
+    fatal("this address stream does not support checkpointing");
+}
+
 SyntheticStream::SyntheticStream(const StreamProfile &profile,
                                  NodeId node, int block_bytes, Rng rng)
     : profile_(profile), node_(node), block_bytes_(block_bytes),
@@ -56,6 +68,29 @@ SyntheticStream::next()
                 static_cast<Addr>(block_bytes_);
     op.addr = blockAddr(private_base + node_ * span, last_private_);
     return op;
+}
+
+void
+SyntheticStream::save(ArchiveWriter &aw) const
+{
+    aw.beginSection("stream");
+    const Rng::State rs = rng_.state();
+    aw.putU64(rs.state);
+    aw.putU64(rs.inc);
+    aw.putU64(last_private_);
+    aw.endSection();
+}
+
+void
+SyntheticStream::restore(ArchiveReader &ar)
+{
+    ar.expectSection("stream");
+    Rng::State rs;
+    rs.state = ar.getU64();
+    rs.inc = ar.getU64();
+    rng_.setState(rs);
+    last_private_ = ar.getU64();
+    ar.endSection();
 }
 
 } // namespace workload

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "sim/rng.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace rasim
@@ -33,6 +34,14 @@ class AddressStream
   public:
     virtual ~AddressStream() = default;
     virtual MemOp next() = 0;
+
+    /**
+     * Checkpoint hooks. The default implementations reject the
+     * operation: a stream without them cannot take part in
+     * checkpointed runs.
+     */
+    virtual void save(ArchiveWriter &aw) const;
+    virtual void restore(ArchiveReader &ar);
 };
 
 /**
@@ -70,6 +79,9 @@ class SyntheticStream : public AddressStream
                     int block_bytes, Rng rng);
 
     MemOp next() override;
+
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
 
     static constexpr Addr shared_base = 0x10000000;
     static constexpr Addr private_base = 0x40000000;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "stats/distribution.hh"
@@ -184,6 +185,48 @@ TEST(Output, CsvDumpHasHeaderAndRows)
     EXPECT_EQ(text.rfind("stat,value\n", 0), 0u);
     EXPECT_NE(text.find("system.lat::mean,4"), std::string::npos);
     EXPECT_NE(text.find("system.lat::count,1"), std::string::npos);
+}
+
+TEST(Output, JsonDumpIsFlatAndFullPrecision)
+{
+    Group root(nullptr, "system");
+    Group noc(&root, "noc");
+    Scalar s(&noc, "pkts", "");
+    s += 12;
+    Average a(&root, "lat", "");
+    // A value CSV would round away; JSON must round-trip exactly.
+    a.sample(1.0 / 3.0);
+    std::ostringstream os;
+    dumpJson(os, root);
+    std::string text = os.str();
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_NE(text.find("\"system.noc.pkts\": 12"), std::string::npos);
+    EXPECT_NE(text.find("\"system.lat::count\": 1"), std::string::npos);
+    EXPECT_NE(text.find("0.33333333333333331"), std::string::npos);
+    // Rows are comma-separated: count the pairs.
+    std::size_t rows = 0;
+    for (std::size_t at = text.find("\": "); at != std::string::npos;
+         at = text.find("\": ", at + 1))
+        ++rows;
+    std::size_t commas = 0;
+    for (char c : text)
+        if (c == ',')
+            ++commas;
+    EXPECT_EQ(commas + 1, rows);
+}
+
+TEST(Output, JsonDumpRendersNonFiniteAsNull)
+{
+    Group root(nullptr, "system");
+    Scalar nan(&root, "nan", "");
+    Scalar inf(&root, "inf", "");
+    nan.set(std::nan(""));
+    inf.set(std::numeric_limits<double>::infinity());
+    std::ostringstream os;
+    dumpJson(os, root);
+    EXPECT_NE(os.str().find("\"system.nan\": null"), std::string::npos);
+    EXPECT_NE(os.str().find("\"system.inf\": null"), std::string::npos);
+    EXPECT_EQ(os.str().find("nan\": nan"), std::string::npos);
 }
 
 TEST(Output, FindValueLocatesSubValues)
