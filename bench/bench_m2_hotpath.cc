@@ -1,0 +1,356 @@
+/**
+ * @file
+ * M2: hot-path memory-model benchmark. Two measurements, one run:
+ *
+ * 1. Micro lanes: the per-packet data flow of the coupled hot path —
+ *    allocate a packet, register it in an in-flight table, queue a
+ *    completion callback, then deliver (look up, time-stamp, erase,
+ *    free) — executed twice over the same workload. The *legacy* lane
+ *    uses the pre-refactor idioms (std::make_shared packets, std::map
+ *    in-flight table, std::function callbacks with a realistic ~48-byte
+ *    capture); the *pooled* lane uses the current substrate (slab pool
+ *    handles, FlatMap, InlineCallable). Both lanes compute the same
+ *    checksum, so the comparison is like-for-like.
+ *
+ * 2. System lane: a real CosimCycle FullSystem advanced quantum by
+ *    quantum past warm-up, reporting end-to-end packets/sec and the
+ *    honest steady-state heap allocations per quantum.
+ *
+ * A counting global allocator (defined in this translation unit, so it
+ * only governs this binary) attributes heap traffic to each lane.
+ * Results go to stdout and to BENCH_hotpath.json in the working
+ * directory. --quick shrinks the workload for CI.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cosim/full_system.hh"
+#include "noc/packet.hh"
+#include "sim/callable.hh"
+#include "sim/flat_map.hh"
+#include "sim/pool.hh"
+
+// ---------------------------------------------------------------------
+// Counting global allocator (this binary only).
+// ---------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocs{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                     (n + static_cast<std::size_t>(al) -
+                                      1) &
+                                         ~(static_cast<std::size_t>(al) -
+                                           1)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return ::operator new(n, al);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace rasim;
+
+// ---------------------------------------------------------------------
+// Micro lanes.
+// ---------------------------------------------------------------------
+
+constexpr int packets_per_quantum = 64;
+
+/** Pre-refactor idioms: shared_ptr + std::map + std::function. */
+struct LegacyLane
+{
+    std::map<std::uint64_t, std::shared_ptr<noc::Packet>> inflight;
+    std::vector<std::function<void()>> pending;
+    std::uint64_t checksum = 0;
+
+    void
+    quantum(std::uint64_t base)
+    {
+        for (int i = 0; i < packets_per_quantum; ++i) {
+            auto pkt = std::make_shared<noc::Packet>();
+            pkt->id = base + static_cast<std::uint64_t>(i);
+            pkt->src = static_cast<NodeId>(i & 63);
+            pkt->dst = static_cast<NodeId>((i * 7) & 63);
+            pkt->inject_tick = base;
+            inflight[pkt->id] = pkt;
+            // ~48-byte capture: what the coherence completion lambdas
+            // actually carried, past std::function's inline buffer.
+            std::uint64_t a = base, b = static_cast<std::uint64_t>(i);
+            std::uint64_t c = base ^ b, id = pkt->id;
+            pending.emplace_back([this, id, a, b, c] {
+                auto it = inflight.find(id);
+                it->second->deliver_tick = a + b + 4;
+                checksum += it->second->deliver_tick + c;
+                inflight.erase(it);
+            });
+        }
+        for (auto &fn : pending)
+            fn();
+        pending.clear();
+    }
+};
+
+/** Current substrate: slab pool + FlatMap + InlineCallable. */
+struct PooledLane
+{
+    Pool<noc::Packet> pool{"bench.packet"};
+    FlatMap<std::uint64_t, PoolPtr<noc::Packet>> inflight;
+    std::vector<InlineCallable> pending;
+    std::uint64_t checksum = 0;
+
+    void
+    quantum(std::uint64_t base)
+    {
+        for (int i = 0; i < packets_per_quantum; ++i) {
+            PoolPtr<noc::Packet> pkt = pool.allocate();
+            pkt->id = base + static_cast<std::uint64_t>(i);
+            pkt->src = static_cast<NodeId>(i & 63);
+            pkt->dst = static_cast<NodeId>((i * 7) & 63);
+            pkt->inject_tick = base;
+            std::uint64_t a = base, b = static_cast<std::uint64_t>(i);
+            std::uint64_t c = base ^ b, id = pkt->id;
+            inflight.insertOrAssign(id, std::move(pkt));
+            pending.emplace_back([this, id, a, b, c] {
+                PoolPtr<noc::Packet> *p = inflight.find(id);
+                (*p)->deliver_tick = a + b + 4;
+                checksum += (*p)->deliver_tick + c;
+                inflight.erase(id);
+            });
+        }
+        for (auto &fn : pending)
+            fn();
+        pending.clear();
+    }
+};
+
+struct LaneResult
+{
+    double packets_per_sec = 0.0;
+    double allocs_per_quantum = 0.0;
+    std::uint64_t checksum = 0;
+};
+
+template <typename Lane>
+LaneResult
+runLane(std::uint64_t warm_quanta, std::uint64_t quanta)
+{
+    Lane lane;
+    for (std::uint64_t q = 0; q < warm_quanta; ++q)
+        lane.quantum(q * 1000);
+
+    std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    double secs = benchutil::timeIt([&] {
+        for (std::uint64_t q = 0; q < quanta; ++q)
+            lane.quantum((warm_quanta + q) * 1000);
+    });
+    std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+
+    LaneResult r;
+    r.packets_per_sec =
+        static_cast<double>(quanta * packets_per_quantum) / secs;
+    r.allocs_per_quantum =
+        static_cast<double>(allocs1 - allocs0) /
+        static_cast<double>(quanta);
+    r.checksum = lane.checksum;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// System lane.
+// ---------------------------------------------------------------------
+
+struct SystemResult
+{
+    double packets_per_sec = 0.0;
+    double allocs_per_quantum = 0.0;
+    std::uint64_t quanta = 0;
+};
+
+SystemResult
+runSystem(Tick warm_ticks, Tick run_ticks)
+{
+    cosim::FullSystemOptions o;
+    o.mode = cosim::Mode::CosimCycle;
+    o.app = "lu";
+    o.ops_per_core = 10000000; // never drains inside the window
+    o.quantum = 64;
+    o.noc.columns = 4;
+    o.noc.rows = 4;
+    o.mem.l1_sets = 16;
+    cosim::FullSystem sys(Config(), o);
+
+    sys.run(warm_ticks);
+    std::uint64_t delivered0 = sys.packetsDelivered();
+    std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    double secs =
+        benchutil::timeIt([&] { sys.run(warm_ticks + run_ticks); });
+    std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+
+    SystemResult r;
+    r.quanta = run_ticks / o.quantum;
+    r.packets_per_sec =
+        static_cast<double>(sys.packetsDelivered() - delivered0) / secs;
+    r.allocs_per_quantum = static_cast<double>(allocs1 - allocs0) /
+                           static_cast<double>(r.quanta);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    const std::uint64_t warm_quanta = quick ? 200 : 1000;
+    const std::uint64_t quanta = quick ? 5000 : 50000;
+    const Tick sys_warm = quick ? 10000 : 40000;
+    const Tick sys_run = quick ? 20000 : 160000;
+
+    benchutil::printHeader("M2: hot-path memory model");
+
+    LaneResult legacy = runLane<LegacyLane>(warm_quanta, quanta);
+    LaneResult pooled = runLane<PooledLane>(warm_quanta, quanta);
+    if (legacy.checksum != pooled.checksum) {
+        std::fprintf(stderr,
+                     "lane checksum mismatch: legacy %llu pooled %llu\n",
+                     static_cast<unsigned long long>(legacy.checksum),
+                     static_cast<unsigned long long>(pooled.checksum));
+        return 1;
+    }
+    double speedup = pooled.packets_per_sec / legacy.packets_per_sec;
+
+    benchutil::printRow({"lane", "packets/s", "allocs/quantum"});
+    benchutil::printRow({"legacy", benchutil::fmt(legacy.packets_per_sec, 0),
+                         benchutil::fmt(legacy.allocs_per_quantum, 2)});
+    benchutil::printRow({"pooled", benchutil::fmt(pooled.packets_per_sec, 0),
+                         benchutil::fmt(pooled.allocs_per_quantum, 2)});
+    std::printf("micro speedup: %.2fx (target >= 1.3x)\n", speedup);
+
+    SystemResult sys = runSystem(sys_warm, sys_run);
+    std::printf("system (cosim 4x4, quantum 64): %.0f packets/s, "
+                "%.2f allocs/quantum over %llu quanta\n",
+                sys.packets_per_sec, sys.allocs_per_quantum,
+                static_cast<unsigned long long>(sys.quanta));
+
+    const char *path = "BENCH_hotpath.json";
+    if (FILE *f = std::fopen(path, "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"quick\": %s,\n"
+            "  \"micro\": {\n"
+            "    \"quanta\": %llu,\n"
+            "    \"packets_per_quantum\": %d,\n"
+            "    \"legacy\": {\"packets_per_sec\": %.1f, "
+            "\"allocs_per_quantum\": %.3f},\n"
+            "    \"pooled\": {\"packets_per_sec\": %.1f, "
+            "\"allocs_per_quantum\": %.3f},\n"
+            "    \"speedup\": %.3f\n"
+            "  },\n"
+            "  \"system\": {\n"
+            "    \"mode\": \"cosim\",\n"
+            "    \"quanta\": %llu,\n"
+            "    \"packets_per_sec\": %.1f,\n"
+            "    \"allocs_per_quantum\": %.3f\n"
+            "  }\n"
+            "}\n",
+            quick ? "true" : "false",
+            static_cast<unsigned long long>(quanta), packets_per_quantum,
+            legacy.packets_per_sec, legacy.allocs_per_quantum,
+            pooled.packets_per_sec, pooled.allocs_per_quantum, speedup,
+            static_cast<unsigned long long>(sys.quanta),
+            sys.packets_per_sec, sys.allocs_per_quantum);
+        std::fclose(f);
+        std::printf("wrote %s\n", path);
+    } else {
+        std::perror("BENCH_hotpath.json");
+        return 1;
+    }
+    return 0;
+}

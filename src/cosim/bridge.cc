@@ -107,7 +107,7 @@ QuantumBridge::inject(const noc::PacketPtr &pkt)
         // Downward abstraction: the detailed network sees the same
         // contextual traffic stream through a clone whose true
         // latency will re-tune the table.
-        auto clone = std::make_shared<noc::Packet>(*pkt);
+        noc::PacketPtr clone = noc::clonePacket(*pkt);
         clone->enter_tick = 0;
         clone->deliver_tick = 0;
         clone->hops = 0;
@@ -467,16 +467,9 @@ QuantumBridge::quarantine(Tick q_end)
 
     if (options_.coupling == Coupling::Conservative) {
         // Everything the quarantined backend still owes the system is
-        // synthesised from estimates, due no earlier than now.
-        std::vector<noc::PacketPtr> owed;
-        owed.reserve(outstanding_.size());
-        for (auto &kv : outstanding_)
-            owed.push_back(kv.second);
-        std::sort(owed.begin(), owed.end(),
-                  [](const noc::PacketPtr &a, const noc::PacketPtr &b) {
-                      return a->id < b->id;
-                  });
-        for (const noc::PacketPtr &pkt : owed)
+        // synthesised from estimates, due no earlier than now (id
+        // order — FlatMap iterates ascending).
+        for (const auto &[id, pkt] : outstanding_)
             scheduleSynthetic(pkt, q_end);
         outstanding_.clear();
         drainDegraded(q_end);
@@ -575,19 +568,11 @@ QuantumBridge::save(ArchiveWriter &aw) const
     for (const noc::PacketPtr &pkt : pending_injections_)
         noc::savePacket(aw, *pkt);
 
-    // Conservative accounting of what the backend owes the system.
-    // The map is unordered; archive in id order so the image (and its
-    // CRC) is reproducible.
-    std::vector<noc::PacketPtr> owed;
-    owed.reserve(outstanding_.size());
-    for (const auto &kv : outstanding_)
-        owed.push_back(kv.second);
-    std::sort(owed.begin(), owed.end(),
-              [](const noc::PacketPtr &a, const noc::PacketPtr &b) {
-                  return a->id < b->id;
-              });
-    aw.putU64(owed.size());
-    for (const noc::PacketPtr &pkt : owed)
+    // Conservative accounting of what the backend owes the system,
+    // archived in id order (FlatMap iterates ascending) so the image
+    // (and its CRC) is reproducible.
+    aw.putU64(outstanding_.size());
+    for (const auto &[id, pkt] : outstanding_)
         noc::savePacket(aw, *pkt);
 
     aw.putU64(degraded_out_.size());

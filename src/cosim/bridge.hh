@@ -30,11 +30,11 @@
 #include <optional>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "abstractnet/latency_table.hh"
+#include "sim/flat_map.hh"
 #include "cosim/health_monitor.hh"
 #include "noc/network_model.hh"
 #include "noc/params.hh"
@@ -271,7 +271,7 @@ class QuantumBridge : public SimObject,
     /** Conservative coupling: packets the backend owes the system,
      *  so a quarantine can serve them from estimates and late real
      *  deliveries after re-engagement are not applied twice. */
-    std::unordered_map<PacketId, noc::PacketPtr> outstanding_;
+    FlatMap<PacketId, noc::PacketPtr> outstanding_;
     /** Synthetic deliveries waiting for their due boundary. */
     std::vector<noc::PacketPtr> degraded_out_;
     /// @}

@@ -259,12 +259,12 @@ Directory::quiescent() const
 char
 Directory::probeState(Addr addr) const
 {
-    auto it = entries_.find(params_.blockAlign(addr));
-    if (it == entries_.end())
+    const Entry *entry = entries_.find(params_.blockAlign(addr));
+    if (!entry)
         return 'I';
-    if (it->second.busy)
+    if (entry->busy)
         return 'B';
-    switch (it->second.state) {
+    switch (entry->state) {
       case DirState::I:
         return 'I';
       case DirState::S:
@@ -278,8 +278,8 @@ Directory::probeState(Addr addr) const
 std::size_t
 Directory::probeSharerCount(Addr addr) const
 {
-    auto it = entries_.find(params_.blockAlign(addr));
-    return it == entries_.end() ? 0 : it->second.sharers.size();
+    const Entry *entry = entries_.find(params_.blockAlign(addr));
+    return entry ? entry->sharers.size() : 0;
 }
 
 void
@@ -289,18 +289,14 @@ Directory::save(ArchiveWriter &aw) const
     dram_.save(aw);
     aw.putU64(busy_count_);
 
-    std::vector<Addr> addrs;
-    addrs.reserve(entries_.size());
-    for (const auto &[addr, entry] : entries_)
-        addrs.push_back(addr);
-    std::sort(addrs.begin(), addrs.end());
-    aw.putU64(addrs.size());
-    for (Addr addr : addrs) {
-        const Entry &entry = entries_.at(addr);
+    // FlatMap iterates in ascending address order — same bytes as the
+    // sort-before-save loop this replaces.
+    aw.putU64(entries_.size());
+    for (const auto &[addr, entry] : entries_) {
         aw.putU64(addr);
         aw.putU8(static_cast<std::uint8_t>(entry.state));
         aw.putU64(entry.sharers.size());
-        for (NodeId sharer : entry.sharers) // std::set: sorted
+        for (NodeId sharer : entry.sharers) // NodeSet: sorted
             aw.putU32(sharer);
         aw.putU32(entry.owner);
         aw.putBool(entry.cached);

@@ -9,15 +9,15 @@
 #ifndef RASIM_MEM_DIRECTORY_HH
 #define RASIM_MEM_DIRECTORY_HH
 
+#include <algorithm>
 #include <deque>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/dram.hh"
 #include "mem/message_hub.hh"
 #include "mem/msg.hh"
 #include "mem/params.hh"
+#include "sim/flat_map.hh"
 #include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
@@ -26,6 +26,41 @@ namespace rasim
 {
 namespace mem
 {
+
+/**
+ * Sharer set as a sorted vector: iteration is ascending (same order the
+ * std::set it replaced produced) and clear() keeps the capacity, so the
+ * steady-state protocol churn of insert/clear allocates nothing.
+ */
+class NodeSet
+{
+  public:
+    void
+    insert(NodeId node)
+    {
+        auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+        if (it == nodes_.end() || *it != node)
+            nodes_.insert(it, node);
+    }
+
+    std::size_t
+    count(NodeId node) const
+    {
+        return std::binary_search(nodes_.begin(), nodes_.end(), node)
+                   ? 1
+                   : 0;
+    }
+
+    void clear() { nodes_.clear(); }
+    std::size_t size() const { return nodes_.size(); }
+    bool empty() const { return nodes_.empty(); }
+
+    auto begin() const { return nodes_.begin(); }
+    auto end() const { return nodes_.end(); }
+
+  private:
+    std::vector<NodeId> nodes_;
+};
 
 class Directory : public SimObject, public Serializable
 {
@@ -62,7 +97,7 @@ class Directory : public SimObject, public Serializable
     struct Entry
     {
         DirState state = DirState::I;
-        std::set<NodeId> sharers;
+        NodeSet sharers;
         NodeId owner = invalid_node;
         /** Data present in the L2 slice (no DRAM access needed). */
         bool cached = false;
@@ -95,9 +130,15 @@ class Directory : public SimObject, public Serializable
     const MemParams &params_;
     MessageHub &hub_;
     Dram dram_;
-    std::unordered_map<Addr, Entry> entries_;
+    /**
+     * Per-block directory state. Open addressing: references into the
+     * table are invalidated by insertion (rehash), so no Entry& may be
+     * held across an entries_[] of a different address — unblock()'s
+     * existing "no rehash while handling addr's own queue" invariant.
+     */
+    FlatMap<Addr, Entry> entries_;
     /** sendAt() events not yet fired, keyed by event sequence. */
-    std::map<std::uint64_t, PendingSend> pending_sends_;
+    FlatMap<std::uint64_t, PendingSend> pending_sends_;
     std::uint64_t busy_count_ = 0;
 };
 

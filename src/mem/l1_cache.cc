@@ -147,14 +147,13 @@ L1Cache::accessInternal(Addr addr, bool is_write, Callback cb,
     Addr block = params_.blockAlign(addr);
 
     // Coalesce into an outstanding transaction on the same block.
-    auto mit = mshrs_.find(block);
-    if (mit != mshrs_.end()) {
-        mit->second.waiters.emplace_back(is_write, std::move(cb));
+    if (Mshr *m = mshrs_.find(block)) {
+        m->waiters.emplace_back(is_write, std::move(cb));
         return true;
     }
     // A block sitting in the write-back buffer must complete the
     // eviction before it can be re-requested.
-    if (wb_buffer_.count(block)) {
+    if (wb_buffer_.contains(block)) {
         want_retry_ = true;
         ++retriesSignalled;
         return false;
@@ -245,11 +244,11 @@ L1Cache::handleMessage(const CoherenceMsg &msg)
 void
 L1Cache::handleData(const CoherenceMsg &msg)
 {
-    auto mit = mshrs_.find(msg.addr);
-    if (mit == mshrs_.end())
+    Mshr *mp = mshrs_.find(msg.addr);
+    if (!mp)
         panic("l1", node_, ": data without transaction: ",
               msg.toString());
-    Mshr &m = mit->second;
+    Mshr &m = *mp;
     Line *line = findLine(msg.addr);
     if (!line)
         panic("l1", node_, ": data for unallocated line");
@@ -275,10 +274,10 @@ L1Cache::handleData(const CoherenceMsg &msg)
 void
 L1Cache::handleInvAck(const CoherenceMsg &msg)
 {
-    auto mit = mshrs_.find(msg.addr);
-    if (mit == mshrs_.end())
+    Mshr *mp = mshrs_.find(msg.addr);
+    if (!mp)
         panic("l1", node_, ": stray InvAck ", msg.toString());
-    Mshr &m = mit->second;
+    Mshr &m = *mp;
     --m.pending_acks;
     if (m.data_received && m.pending_acks == 0) {
         Line *line = findLine(msg.addr);
@@ -339,7 +338,7 @@ L1Cache::handleFwd(const CoherenceMsg &msg)
 {
     ++fwdsReceived;
     Line *line = findLine(msg.addr);
-    bool evicting = wb_buffer_.count(msg.addr) > 0;
+    bool evicting = wb_buffer_.contains(msg.addr);
 
     if (!line && !evicting)
         panic("l1", node_, ": forward to non-owner: ", msg.toString());
@@ -389,20 +388,17 @@ L1Cache::handleFwd(const CoherenceMsg &msg)
 void
 L1Cache::handleWBAck(const CoherenceMsg &msg)
 {
-    auto it = wb_buffer_.find(msg.addr);
-    if (it == wb_buffer_.end())
+    if (!wb_buffer_.erase(msg.addr))
         panic("l1", node_, ": WBAck without write-back: ",
               msg.toString());
-    wb_buffer_.erase(it);
     signalRetry();
 }
 
 void
 L1Cache::finishMshr(Addr block)
 {
-    auto mit = mshrs_.find(block);
-    auto waiters = std::move(mit->second.waiters);
-    mshrs_.erase(mit);
+    auto waiters = std::move(mshrs_.at(block).waiters);
+    mshrs_.erase(block);
 
     // Stalled forwards act on the freshly stable line first (protocol
     // order), then the waiting core operations re-issue.
@@ -420,11 +416,11 @@ L1Cache::finishMshr(Addr block)
 void
 L1Cache::processDeferred(Addr block)
 {
-    auto dit = deferred_.find(block);
-    if (dit == deferred_.end())
+    std::deque<CoherenceMsg> *dp = deferred_.find(block);
+    if (!dp)
         return;
-    std::deque<CoherenceMsg> msgs = std::move(dit->second);
-    deferred_.erase(dit);
+    std::deque<CoherenceMsg> msgs = std::move(*dp);
+    deferred_.erase(block);
     for (const CoherenceMsg &msg : msgs)
         handleFwd(msg);
 }
@@ -457,16 +453,11 @@ L1Cache::save(ArchiveWriter &aw) const
     }
     repl_->save(aw);
 
-    // Unordered maps iterate in an implementation-defined order; sort
-    // by key so the archive (and therefore the CRC) is reproducible.
-    std::vector<Addr> addrs;
-    addrs.reserve(mshrs_.size());
-    for (const auto &[addr, m] : mshrs_)
-        addrs.push_back(addr);
-    std::sort(addrs.begin(), addrs.end());
-    aw.putU64(addrs.size());
-    for (Addr addr : addrs) {
-        const Mshr &m = mshrs_.at(addr);
+    // FlatMap iterates in ascending key order, so the archive (and
+    // therefore the CRC) is reproducible without the sort-before-save
+    // loops the unordered maps needed.
+    aw.putU64(mshrs_.size());
+    for (const auto &[addr, m] : mshrs_) {
         aw.putU64(addr);
         aw.putBool(m.is_write);
         aw.putBool(m.data_received);
@@ -477,23 +468,14 @@ L1Cache::save(ArchiveWriter &aw) const
             aw.putBool(is_write);
     }
 
-    addrs.clear();
-    for (const auto &[addr, dirty] : wb_buffer_)
-        addrs.push_back(addr);
-    std::sort(addrs.begin(), addrs.end());
-    aw.putU64(addrs.size());
-    for (Addr addr : addrs) {
+    aw.putU64(wb_buffer_.size());
+    for (const auto &[addr, dirty] : wb_buffer_) {
         aw.putU64(addr);
-        aw.putBool(wb_buffer_.at(addr));
+        aw.putBool(dirty);
     }
 
-    addrs.clear();
-    for (const auto &[addr, msgs] : deferred_)
-        addrs.push_back(addr);
-    std::sort(addrs.begin(), addrs.end());
-    aw.putU64(addrs.size());
-    for (Addr addr : addrs) {
-        const auto &msgs = deferred_.at(addr);
+    aw.putU64(deferred_.size());
+    for (const auto &[addr, msgs] : deferred_) {
         aw.putU64(addr);
         aw.putU64(msgs.size());
         for (const CoherenceMsg &msg : msgs)

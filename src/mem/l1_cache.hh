@@ -20,14 +20,14 @@
 
 #include <deque>
 #include <functional>
-#include <map>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/message_hub.hh"
 #include "mem/msg.hh"
 #include "mem/params.hh"
 #include "mem/replacement.hh"
+#include "sim/flat_map.hh"
 #include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
@@ -160,16 +160,19 @@ class L1Cache : public SimObject, public Serializable
     HomeOf home_of_;
     std::vector<std::vector<Line>> sets_;
     std::unique_ptr<ReplacementPolicy> repl_;
-    std::unordered_map<Addr, Mshr> mshrs_;
+    /** Open addressing: no Mshr& survives an insert into mshrs_ (the
+     *  table may rehash); the controller never holds one across
+     *  finishMshr()/accessInternal(). */
+    FlatMap<Addr, Mshr> mshrs_;
     /** Dirty blocks evicted but not yet acknowledged by the home. */
-    std::unordered_map<Addr, bool> wb_buffer_;
+    FlatMap<Addr, bool> wb_buffer_;
     /** Forwards stalled until the local transaction completes. */
-    std::unordered_map<Addr, std::deque<CoherenceMsg>> deferred_;
+    FlatMap<Addr, std::deque<CoherenceMsg>> deferred_;
     Callback retry_cb_;
     CompletionFactory completion_factory_;
     /** Hit completions in flight, keyed by their event's insertion
      *  sequence: seq -> (completion tick, is_write). */
-    std::map<std::uint64_t, std::pair<Tick, bool>> pending_completions_;
+    FlatMap<std::uint64_t, std::pair<Tick, bool>> pending_completions_;
     bool want_retry_ = false;
 };
 

@@ -49,11 +49,11 @@ MessageHub::send(const CoherenceMsg &msg, NodeId dst)
 void
 MessageHub::deliver(const noc::PacketPtr &pkt)
 {
-    auto it = in_transit_.find(pkt->id);
-    if (it == in_transit_.end())
+    CoherenceMsg *found = in_transit_.find(pkt->id);
+    if (!found)
         panic("hub: delivery of unknown packet ", pkt->toString());
-    CoherenceMsg msg = it->second;
-    in_transit_.erase(it);
+    CoherenceMsg msg = *found;
+    in_transit_.erase(pkt->id);
 
     NodeId dst = pkt->dst;
     if (!handlers_[dst])
@@ -84,15 +84,12 @@ MessageHub::save(ArchiveWriter &aw) const
     aw.putU64(next_id_);
     aw.putU64(outstanding_);
 
-    std::vector<PacketId> ids;
-    ids.reserve(in_transit_.size());
-    for (const auto &[id, msg] : in_transit_)
-        ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    aw.putU64(ids.size());
-    for (PacketId id : ids) {
+    // FlatMap iterates in ascending id order — same bytes as the
+    // sort-before-save loop this replaces.
+    aw.putU64(in_transit_.size());
+    for (const auto &[id, msg] : in_transit_) {
         aw.putU64(id);
-        saveMsg(aw, in_transit_.at(id));
+        saveMsg(aw, msg);
     }
 
     aw.putU64(pending_dispatches_.size());

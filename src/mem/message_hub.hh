@@ -12,12 +12,11 @@
 #define RASIM_MEM_MESSAGE_HUB_HH
 
 #include <functional>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/msg.hh"
 #include "noc/network_model.hh"
+#include "sim/flat_map.hh"
 #include "sim/serialize.hh"
 #include "sim/sim_object.hh"
 #include "stats/stat.hh"
@@ -83,10 +82,10 @@ class MessageHub : public SimObject, public Serializable
     std::uint32_t control_bytes_;
     std::uint32_t data_bytes_;
     std::vector<Handler> handlers_;
-    std::unordered_map<PacketId, CoherenceMsg> in_transit_;
+    FlatMap<PacketId, CoherenceMsg> in_transit_;
     /** Delivered messages whose handler event has not yet run, keyed
      *  by the event's insertion sequence. */
-    std::map<std::uint64_t, PendingDispatch> pending_dispatches_;
+    FlatMap<std::uint64_t, PendingDispatch> pending_dispatches_;
     PacketId next_id_ = 1;
     std::uint64_t outstanding_ = 0;
 };

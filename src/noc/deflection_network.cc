@@ -427,16 +427,13 @@ DeflectionNetwork::save(ArchiveWriter &aw) const
             saveDFlitFields(aw, df.seq, df.deflections, df.hops,
                             df.birth, df.pkt->id);
     }
+    // FlatMap iterates in ascending id order — same bytes as the
+    // sort-before-save loop this replaces.
     for (const auto &rx : rx_) {
-        std::vector<PacketId> ids;
-        ids.reserve(rx.size());
-        for (const auto &[id, count] : rx)
-            ids.push_back(id);
-        std::sort(ids.begin(), ids.end());
-        aw.putU64(ids.size());
-        for (PacketId id : ids) {
+        aw.putU64(rx.size());
+        for (const auto &[id, count] : rx) {
             aw.putU64(id);
-            aw.putU32(rx.at(id));
+            aw.putU32(count);
         }
     }
     aw.endSection();

@@ -27,13 +27,13 @@
 #include <deque>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "noc/network_model.hh"
 #include "noc/packet.hh"
 #include "noc/params.hh"
 #include "noc/topology.hh"
+#include "sim/flat_map.hh"
 #include "sim/sim_object.hh"
 #include "sim/step_engine.hh"
 #include "stats/distribution.hh"
@@ -156,7 +156,7 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     /** Reassembly state per destination node: flits received per
      *  packet id. Split per node so the route phase stays
      *  partition-local. */
-    std::vector<std::unordered_map<PacketId, std::uint32_t>> rx_;
+    std::vector<FlatMap<PacketId, std::uint32_t>> rx_;
     std::vector<NodeScratch> scratch_;
 
     struct InjectOrder

@@ -172,15 +172,12 @@ Nic::save(ArchiveWriter &aw) const
     aw.putI64(rr_vnet_);
     aw.putU64(queued_flits_);
 
-    std::vector<PacketId> ids;
-    ids.reserve(rx_flits_.size());
-    for (const auto &[id, count] : rx_flits_)
-        ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    aw.putU64(ids.size());
-    for (PacketId id : ids) {
+    // FlatMap iterates in ascending id order — same bytes as the
+    // sort-before-save loop this replaces.
+    aw.putU64(rx_flits_.size());
+    for (const auto &[id, count] : rx_flits_) {
         aw.putU64(id);
-        aw.putU32(rx_flits_.at(id));
+        aw.putU32(count);
     }
     aw.endSection();
 }

@@ -10,12 +10,12 @@
 
 #include <array>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "noc/link.hh"
 #include "noc/packet.hh"
 #include "noc/params.hh"
+#include "sim/flat_map.hh"
 #include "stats/group.hh"
 #include "stats/stat.hh"
 
@@ -92,7 +92,7 @@ class Nic : public stats::Group
     std::vector<OutVc> inj_vcs_;
     std::array<int, num_vnets> va_rr_{};
     int rr_vnet_ = 0;
-    std::unordered_map<PacketId, std::uint32_t> rx_flits_;
+    FlatMap<PacketId, std::uint32_t> rx_flits_;
     std::vector<PacketPtr> completed_;
     std::uint64_t queued_flits_ = 0;
 };

@@ -30,12 +30,22 @@ Packet::toString() const
     return os.str();
 }
 
+Pool<Packet> &
+packetPool()
+{
+    // Immortal by design: handles held by function-local statics or
+    // late-destroyed globals must never outlive the pool, so the pool
+    // is simply never destroyed (still reachable, so leak-clean).
+    static Pool<Packet> *pool = new Pool<Packet>("noc.packet");
+    return *pool;
+}
+
 PacketPtr
 makePacket(PacketId id, NodeId src, NodeId dst, MsgClass cls,
            std::uint32_t size_bytes, Tick inject_tick,
            std::uint64_t context)
 {
-    auto pkt = std::make_shared<Packet>();
+    PacketPtr pkt = packetPool().allocate();
     pkt->id = id;
     pkt->src = src;
     pkt->dst = dst;
@@ -44,6 +54,12 @@ makePacket(PacketId id, NodeId src, NodeId dst, MsgClass cls,
     pkt->inject_tick = inject_tick;
     pkt->context = context;
     return pkt;
+}
+
+PacketPtr
+clonePacket(const Packet &src)
+{
+    return packetPool().allocate(src);
 }
 
 std::uint32_t

@@ -9,10 +9,10 @@
 #define RASIM_NOC_PACKET_HH
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
 
+#include "sim/flat_map.hh"
+#include "sim/pool.hh"
 #include "sim/serialize.hh"
 #include "sim/types.hh"
 
@@ -74,12 +74,23 @@ struct Packet
     std::string toString() const;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+/**
+ * Packets live on a process-wide slab pool; PacketPtr is the
+ * refcounted pooled handle (drop-in for the shared_ptr it replaced).
+ * The last handle returns the slot to the pool, exactly once.
+ */
+using PacketPtr = PoolPtr<Packet>;
+
+/** The process-wide packet pool (also feeds the bench/test stats). */
+Pool<Packet> &packetPool();
 
 /** Convenience factory assigning a fresh id from a caller counter. */
 PacketPtr makePacket(PacketId id, NodeId src, NodeId dst, MsgClass cls,
                      std::uint32_t size_bytes, Tick inject_tick,
                      std::uint64_t context = 0);
+
+/** Pool-allocated field-for-field copy of @p src. */
+PacketPtr clonePacket(const Packet &src);
 
 /**
  * One flow-control unit of a packet. Single-flit packets are marked
@@ -147,7 +158,7 @@ savePacket(ArchiveWriter &aw, const Packet &pkt)
 inline PacketPtr
 restorePacket(ArchiveReader &ar)
 {
-    auto pkt = std::make_shared<Packet>();
+    PacketPtr pkt = packetPool().allocate();
     pkt->id = ar.getU64();
     pkt->src = ar.getU32();
     pkt->dst = ar.getU32();
@@ -165,8 +176,10 @@ restorePacket(ArchiveReader &ar)
  * Identity map for checkpointing flits: every flit of a packet shares
  * one Packet object mutated en route, so archives store each packet
  * once (keyed and ordered by id) and flits reference it by id.
+ * FlatMap iterates in ascending key order, so archives written by
+ * walking the table are byte-identical to the std::map era.
  */
-using PacketTable = std::map<PacketId, PacketPtr>;
+using PacketTable = FlatMap<PacketId, PacketPtr>;
 
 /** Collect @p pkt into @p table (id collisions must agree). */
 void collectPacket(PacketTable &table, const PacketPtr &pkt);

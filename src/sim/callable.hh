@@ -1,0 +1,115 @@
+/**
+ * @file
+ * InlineCallable: a move-only, small-buffer-only `void()` callable for
+ * the event hot path. Unlike std::function it never heap-allocates —
+ * captures larger than the inline buffer are a compile error, which is
+ * the point: scheduleLambda() runs millions of times per simulated
+ * second and must not touch the allocator. The largest capture in the
+ * tree today ([this, seq, msg, dst] in MessageHub) is under 56 bytes;
+ * the buffer leaves headroom without bloating the pooled events that
+ * embed one.
+ */
+
+#ifndef RASIM_SIM_CALLABLE_HH
+#define RASIM_SIM_CALLABLE_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rasim
+{
+
+class InlineCallable
+{
+  public:
+    /** Inline capture budget, bytes. */
+    static constexpr std::size_t capacity = 64;
+
+    InlineCallable() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallable>>>
+    InlineCallable(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= capacity,
+                      "capture too large for InlineCallable — shrink "
+                      "the capture or raise the budget deliberately");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned capture");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "capture must be nothrow-movable");
+        new (buf_) Fn(std::forward<F>(f));
+        ops_ = &opsFor<Fn>;
+    }
+
+    InlineCallable(InlineCallable &&o) noexcept : ops_(o.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    InlineCallable &
+    operator=(InlineCallable &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            ops_ = o.ops_;
+            if (ops_) {
+                ops_->relocate(buf_, o.buf_);
+                o.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallable(const InlineCallable &) = delete;
+    InlineCallable &operator=(const InlineCallable &) = delete;
+
+    ~InlineCallable() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops opsFor = {
+        [](void *p) { (*std::launder(static_cast<Fn *>(p)))(); },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(static_cast<Fn *>(src));
+            new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { std::launder(static_cast<Fn *>(p))->~Fn(); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_CALLABLE_HH

@@ -15,7 +15,7 @@ Event::~Event()
         panic("event '", description(), "' destroyed while scheduled");
 }
 
-EventFunctionWrapper::EventFunctionWrapper(std::function<void()> callback,
+EventFunctionWrapper::EventFunctionWrapper(InlineCallable callback,
                                            std::string name, Priority pri)
     : Event(pri), callback_(std::move(callback)), name_(std::move(name))
 {

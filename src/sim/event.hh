@@ -9,9 +9,9 @@
 #define RASIM_SIM_EVENT_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "sim/callable.hh"
 #include "sim/types.hh"
 
 namespace rasim
@@ -80,7 +80,7 @@ class Event
 class EventFunctionWrapper : public Event
 {
   public:
-    EventFunctionWrapper(std::function<void()> callback,
+    EventFunctionWrapper(InlineCallable callback,
                          std::string name = "function event",
                          Priority pri = default_pri);
 
@@ -88,7 +88,7 @@ class EventFunctionWrapper : public Event
     std::string description() const override { return name_; }
 
   private:
-    std::function<void()> callback_;
+    InlineCallable callback_;
     std::string name_;
 };
 

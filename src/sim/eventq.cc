@@ -7,33 +7,35 @@
 namespace rasim
 {
 
-namespace
-{
-
-/** One-shot self-deleting event used by scheduleLambda(). */
+/**
+ * One-shot event used by scheduleLambda(). Owned by its queue and
+ * recycled after firing instead of deleted, so steady-state lambda
+ * scheduling never allocates.
+ */
 class LambdaEvent : public Event
 {
   public:
-    LambdaEvent(std::function<void()> fn, Priority pri)
-        : Event(pri), fn_(std::move(fn))
-    {
-    }
+    explicit LambdaEvent(EventQueue *owner) : owner_(owner) {}
+
+    void arm(InlineCallable fn) { fn_ = std::move(fn); }
 
     void
     process() override
     {
-        auto fn = std::move(fn_);
-        delete this;
+        // Recycle before invoking: the callable may schedule another
+        // lambda and immediately reuse this very object, which is fine
+        // once fn_ has been moved out.
+        InlineCallable fn = std::move(fn_);
+        owner_->recycleLambda(this);
         fn();
     }
 
     std::string description() const override { return "lambda event"; }
 
   private:
-    std::function<void()> fn_;
+    EventQueue *owner_;
+    InlineCallable fn_;
 };
-
-} // namespace
 
 EventQueue::EventQueue(std::string name) : name_(std::move(name))
 {
@@ -43,12 +45,34 @@ EventQueue::~EventQueue()
 {
     // Orphan (never delete) remaining events: they are owned by the
     // components, which are usually destroyed after the queue. Lambda
-    // events are the exception and must be reclaimed here.
-    for (Event *ev : events_) {
+    // events are the exception — the queue owns those and reclaims the
+    // whole pool, pending or idle alike.
+    for (Event *ev : events_)
         ev->queue_ = nullptr;
-        if (auto *le = dynamic_cast<LambdaEvent *>(ev))
-            delete le;
+    for (LambdaEvent *le : lambda_store_)
+        delete le;
+}
+
+LambdaEvent *
+EventQueue::acquireLambda(InlineCallable fn, Event::Priority pri)
+{
+    LambdaEvent *ev;
+    if (lambda_free_.empty()) {
+        ev = new LambdaEvent(this);
+        lambda_store_.push_back(ev);
+    } else {
+        ev = lambda_free_.back();
+        lambda_free_.pop_back();
     }
+    ev->priority_ = pri;
+    ev->arm(std::move(fn));
+    return ev;
+}
+
+void
+EventQueue::recycleLambda(LambdaEvent *ev)
+{
+    lambda_free_.push_back(ev);
 }
 
 void
@@ -85,10 +109,10 @@ EventQueue::reschedule(Event *ev, Tick when)
 }
 
 void
-EventQueue::scheduleLambda(Tick when, std::function<void()> fn,
+EventQueue::scheduleLambda(Tick when, InlineCallable fn,
                            Event::Priority pri)
 {
-    schedule(new LambdaEvent(std::move(fn), pri), when);
+    schedule(acquireLambda(std::move(fn), pri), when);
 }
 
 void
@@ -125,11 +149,11 @@ EventQueue::scheduleWithSequence(Event *ev, Tick when,
 }
 
 void
-EventQueue::scheduleLambdaWithSequence(Tick when, std::function<void()> fn,
+EventQueue::scheduleLambdaWithSequence(Tick when, InlineCallable fn,
                                        Event::Priority pri,
                                        std::uint64_t sequence)
 {
-    scheduleWithSequence(new LambdaEvent(std::move(fn), pri), when,
+    scheduleWithSequence(acquireLambda(std::move(fn), pri), when,
                          sequence);
 }
 

@@ -7,15 +7,18 @@
 #define RASIM_SIM_EVENTQ_HH
 
 #include <cstdint>
-#include <functional>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "sim/callable.hh"
 #include "sim/event.hh"
 #include "sim/types.hh"
 
 namespace rasim
 {
+
+class LambdaEvent;
 
 /**
  * Ordered queue of pending events plus the current simulated time.
@@ -47,11 +50,13 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /**
-     * Schedule a one-shot heap-allocated event running @p fn; the event
-     * deletes itself after running. Convenient for fire-and-forget
-     * callbacks like packet deliveries.
+     * Schedule a one-shot event running @p fn; the event object is
+     * recycled from a queue-owned free list after it fires, so the
+     * steady state allocates nothing. Convenient for fire-and-forget
+     * callbacks like packet deliveries. The callable must fit
+     * InlineCallable's inline buffer (enforced at compile time).
      */
-    void scheduleLambda(Tick when, std::function<void()> fn,
+    void scheduleLambda(Tick when, InlineCallable fn,
                         Event::Priority pri = Event::default_pri);
 
     /** True when no events are pending. */
@@ -104,13 +109,26 @@ class EventQueue
                               std::uint64_t sequence);
 
     /** scheduleLambda() variant of scheduleWithSequence(). */
-    void scheduleLambdaWithSequence(Tick when, std::function<void()> fn,
+    void scheduleLambdaWithSequence(Tick when, InlineCallable fn,
                                     Event::Priority pri,
                                     std::uint64_t sequence);
 
     const std::string &name() const { return name_; }
 
+    /** Lambda-event objects ever created (pool growth diagnostics). */
+    std::size_t lambdaEventsAllocated() const
+    {
+        return lambda_store_.size();
+    }
+
   private:
+    friend class LambdaEvent;
+
+    /** Pop a recycled lambda event (or grow the pool) and arm it. */
+    LambdaEvent *acquireLambda(InlineCallable fn, Event::Priority pri);
+    /** Return a fired lambda event to the free list. */
+    void recycleLambda(LambdaEvent *ev);
+
     struct Before
     {
         bool
@@ -129,6 +147,10 @@ class EventQueue
     std::uint64_t next_sequence_ = 0;
     std::uint64_t num_processed_ = 0;
     std::set<Event *, Before> events_;
+    /** Every lambda event this queue ever created (owned). */
+    std::vector<LambdaEvent *> lambda_store_;
+    /** The idle subset of lambda_store_, ready for reuse. */
+    std::vector<LambdaEvent *> lambda_free_;
 };
 
 } // namespace rasim

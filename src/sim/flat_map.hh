@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Open-addressing hash map with deterministic, key-ordered iteration —
+ * the in-flight-table replacement for std::map/std::unordered_map on
+ * the simulation hot path.
+ *
+ * Lookups and erases are O(1) with no per-node allocation (Robin Hood
+ * probing with backward-shift deletion over one flat slot array), while
+ * iteration visits entries in ascending key order exactly like the
+ * std::map it replaces — checkpoints written by walking a FlatMap are
+ * byte-identical to the manual sort-before-save loops they retire. The
+ * order index is rebuilt lazily on first iteration after a mutation, so
+ * steady-state insert/find/erase never pays for it.
+ *
+ * Reference stability: pointers and references into the map are
+ * invalidated by rehash (any insert may rehash) and by erase (backward
+ * shifting moves neighbours). Callers must not hold a mapped reference
+ * across a mutation — the existing protocol code already obeys this
+ * (see DESIGN.md §9).
+ */
+
+#ifndef RASIM_SIM_FLAT_MAP_HH
+#define RASIM_SIM_FLAT_MAP_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+
+namespace detail
+{
+
+/** splitmix64 finalizer: deterministic, platform-independent mixing of
+ *  integral keys into well-spread hashes. */
+inline std::uint64_t
+mixHash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace detail
+
+/**
+ * Robin Hood open-addressing map keyed by an integral type. The subset
+ * of the std::map interface the simulator uses, with one deliberate
+ * difference: find() returns a pointer to the mapped value (nullptr on
+ * miss) instead of an iterator.
+ */
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        size_ = 0;
+        mask_ = 0;
+        order_.clear();
+        order_dirty_ = false;
+    }
+
+    /** Pre-size the table for @p n entries without rehashing later. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = 16;
+        while (want * max_load_num < n * max_load_den)
+            want <<= 1;
+        if (want > slots_.size())
+            rehash(want);
+    }
+
+    V *
+    find(const K &key)
+    {
+        std::size_t i = findSlot(key);
+        return i == npos ? nullptr : &slots_[i].value;
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        std::size_t i = findSlot(key);
+        return i == npos ? nullptr : &slots_[i].value;
+    }
+
+    bool contains(const K &key) const { return findSlot(key) != npos; }
+
+    /** Mapped value for @p key; panics when absent (map::at parity). */
+    V &
+    at(const K &key)
+    {
+        V *v = find(key);
+        if (!v)
+            panic("FlatMap::at: key ", key, " not present");
+        return *v;
+    }
+
+    const V &
+    at(const K &key) const
+    {
+        const V *v = find(key);
+        if (!v)
+            panic("FlatMap::at: key ", key, " not present");
+        return *v;
+    }
+
+    /** Default-construct-on-miss access (map::operator[] parity). */
+    V &
+    operator[](const K &key)
+    {
+        std::size_t i = findSlot(key);
+        if (i != npos)
+            return slots_[i].value;
+        return insertNew(key, V{});
+    }
+
+    /**
+     * Insert when absent; existing entries win (map::emplace parity).
+     * @return true when the value was inserted.
+     */
+    template <typename... Args>
+    bool
+    emplace(const K &key, Args &&...args)
+    {
+        if (findSlot(key) != npos)
+            return false;
+        insertNew(key, V(std::forward<Args>(args)...));
+        return true;
+    }
+
+    /** Insert-or-overwrite. */
+    void
+    insertOrAssign(const K &key, V value)
+    {
+        std::size_t i = findSlot(key);
+        if (i != npos) {
+            slots_[i].value = std::move(value);
+            return;
+        }
+        insertNew(key, std::move(value));
+    }
+
+    /** @return number of entries removed (0 or 1), like map::erase. */
+    std::size_t
+    erase(const K &key)
+    {
+        std::size_t i = findSlot(key);
+        if (i == npos)
+            return 0;
+        // Backward-shift deletion: pull successors one slot toward
+        // their home until an empty or home-positioned slot ends the
+        // displaced run.
+        std::size_t hole = i;
+        for (;;) {
+            std::size_t next = (hole + 1) & mask_;
+            if (!slots_[next].used || distance(next) == 0)
+                break;
+            slots_[hole] = std::move(slots_[next]);
+            hole = next;
+        }
+        slots_[hole].used = false;
+        slots_[hole].value = V{};
+        --size_;
+        order_dirty_ = true;
+        return 1;
+    }
+
+    /**
+     * @name Key-ordered iteration
+     * Proxy iterators yielding pair<const K&, V&>; ascending key order,
+     * byte-compatible with iterating the std::map this replaced. The
+     * map must not be mutated during iteration.
+     */
+    /// @{
+    template <bool Const>
+    class Iterator
+    {
+        using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+        using ValT = std::conditional_t<Const, const V, V>;
+
+      public:
+        Iterator(MapT *m, std::size_t pos) : map_(m), pos_(pos) {}
+
+        std::pair<const K &, ValT &>
+        operator*() const
+        {
+            auto &slot = map_->slots_[map_->order_[pos_]];
+            return {slot.key, slot.value};
+        }
+
+        Iterator &
+        operator++()
+        {
+            ++pos_;
+            return *this;
+        }
+
+        bool
+        operator!=(const Iterator &o) const
+        {
+            return pos_ != o.pos_;
+        }
+
+        bool
+        operator==(const Iterator &o) const
+        {
+            return pos_ == o.pos_;
+        }
+
+      private:
+        MapT *map_;
+        std::size_t pos_;
+    };
+
+    using iterator = Iterator<false>;
+    using const_iterator = Iterator<true>;
+
+    iterator
+    begin()
+    {
+        refreshOrder();
+        return iterator(this, 0);
+    }
+
+    iterator end() { return iterator(this, size_); }
+
+    const_iterator
+    begin() const
+    {
+        refreshOrder();
+        return const_iterator(this, 0);
+    }
+
+    const_iterator end() const { return const_iterator(this, size_); }
+    /// @}
+
+  private:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    // Load factor 7/8: dense enough to stay cache-friendly, sparse
+    // enough to keep Robin Hood probe runs short.
+    static constexpr std::size_t max_load_num = 7;
+    static constexpr std::size_t max_load_den = 8;
+
+    struct Slot
+    {
+        K key{};
+        V value{};
+        bool used = false;
+    };
+
+    std::size_t
+    home(const K &key) const
+    {
+        return static_cast<std::size_t>(
+                   detail::mixHash(static_cast<std::uint64_t>(key))) &
+               mask_;
+    }
+
+    /** Probe distance of the entry sitting in slot @p i. */
+    std::size_t
+    distance(std::size_t i) const
+    {
+        return (i - home(slots_[i].key)) & mask_;
+    }
+
+    std::size_t
+    findSlot(const K &key) const
+    {
+        if (slots_.empty())
+            return npos;
+        std::size_t i = home(key);
+        std::size_t d = 0;
+        for (;;) {
+            const Slot &slot = slots_[i];
+            if (!slot.used)
+                return npos;
+            if (slot.key == key)
+                return i;
+            // Robin Hood invariant: a resident poorer than our probe
+            // distance proves the key was never inserted.
+            if (distance(i) < d)
+                return npos;
+            i = (i + 1) & mask_;
+            ++d;
+        }
+    }
+
+    V &
+    insertNew(const K &key, V value)
+    {
+        if (slots_.empty() ||
+            (size_ + 1) * max_load_den > slots_.size() * max_load_num)
+            rehash(slots_.empty() ? 16 : slots_.size() * 2);
+
+        K k = key;
+        V v = std::move(value);
+        std::size_t i = home(k);
+        std::size_t d = 0;
+        V *inserted = nullptr;
+        for (;;) {
+            Slot &slot = slots_[i];
+            if (!slot.used) {
+                slot.key = std::move(k);
+                slot.value = std::move(v);
+                slot.used = true;
+                ++size_;
+                order_dirty_ = true;
+                return inserted ? *inserted : slot.value;
+            }
+            std::size_t rd = distance(i);
+            if (rd < d) {
+                // Rob the richer resident: swap and keep probing on
+                // its behalf.
+                std::swap(k, slot.key);
+                std::swap(v, slot.value);
+                if (!inserted)
+                    inserted = &slot.value;
+                d = rd;
+            }
+            i = (i + 1) & mask_;
+            ++d;
+        }
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_cap, Slot{});
+        mask_ = new_cap - 1;
+        size_ = 0;
+        for (Slot &slot : old) {
+            if (slot.used)
+                insertNew(slot.key, std::move(slot.value));
+        }
+        order_dirty_ = true;
+    }
+
+    void
+    refreshOrder() const
+    {
+        if (!order_dirty_ && order_.size() == size_)
+            return;
+        order_.clear();
+        order_.reserve(size_);
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].used)
+                order_.push_back(i);
+        }
+        std::sort(order_.begin(), order_.end(),
+                  [this](std::size_t a, std::size_t b) {
+                      return slots_[a].key < slots_[b].key;
+                  });
+        order_dirty_ = false;
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    // Iteration cache: slot indices sorted by key, rebuilt lazily.
+    mutable std::vector<std::size_t> order_;
+    mutable bool order_dirty_ = false;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_FLAT_MAP_HH

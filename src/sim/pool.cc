@@ -1,0 +1,68 @@
+#include "sim/pool.hh"
+
+#include <mutex>
+
+namespace rasim
+{
+
+namespace
+{
+
+/**
+ * Process-wide pool registry. Pools register in construction order and
+ * unregister on destruction; snapshots copy under the mutex so tests
+ * and benches can read stats while a simulation is live.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<PoolBase *> pools;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+PoolBase::PoolBase(std::string name) : name_(std::move(name))
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.pools.push_back(this);
+}
+
+PoolBase::~PoolBase()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::erase(r.pools, this);
+}
+
+std::vector<std::pair<std::string, PoolStats>>
+poolStatsSnapshot()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::pair<std::string, PoolStats>> out;
+    out.reserve(r.pools.size());
+    for (PoolBase *p : r.pools)
+        out.emplace_back(p->name(), p->stats());
+    return out;
+}
+
+std::uint64_t
+poolTotalSlabs()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::uint64_t total = 0;
+    for (PoolBase *p : r.pools)
+        total += p->stats().slabs;
+    return total;
+}
+
+} // namespace rasim

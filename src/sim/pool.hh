@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Deterministic slab object pool with refcounted handles — the
+ * allocation substrate of the simulation hot path.
+ *
+ * A Pool<T> owns slabs of fixed-size slots whose addresses never move,
+ * so a PoolPtr<T> can hold a raw slot pointer for the object's whole
+ * lifetime. Allocation pops a dense index off a LIFO free list and
+ * placement-constructs in the slot; the last PoolPtr to go away runs
+ * the destructor and pushes the index back. Given the same sequence of
+ * allocate/release calls the pool hands out the same indices — but no
+ * simulation state may depend on slot indices (they are deliberately
+ * not part of any checkpoint; archives store payloads keyed by domain
+ * ids instead, see DESIGN.md §9).
+ *
+ * Thread safety: handles may be copied, moved and dropped concurrently
+ * (the refcount is atomic), and allocate/release may race between the
+ * host thread and an overlapped backend worker (the free list is
+ * spinlocked). Steady-state hot paths allocate and free on the serial
+ * boundary code, so the lock is effectively uncontended.
+ *
+ * Safety nets: releasing a slot that is not live panics (double free),
+ * and in debug builds freed payloads are poisoned with 0xDD so a
+ * use-after-free trips fast and visibly.
+ */
+
+#ifndef RASIM_SIM_POOL_HH
+#define RASIM_SIM_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/serialize.hh"
+
+namespace rasim
+{
+
+/** Occupancy and traffic counters of one pool (see poolStats()). */
+struct PoolStats
+{
+    /** Slabs currently backing the pool. */
+    std::uint64_t slabs = 0;
+    /** Total slots across all slabs. */
+    std::uint64_t capacity = 0;
+    /** Slots currently constructed. */
+    std::uint64_t live = 0;
+    /** High-water mark of live. */
+    std::uint64_t peak_live = 0;
+    /** Lifetime allocate() calls. */
+    std::uint64_t total_allocated = 0;
+    /** Lifetime releases back to the free list. */
+    std::uint64_t total_released = 0;
+};
+
+/**
+ * Registry base: every pool announces itself so tests and benches can
+ * assert "no pool grew a slab during the steady state" without naming
+ * each pool. Registration is process-wide and mutex-guarded.
+ */
+class PoolBase
+{
+  public:
+    explicit PoolBase(std::string name);
+    virtual ~PoolBase();
+
+    PoolBase(const PoolBase &) = delete;
+    PoolBase &operator=(const PoolBase &) = delete;
+
+    virtual PoolStats stats() const = 0;
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/** Snapshot of every registered pool, ordered by registration. */
+std::vector<std::pair<std::string, PoolStats>> poolStatsSnapshot();
+
+/** Sum of slab counts across every registered pool. */
+std::uint64_t poolTotalSlabs();
+
+template <typename T> class Pool;
+template <typename T> class PoolPtr;
+
+namespace detail
+{
+
+/** Minimal test-and-set lock for the pool free list. */
+class PoolLock
+{
+  public:
+    void
+    lock()
+    {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+
+    void unlock() { flag_.clear(std::memory_order_release); }
+
+  private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+template <typename T>
+struct PoolSlot
+{
+    alignas(T) unsigned char storage[sizeof(T)];
+    std::atomic<std::uint32_t> refs{0};
+    Pool<T> *pool = nullptr;
+    std::uint32_t index = 0;
+    bool live = false;
+
+    T *obj() { return std::launder(reinterpret_cast<T *>(storage)); }
+    const T *
+    obj() const
+    {
+        return std::launder(reinterpret_cast<const T *>(storage));
+    }
+};
+
+} // namespace detail
+
+/**
+ * Refcounted handle to a pool slot; drop-in for the shared_ptr it
+ * replaced (copy/move, operator->, bool conversion, reset). The last
+ * handle returns the slot to its pool — exactly once, enforced by the
+ * pool's live check.
+ */
+template <typename T>
+class PoolPtr
+{
+  public:
+    constexpr PoolPtr() noexcept = default;
+    constexpr PoolPtr(std::nullptr_t) noexcept {}
+
+    PoolPtr(const PoolPtr &o) noexcept : slot_(o.slot_) { ref(); }
+
+    PoolPtr(PoolPtr &&o) noexcept : slot_(o.slot_) { o.slot_ = nullptr; }
+
+    PoolPtr &
+    operator=(const PoolPtr &o) noexcept
+    {
+        if (slot_ != o.slot_) {
+            unref();
+            slot_ = o.slot_;
+            ref();
+        }
+        return *this;
+    }
+
+    PoolPtr &
+    operator=(PoolPtr &&o) noexcept
+    {
+        if (this != &o) {
+            unref();
+            slot_ = o.slot_;
+            o.slot_ = nullptr;
+        }
+        return *this;
+    }
+
+    PoolPtr &
+    operator=(std::nullptr_t) noexcept
+    {
+        unref();
+        slot_ = nullptr;
+        return *this;
+    }
+
+    ~PoolPtr() { unref(); }
+
+    T *get() const noexcept { return slot_ ? slot_->obj() : nullptr; }
+    T *operator->() const noexcept { return slot_->obj(); }
+    T &operator*() const noexcept { return *slot_->obj(); }
+
+    explicit operator bool() const noexcept { return slot_ != nullptr; }
+
+    void
+    reset() noexcept
+    {
+        unref();
+        slot_ = nullptr;
+    }
+
+    friend bool
+    operator==(const PoolPtr &a, const PoolPtr &b) noexcept
+    {
+        return a.slot_ == b.slot_;
+    }
+
+    friend bool
+    operator!=(const PoolPtr &a, const PoolPtr &b) noexcept
+    {
+        return a.slot_ != b.slot_;
+    }
+
+    friend bool
+    operator==(const PoolPtr &a, std::nullptr_t) noexcept
+    {
+        return a.slot_ == nullptr;
+    }
+
+    friend bool
+    operator!=(const PoolPtr &a, std::nullptr_t) noexcept
+    {
+        return a.slot_ != nullptr;
+    }
+
+    /** Outstanding handles to this slot (diagnostics/tests). */
+    std::uint32_t
+    useCount() const noexcept
+    {
+        return slot_ ? slot_->refs.load(std::memory_order_relaxed) : 0;
+    }
+
+  private:
+    friend class Pool<T>;
+
+    explicit PoolPtr(detail::PoolSlot<T> *slot) noexcept : slot_(slot)
+    {
+        // The pool hands out slots with refs already at 1.
+    }
+
+    void
+    ref() noexcept
+    {
+        if (slot_)
+            slot_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    unref() noexcept
+    {
+        if (slot_ &&
+            slot_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            slot_->pool->release(slot_);
+    }
+
+    detail::PoolSlot<T> *slot_ = nullptr;
+};
+
+template <typename T>
+class Pool : public PoolBase
+{
+  public:
+    /** Slots per slab; growth happens one slab at a time. */
+    static constexpr std::uint32_t slab_slots = 256;
+
+    explicit Pool(std::string name) : PoolBase(std::move(name)) {}
+
+    ~Pool() override = default;
+
+    /** Construct a T in a free slot and return the owning handle. */
+    template <typename... Args>
+    PoolPtr<T>
+    allocate(Args &&...args)
+    {
+        lock_.lock();
+        if (free_.empty())
+            grow();
+        std::uint32_t index = free_.back();
+        free_.pop_back();
+        ++live_;
+        ++total_allocated_;
+        if (live_ > peak_live_)
+            peak_live_ = live_;
+        lock_.unlock();
+
+        detail::PoolSlot<T> &slot = slotAt(index);
+        if (slot.live)
+            panic("pool '", name(), "': allocating live slot ", index);
+        new (slot.storage) T(std::forward<Args>(args)...);
+        slot.live = true;
+        slot.refs.store(1, std::memory_order_relaxed);
+        return PoolPtr<T>(&slot);
+    }
+
+    PoolStats
+    stats() const override
+    {
+        auto &self = const_cast<Pool &>(*this);
+        self.lock_.lock();
+        PoolStats s;
+        s.slabs = slabs_.size();
+        s.capacity =
+            static_cast<std::uint64_t>(slabs_.size()) * slab_slots;
+        s.live = live_;
+        s.peak_live = peak_live_;
+        s.total_allocated = total_allocated_;
+        s.total_released = total_released_;
+        self.lock_.unlock();
+        return s;
+    }
+
+    /**
+     * Checkpoint the pool as occupancy + payloads (never addresses):
+     * live slots in ascending index order, each serialized by @p fn.
+     * Intended for pools whose objects are not already archived
+     * through a domain-keyed table.
+     */
+    template <typename SaveFn>
+    void
+    save(ArchiveWriter &aw, SaveFn fn) const
+    {
+        aw.beginSection("pool");
+        aw.putU64(live_);
+        std::uint64_t written = 0;
+        for (std::uint32_t i = 0; i < capacity(); ++i) {
+            const detail::PoolSlot<T> &slot =
+                const_cast<Pool *>(this)->slotAt(i);
+            if (!slot.live)
+                continue;
+            aw.putU32(i);
+            fn(aw, *slot.obj());
+            ++written;
+        }
+        if (written != live_)
+            panic("pool '", name(), "': live count ", live_,
+                  " disagrees with occupancy ", written);
+        aw.endSection();
+    }
+
+    /**
+     * Rebuild occupancy from an archive written by save(). The pool
+     * must hold no live slots; returns one handle per restored object
+     * (ascending index order) — dropping them releases the slots.
+     */
+    template <typename RestoreFn>
+    std::vector<PoolPtr<T>>
+    restore(ArchiveReader &ar, RestoreFn fn)
+    {
+        if (live_ != 0)
+            panic("pool '", name(), "': restore over ", live_,
+                  " live slot(s)");
+        ar.expectSection("pool");
+        std::uint64_t n = ar.getU64();
+        std::vector<PoolPtr<T>> handles;
+        handles.reserve(n);
+        std::vector<char> occupied;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            std::uint32_t index = ar.getU32();
+            while (capacity() <= index)
+                grow();
+            if (occupied.size() < capacity())
+                occupied.resize(capacity(), 0);
+            detail::PoolSlot<T> &slot = slotAt(index);
+            new (slot.storage) T(fn(ar));
+            slot.live = true;
+            occupied[index] = 1;
+            slot.refs.store(1, std::memory_order_relaxed);
+            handles.push_back(PoolPtr<T>(&slot));
+        }
+        ar.endSection();
+        occupied.resize(capacity(), 0);
+        // Free list: every dead index, descending, so the next
+        // allocations pop ascending — same discipline as growth.
+        free_.clear();
+        for (std::uint32_t i = capacity(); i-- > 0;) {
+            if (!occupied[i])
+                free_.push_back(i);
+        }
+        live_ = n;
+        if (live_ > peak_live_)
+            peak_live_ = live_;
+        total_allocated_ += n;
+        return handles;
+    }
+
+  private:
+    friend class PoolPtr<T>;
+
+    using Slab = std::unique_ptr<detail::PoolSlot<T>[]>;
+
+    std::uint32_t
+    capacity() const
+    {
+        return static_cast<std::uint32_t>(slabs_.size()) * slab_slots;
+    }
+
+    detail::PoolSlot<T> &
+    slotAt(std::uint32_t index)
+    {
+        return slabs_[index / slab_slots][index % slab_slots];
+    }
+
+    /** Append one slab; indices pushed descending so allocation order
+     *  walks the slab front to back. Caller holds lock_. */
+    void
+    grow()
+    {
+        std::uint32_t base = capacity();
+        slabs_.push_back(
+            std::make_unique<detail::PoolSlot<T>[]>(slab_slots));
+        Slab &slab = slabs_.back();
+        free_.reserve(free_.size() + slab_slots);
+        for (std::uint32_t i = slab_slots; i-- > 0;) {
+            slab[i].pool = this;
+            slab[i].index = base + i;
+            free_.push_back(base + i);
+        }
+    }
+
+    /** Destroy the payload and return the slot to the free list.
+     *  Called by the last handle; a dead slot here is a double free. */
+    void
+    release(detail::PoolSlot<T> *slot)
+    {
+        if (!slot->live)
+            panic("pool '", name(), "': double release of slot ",
+                  slot->index);
+        slot->obj()->~T();
+        slot->live = false;
+#ifndef NDEBUG
+        std::memset(slot->storage, 0xDD, sizeof(T));
+#endif
+        lock_.lock();
+        free_.push_back(slot->index);
+        --live_;
+        ++total_released_;
+        lock_.unlock();
+    }
+
+    detail::PoolLock lock_;
+    std::vector<Slab> slabs_;
+    std::vector<std::uint32_t> free_;
+    std::uint64_t live_ = 0;
+    std::uint64_t peak_live_ = 0;
+    std::uint64_t total_allocated_ = 0;
+    std::uint64_t total_released_ = 0;
+};
+
+} // namespace rasim
+
+#endif // RASIM_SIM_POOL_HH

@@ -207,6 +207,30 @@ TEST(ResumeEquivalence, DeflectionNetworkBitIdenticalAfterRestore)
     expectResumeEquivalence<DeflectionNetwork>();
 }
 
+TEST(ResumeEquivalence, RestoreIndependentOfPacketPoolState)
+{
+    // Checkpoints store packets as payloads keyed by id, never pool
+    // slot indices. Restoring into a process whose packet pool has a
+    // completely different occupancy (holes, reordered free list) must
+    // still reproduce the straight run bit-for-bit.
+    RunResult ref = runStraight<CycleNetwork>(nullptr);
+
+    // Churn the process-wide pool: allocate a block of packets and
+    // free every other one, so the restore below lands in scrambled
+    // slots a cold-started process would never use.
+    std::vector<PacketPtr> churn;
+    for (int i = 0; i < 300; ++i) {
+        churn.push_back(makePacket(
+            static_cast<PacketId>(1000000 + i), 0, 1, MsgClass::Request,
+            8, 0));
+    }
+    for (std::size_t i = 0; i < churn.size(); i += 2)
+        churn[i].reset();
+
+    RunResult split = runSplit<CycleNetwork>(nullptr, 150);
+    expectIdentical(ref, split, "restore into churned pool");
+}
+
 TEST(ResumeEquivalence, ArchiveBytesAreReproducible)
 {
     // Two identical runs must produce byte-identical archives — the

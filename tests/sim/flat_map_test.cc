@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the open-addressing FlatMap: the property that matters to
+ * checkpointing is that iteration visits keys in ascending order, so a
+ * FlatMap-backed table serializes to the same bytes as the std::map it
+ * replaced. We drive both containers with the same operation sequence
+ * and require identical contents and identical iteration order at
+ * every checkpoint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/expect_error.hh"
+#include "sim/flat_map.hh"
+
+namespace
+{
+
+using rasim::FlatMap;
+
+/** Deterministic 64-bit generator (no global random state in tests). */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return state_ >> 16;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+template <typename K, typename V>
+void
+expectSameAsReference(const FlatMap<K, V> &fm, const std::map<K, V> &ref)
+{
+    ASSERT_EQ(fm.size(), ref.size());
+    auto it = ref.begin();
+    for (const auto &[key, value] : fm) {
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(key, it->first);
+        EXPECT_EQ(value, it->second);
+        ++it;
+    }
+    EXPECT_EQ(it, ref.end());
+}
+
+TEST(FlatMap, BasicInsertFindErase)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    m[7] = 70;
+    m[3] = 30;
+    m[11] = 110;
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_TRUE(m.contains(7));
+    EXPECT_FALSE(m.contains(8));
+    ASSERT_NE(m.find(3), nullptr);
+    EXPECT_EQ(*m.find(3), 30);
+    EXPECT_EQ(m.find(99), nullptr);
+    EXPECT_EQ(m.at(11), 110);
+    EXPECT_EQ(m.erase(3), 1u);
+    EXPECT_EQ(m.erase(3), 0u);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_FALSE(m.contains(3));
+}
+
+TEST(FlatMap, EmplaceDoesNotOverwrite)
+{
+    FlatMap<std::uint64_t, std::string> m;
+    EXPECT_TRUE(m.emplace(1, "first"));
+    EXPECT_FALSE(m.emplace(1, "second"));
+    EXPECT_EQ(m.at(1), "first");
+    m.insertOrAssign(1, "third");
+    EXPECT_EQ(m.at(1), "third");
+}
+
+TEST(FlatMap, AtOnMissingKeyPanics)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[1] = 1;
+    EXPECT_SIM_ERROR(m.at(2), "not present");
+}
+
+TEST(FlatMap, IterationIsAscendingByKey)
+{
+    FlatMap<std::uint64_t, int> m;
+    // Insertion order deliberately scrambled.
+    for (std::uint64_t k : {42u, 7u, 100u, 1u, 55u, 13u})
+        m[k] = static_cast<int>(k);
+    std::vector<std::uint64_t> keys;
+    for (const auto &[key, value] : m)
+        keys.push_back(key);
+    std::vector<std::uint64_t> expect = {1, 7, 13, 42, 55, 100};
+    EXPECT_EQ(keys, expect);
+}
+
+TEST(FlatMap, PropertyAgainstStdMap)
+{
+    // Same mixed op sequence into FlatMap and std::map; compare
+    // contents and iteration order at every checkpoint. The key range
+    // is kept small so inserts collide with existing keys and erases
+    // usually hit, which exercises overwrite and backward-shift paths.
+    FlatMap<std::uint64_t, std::uint64_t> fm;
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Lcg rng(0x5eed);
+
+    for (int op = 0; op < 20000; ++op) {
+        std::uint64_t key = rng.next() % 512;
+        std::uint64_t val = rng.next();
+        switch (rng.next() % 4) {
+          case 0:
+          case 1: // insert-or-assign (most common: keeps the map full)
+            fm.insertOrAssign(key, val);
+            ref[key] = val;
+            break;
+          case 2: // emplace (no overwrite)
+            {
+                bool inserted = fm.emplace(key, val);
+                bool ref_inserted = ref.emplace(key, val).second;
+                EXPECT_EQ(inserted, ref_inserted);
+            }
+            break;
+          case 3: // erase
+            EXPECT_EQ(fm.erase(key), ref.erase(key));
+            break;
+        }
+        if (op % 1000 == 0)
+            expectSameAsReference(fm, ref);
+    }
+    expectSameAsReference(fm, ref);
+
+    // Drain in iteration order: erasing every key leaves both empty.
+    std::vector<std::uint64_t> keys;
+    for (const auto &[key, value] : fm)
+        keys.push_back(key);
+    for (std::uint64_t k : keys) {
+        EXPECT_EQ(fm.erase(k), 1u);
+        ref.erase(k);
+    }
+    EXPECT_TRUE(fm.empty());
+    expectSameAsReference(fm, ref);
+}
+
+TEST(FlatMap, GrowthPreservesContents)
+{
+    FlatMap<std::uint64_t, std::uint64_t> fm;
+    std::map<std::uint64_t, std::uint64_t> ref;
+    // Push far past the initial capacity so several rehashes happen.
+    for (std::uint64_t k = 0; k < 5000; ++k) {
+        std::uint64_t key = k * 2654435761u; // scattered keys
+        fm.insertOrAssign(key, k);
+        ref[key] = k;
+    }
+    expectSameAsReference(fm, ref);
+}
+
+TEST(FlatMap, ClearEmptiesButStaysUsable)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        m[k] = static_cast<int>(k);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(5), nullptr);
+    m[5] = 50;
+    EXPECT_EQ(m.at(5), 50);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, ValuePointersStableUntilMutation)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[1] = 10;
+    m[2] = 20;
+    int *p = m.find(1);
+    ASSERT_NE(p, nullptr);
+    *p = 11; // mutation through find() is visible
+    EXPECT_EQ(m.at(1), 11);
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the slab object pool: handle lifetime and refcounting,
+ * deterministic index reuse, double-free detection, slab growth
+ * accounting, occupancy checkpointing, and the steady-state
+ * no-growth guarantee the hot path relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/expect_error.hh"
+#include "sim/pool.hh"
+#include "sim/serialize.hh"
+
+namespace
+{
+
+using rasim::ArchiveReader;
+using rasim::ArchiveWriter;
+using rasim::Pool;
+using rasim::PoolPtr;
+
+struct Payload
+{
+    std::uint64_t id = 0;
+    std::uint64_t value = 0;
+
+    Payload() = default;
+    Payload(std::uint64_t i, std::uint64_t v) : id(i), value(v) {}
+};
+
+/** A payload that counts destructor runs into a caller's counter. */
+struct Tracked
+{
+    int *dtors = nullptr;
+    ~Tracked()
+    {
+        if (dtors)
+            ++*dtors;
+    }
+};
+
+TEST(Pool, AllocateConstructsAndHandleReads)
+{
+    Pool<Payload> pool("test");
+    PoolPtr<Payload> p = pool.allocate(7u, 42u);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->id, 7u);
+    EXPECT_EQ(p->value, 42u);
+    EXPECT_EQ(pool.stats().live, 1u);
+    EXPECT_EQ(pool.stats().slabs, 1u);
+}
+
+TEST(Pool, LastHandleReleasesSlot)
+{
+    Pool<Tracked> pool("test");
+    int dtors = 0;
+    {
+        PoolPtr<Tracked> a = pool.allocate();
+        a->dtors = &dtors;
+        PoolPtr<Tracked> b = a; // copy: refcount 2
+        EXPECT_EQ(a.useCount(), 2u);
+        a.reset();
+        EXPECT_EQ(dtors, 0) << "slot freed while a handle remains";
+        EXPECT_EQ(pool.stats().live, 1u);
+    }
+    EXPECT_EQ(dtors, 1);
+    EXPECT_EQ(pool.stats().live, 0u);
+    EXPECT_EQ(pool.stats().total_released, 1u);
+}
+
+TEST(Pool, MoveTransfersOwnershipWithoutRefcountTraffic)
+{
+    Pool<Payload> pool("test");
+    PoolPtr<Payload> a = pool.allocate(1u, 1u);
+    PoolPtr<Payload> b = std::move(a);
+    EXPECT_FALSE(a);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b.useCount(), 1u);
+    EXPECT_EQ(pool.stats().live, 1u);
+}
+
+TEST(Pool, DeterministicIndexReuseIsLifo)
+{
+    Pool<Payload> pool("test");
+    // First allocations walk the slab front to back...
+    PoolPtr<Payload> a = pool.allocate(1u, 0u);
+    PoolPtr<Payload> b = pool.allocate(2u, 0u);
+    Payload *addr_a = a.get();
+    Payload *addr_b = b.get();
+    EXPECT_NE(addr_a, addr_b);
+    // ...and a released slot is the next one handed out (LIFO), so
+    // identical call sequences produce identical placements.
+    a.reset();
+    PoolPtr<Payload> c = pool.allocate(3u, 0u);
+    EXPECT_EQ(c.get(), addr_a);
+    b.reset();
+    PoolPtr<Payload> d = pool.allocate(4u, 0u);
+    EXPECT_EQ(d.get(), addr_b);
+}
+
+TEST(Pool, GrowsBySlabAndNeverMovesLiveObjects)
+{
+    Pool<Payload> pool("test");
+    std::vector<PoolPtr<Payload>> held;
+    std::vector<Payload *> addrs;
+    const std::uint32_t n = Pool<Payload>::slab_slots + 8;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        held.push_back(pool.allocate(i, i));
+        addrs.push_back(held.back().get());
+    }
+    EXPECT_EQ(pool.stats().slabs, 2u);
+    EXPECT_EQ(pool.stats().live, n);
+    EXPECT_EQ(pool.stats().peak_live, n);
+    // Growth appends a slab; existing slots keep their addresses.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(held[i].get(), addrs[i]);
+        EXPECT_EQ(held[i]->id, i);
+    }
+}
+
+TEST(Pool, SteadyStateChurnNeverGrows)
+{
+    Pool<Payload> pool("test");
+    {
+        // Warm up to a working set of 64.
+        std::vector<PoolPtr<Payload>> warm;
+        for (std::uint64_t i = 0; i < 64; ++i)
+            warm.push_back(pool.allocate(i, i));
+    }
+    auto warm_stats = pool.stats();
+    // Steady state: allocate/release far more objects than capacity.
+    for (std::uint64_t round = 0; round < 100; ++round) {
+        std::vector<PoolPtr<Payload>> live;
+        for (std::uint64_t i = 0; i < 64; ++i)
+            live.push_back(pool.allocate(i, round));
+    }
+    EXPECT_EQ(pool.stats().slabs, warm_stats.slabs);
+    EXPECT_EQ(pool.stats().capacity, warm_stats.capacity);
+    EXPECT_EQ(pool.stats().live, 0u);
+    EXPECT_EQ(pool.stats().total_allocated, 64u + 100u * 64u);
+}
+
+TEST(Pool, ReleaseIsExactlyOnce)
+{
+    // The refcount makes a double release unreachable through the
+    // handle API: resetting both copies of a handle releases the slot
+    // exactly once, and the stats balance afterwards. (The pool's
+    // live-flag panic guards against raw-slot corruption; that path
+    // is not constructible from outside.)
+    Pool<Payload> pool("test");
+    PoolPtr<Payload> p = pool.allocate(1u, 1u);
+    PoolPtr<Payload> q = p;
+    p.reset();
+    EXPECT_EQ(pool.stats().live, 1u);
+    q.reset();
+    EXPECT_EQ(pool.stats().live, 0u);
+    EXPECT_EQ(pool.stats().total_released, 1u);
+    PoolPtr<Payload> r = pool.allocate(2u, 2u);
+    EXPECT_EQ(pool.stats().live, 1u);
+    EXPECT_EQ(pool.stats().total_allocated, 2u);
+}
+
+TEST(Pool, RegistrySeesNamedPools)
+{
+    Pool<Payload> pool("registry-probe");
+    PoolPtr<Payload> p = pool.allocate(1u, 1u);
+    bool found = false;
+    for (const auto &[name, stats] : rasim::poolStatsSnapshot()) {
+        if (name == "registry-probe") {
+            found = true;
+            EXPECT_EQ(stats.live, 1u);
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_GE(rasim::poolTotalSlabs(), 1u);
+}
+
+TEST(Pool, SaveRestoreRoundTripsOccupancyAndPayloads)
+{
+    Pool<Payload> src("src");
+    std::vector<PoolPtr<Payload>> live;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        live.push_back(src.allocate(i, i * 100));
+    // Punch holes so the occupancy map is non-trivial.
+    live.erase(live.begin() + 3);
+    live.erase(live.begin() + 6);
+
+    ArchiveWriter aw;
+    src.save(aw, [](ArchiveWriter &w, const Payload &p) {
+        w.putU64(p.id);
+        w.putU64(p.value);
+    });
+    std::string bytes = aw.finish();
+
+    Pool<Payload> dst("dst");
+    ArchiveReader ar(std::move(bytes));
+    ASSERT_TRUE(ar.ok()) << ar.error();
+    std::vector<PoolPtr<Payload>> restored =
+        dst.restore(ar, [](ArchiveReader &r) {
+            Payload p;
+            p.id = r.getU64();
+            p.value = r.getU64();
+            return p;
+        });
+
+    ASSERT_EQ(restored.size(), live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        EXPECT_EQ(restored[i]->id, live[i]->id);
+        EXPECT_EQ(restored[i]->value, live[i]->value);
+    }
+    EXPECT_EQ(dst.stats().live, live.size());
+
+    // The restored pool allocates into the punched holes first, in
+    // ascending index order — same discipline as a cold pool.
+    PoolPtr<Payload> n1 = dst.allocate(91u, 0u);
+    PoolPtr<Payload> n2 = dst.allocate(92u, 0u);
+    EXPECT_TRUE(n1 && n2);
+    EXPECT_EQ(dst.stats().live, live.size() + 2);
+}
+
+TEST(Pool, RestoreOverLivePoolPanics)
+{
+    Pool<Payload> src("src");
+    ArchiveWriter aw;
+    src.save(aw, [](ArchiveWriter &, const Payload &) {});
+    std::string bytes = aw.finish();
+
+    Pool<Payload> dst("dst");
+    PoolPtr<Payload> blocker = dst.allocate(1u, 1u);
+    ArchiveReader ar(std::move(bytes));
+    ASSERT_TRUE(ar.ok());
+    EXPECT_SIM_ERROR(
+        dst.restore(ar, [](ArchiveReader &) { return Payload{}; }),
+        "restore over");
+}
+
+} // namespace

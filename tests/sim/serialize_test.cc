@@ -10,10 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "common/expect_error.hh"
+#include "sim/flat_map.hh"
 #include "sim/serialize.hh"
 
 namespace
@@ -148,6 +150,36 @@ TEST(Archive, ReadPastSectionEndPanics)
     ar.expectSection("small");
     EXPECT_EQ(ar.getU8(), 1);
     EXPECT_SIM_ERROR(ar.getU64(), "");
+}
+
+TEST(Archive, FlatMapWritesSameBytesAsSortedMapLoop)
+{
+    // The in-flight tables moved from std::map (plus manual
+    // sort-before-save loops) onto FlatMap. The archive format is
+    // unchanged because FlatMap iterates in ascending key order — the
+    // exact bytes the std::map-era code wrote. Checkpoint images from
+    // before and after the container swap therefore interoperate.
+    rasim::FlatMap<std::uint64_t, std::uint64_t> fm;
+    std::map<std::uint64_t, std::uint64_t> ref;
+    for (std::uint64_t k : {901u, 4u, 77u, 12u, 500u, 3u, 44u}) {
+        fm.insertOrAssign(k, k * 10);
+        ref[k] = k * 10;
+    }
+    fm.erase(77);
+    ref.erase(77);
+
+    auto dump = [](const auto &table) {
+        ArchiveWriter aw;
+        aw.beginSection("table");
+        aw.putU64(table.size());
+        for (const auto &[key, value] : table) {
+            aw.putU64(key);
+            aw.putU64(value);
+        }
+        aw.endSection();
+        return aw.finish();
+    };
+    EXPECT_EQ(dump(fm), dump(ref));
 }
 
 TEST(Archive, PutAfterFinishPanics)
