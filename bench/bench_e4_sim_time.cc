@@ -15,13 +15,18 @@
  *                                                  (device modelled)
  */
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bench_util.hh"
 #include "gpu/gpu_model.hh"
+#include "ipc/nocd_server.hh"
 #include "sim/parallel_engine.hh"
 #include "workload/traffic.hh"
 
@@ -129,11 +134,53 @@ measure(int cols, int rows)
     return m;
 }
 
+struct BackendMeasured
+{
+    double wall_s = 0.0;
+    std::uint64_t quanta = 0;
+    std::uint64_t rpc_round_trips = 0;
+    Tick finish = 0;
+    std::uint64_t delivered = 0;
+};
+
+/** One full co-simulation, timed, against either backend. */
+BackendMeasured
+measureBackend(bool remote, const std::string &socket,
+               std::uint64_t ops_per_core)
+{
+    cosim::FullSystemOptions o;
+    o.mode = cosim::Mode::CosimCycle;
+    o.app = "fft";
+    o.ops_per_core = ops_per_core;
+    o.quantum = 256;
+    o.noc.columns = 8;
+    o.noc.rows = 8;
+    if (remote) {
+        o.network_backend = "remote";
+        o.remote.socket = socket;
+    }
+    cosim::FullSystem sys(Config(), o);
+    BackendMeasured m;
+    m.wall_s = benchutil::timeIt([&] { m.finish = sys.run(); });
+    m.quanta = sys.bridge().quantaRun();
+    m.delivered = sys.packetsDelivered();
+    if (remote)
+        m.rpc_round_trips = static_cast<std::uint64_t>(
+            sys.remoteNetwork()->rpcRoundTrips.value());
+    return m;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
     gpu::GpuTimingModel device;
 
     printHeader("E4: co-simulation wall-clock, CPU-only vs CPU+GPU "
@@ -153,6 +200,8 @@ main()
     };
 
     for (const auto &t : targets) {
+        if (quick && t.cols * t.rows > 64)
+            continue; // CI lane: the 64-core target is representative
         Measured m = measure(t.cols, t.rows);
         double cpu_only = m.host_ns + m.net_ns;
         double cpu_gpu = device.overlappedRunNs(m.host_ns, m.quanta,
@@ -198,7 +247,9 @@ main()
 
     printRow({"workers", "measured_ms", "meas_speedup", "modelled_ms",
               "model_speedup"});
-    for (int workers : {1, 2, 4, 8}) {
+    const std::vector<int> worker_counts =
+        quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    for (int workers : worker_counts) {
         ParallelEngine pool(workers);
         NocMeasured m = measureNoc(&pool);
         double modelled_ns =
@@ -214,5 +265,88 @@ main()
         "handoff; measured column reflects this host's %u core(s) — "
         "results are bit-identical to serial either way)\n",
         handoff_ns, std::thread::hardware_concurrency());
+
+    // E4c: the out-of-process backend. The same 8x8 co-simulation with
+    // the detailed network hosted in a rasim-nocd server (here on a
+    // background thread, over a Unix socket — the same transport a
+    // separate process would use), against the in-process baseline.
+    // The quotient of interest is the per-quantum RPC cost: one
+    // InjectBatch + Advance/DeliveryBatch round-trip per quantum.
+    printHeader("E4c: in-process vs remote (rasim-nocd) backend, "
+                "8x8 mesh, quantum 256");
+    const std::uint64_t remote_ops = quick ? 120 : 600;
+    std::string socket = "unix:/tmp/rasim-bench-e4-" +
+                         std::to_string(::getpid()) + ".sock";
+    ipc::NocServerOptions so;
+    so.address = socket;
+    ipc::NocServer server(so);
+    std::thread server_thread([&] { server.run(); });
+
+    BackendMeasured inproc = measureBackend(false, socket, remote_ops);
+    BackendMeasured remote = measureBackend(true, socket, remote_ops);
+    server.stop();
+    server_thread.join();
+
+    if (remote.finish != inproc.finish ||
+        remote.delivered != inproc.delivered) {
+        std::fprintf(stderr,
+                     "remote/in-process divergence: finish %llu vs "
+                     "%llu, delivered %llu vs %llu\n",
+                     static_cast<unsigned long long>(remote.finish),
+                     static_cast<unsigned long long>(inproc.finish),
+                     static_cast<unsigned long long>(remote.delivered),
+                     static_cast<unsigned long long>(inproc.delivered));
+        return 1;
+    }
+
+    double inproc_qps = inproc.quanta / inproc.wall_s;
+    double remote_qps = remote.quanta / remote.wall_s;
+    double rpc_overhead_us =
+        remote.quanta == 0
+            ? 0.0
+            : (remote.wall_s - inproc.wall_s) * 1e6 /
+                  static_cast<double>(remote.quanta);
+    printRow({"backend", "wall_ms", "quanta", "quanta/s", "rpc_rt"});
+    printRow({"inproc", fmt(inproc.wall_s * 1e3),
+              std::to_string(inproc.quanta), fmt(inproc_qps, 0), "-"});
+    printRow({"remote", fmt(remote.wall_s * 1e3),
+              std::to_string(remote.quanta), fmt(remote_qps, 0),
+              std::to_string(remote.rpc_round_trips)});
+    std::printf("per-quantum RPC overhead: %.2f us (results "
+                "bit-identical: finish tick %llu, %llu packets)\n",
+                rpc_overhead_us,
+                static_cast<unsigned long long>(remote.finish),
+                static_cast<unsigned long long>(remote.delivered));
+
+    const char *path = "BENCH_remote.json";
+    if (FILE *f = std::fopen(path, "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"quick\": %s,\n"
+            "  \"target\": \"8x8 cosim, fft, quantum 256\",\n"
+            "  \"inproc\": {\"wall_ms\": %.3f, \"quanta\": %llu, "
+            "\"quanta_per_sec\": %.1f},\n"
+            "  \"remote\": {\"wall_ms\": %.3f, \"quanta\": %llu, "
+            "\"quanta_per_sec\": %.1f, \"rpc_round_trips\": %llu},\n"
+            "  \"rpc_overhead_us_per_quantum\": %.3f,\n"
+            "  \"bit_identical\": true,\n"
+            "  \"finish_tick\": %llu,\n"
+            "  \"packets_delivered\": %llu\n"
+            "}\n",
+            quick ? "true" : "false", inproc.wall_s * 1e3,
+            static_cast<unsigned long long>(inproc.quanta), inproc_qps,
+            remote.wall_s * 1e3,
+            static_cast<unsigned long long>(remote.quanta), remote_qps,
+            static_cast<unsigned long long>(remote.rpc_round_trips),
+            rpc_overhead_us,
+            static_cast<unsigned long long>(remote.finish),
+            static_cast<unsigned long long>(remote.delivered));
+        std::fclose(f);
+        std::printf("wrote %s\n", path);
+    } else {
+        std::perror(path);
+        return 1;
+    }
     return 0;
 }

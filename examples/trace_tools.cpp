@@ -1,12 +1,16 @@
 /**
  * @file
  * Packet-trace workflow: record the traffic a workload offers the
- * network during a co-simulation, save it as CSV, and replay it
- * through a standalone network — the bridge between the full-system
- * and NoC-only worlds.
+ * network during a co-simulation, save it, and replay it through a
+ * standalone network — the bridge between the full-system and
+ * NoC-only worlds.
  *
  *   ./trace_tools record out.csv [system.app=fft ...]
  *   ./trace_tools replay in.csv  [noc.vcs_per_vnet=4 ...]
+ *   ./trace_tools convert in.csv out.tbin     (and back)
+ *
+ * A ".tbin" extension selects the checksummed binary trace format
+ * (compact, corruption-detecting); anything else is CSV.
  */
 
 #include <cstdio>
@@ -25,6 +29,36 @@ using namespace rasim;
 namespace
 {
 
+bool
+isBinaryPath(const std::string &path)
+{
+    const std::string ext = ".tbin";
+    return path.size() >= ext.size() &&
+           path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+workload::PacketTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '", path, "'");
+    return isBinaryPath(path) ? workload::PacketTrace::loadBinary(in)
+                              : workload::PacketTrace::load(in);
+}
+
+void
+saveTrace(const workload::PacketTrace &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write '", path, "'");
+    if (isBinaryPath(path))
+        trace.saveBinary(out);
+    else
+        trace.save(out);
+}
+
 int
 record(const std::string &path, Config cfg)
 {
@@ -38,10 +72,7 @@ record(const std::string &path, Config cfg)
     system.run();
     trace.sortByTime();
 
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot write '", path, "'");
-    trace.save(out);
+    saveTrace(trace, path);
     std::printf("recorded %zu packets over %llu cycles to %s\n",
                 trace.size(),
                 static_cast<unsigned long long>(
@@ -53,10 +84,7 @@ record(const std::string &path, Config cfg)
 int
 replay(const std::string &path, Config cfg)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot read '", path, "'");
-    workload::PacketTrace trace = workload::PacketTrace::load(in);
+    workload::PacketTrace trace = loadTrace(path);
     if (trace.empty())
         fatal("trace '", path, "' is empty");
 
@@ -83,15 +111,27 @@ replay(const std::string &path, Config cfg)
     return 0;
 }
 
+int
+convert(const std::string &from, const std::string &to)
+{
+    workload::PacketTrace trace = loadTrace(from);
+    saveTrace(trace, to);
+    std::printf("converted %zu packets: %s -> %s\n", trace.size(),
+                from.c_str(), to.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: %s record|replay <file.csv> [key=value...]\n",
-                     argv[0]);
+        std::fprintf(
+            stderr,
+            "usage: %s record|replay <file[.tbin]> [key=value...]\n"
+            "       %s convert <from[.tbin]> <to[.tbin]>\n",
+            argv[0], argv[0]);
         return 1;
     }
     Config cfg;
@@ -101,6 +141,13 @@ main(int argc, char **argv)
         return record(argv[2], std::move(cfg));
     if (std::strcmp(argv[1], "replay") == 0)
         return replay(argv[2], std::move(cfg));
+    if (std::strcmp(argv[1], "convert") == 0) {
+        if (argc < 4) {
+            std::fprintf(stderr, "convert needs <from> and <to>\n");
+            return 1;
+        }
+        return convert(argv[2], argv[3]);
+    }
     std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
     return 1;
 }

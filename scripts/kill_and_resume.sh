@@ -5,23 +5,65 @@
 # uninterrupted reference bit-for-bit (final tick, packet counts and
 # the full statistics dump).
 #
-# Usage: scripts/kill_and_resume.sh [build-dir]
+# With --remote the same check runs against the out-of-process NoC
+# backend, and the SIGKILL lands on the *server* instead: the client
+# (run with health.degrade=false so a lost backend is fatal rather
+# than degraded) dies on the transport error, the server is restarted,
+# and the resumed client restores both halves from the paired
+# client+server checkpoint image.
+#
+# Usage: scripts/kill_and_resume.sh [build-dir] [--remote]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-"$repo/build"}"
+build="$repo/build"
+remote=0
+for arg in "$@"; do
+    case "$arg" in
+      --remote) remote=1 ;;
+      *) build="$arg" ;;
+    esac
+done
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j "$jobs" --target quickstart
+cmake --build "$build" -j "$jobs" --target quickstart rasim-nocd
 
 quickstart="$build/examples/quickstart"
+nocd="$build/src/ipc/rasim-nocd"
 work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2> /dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
 
 # A workload long enough (~10 s) that the SIGKILL lands mid-run, well
 # after the first periodic image hits the disk.
 args=(system.ops_per_core=20000 checkpoint.interval_quanta=4)
+
+start_server() {
+    local log="$1"
+    "$nocd" "unix:$work/nocd.sock" > "$log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q "listening on" "$log" 2> /dev/null && return 0
+        sleep 0.05
+    done
+    echo "error: rasim-nocd did not come up" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+if [ "$remote" = 1 ]; then
+    # The detailed network lives in rasim-nocd; a lost server must
+    # abort the client (not degrade it) for this crash drill.
+    args+=(network.backend=remote "remote.socket=unix:$work/nocd.sock"
+           health.degrade=false remote.connect_timeout_ms=500
+           remote.quantum_timeout_ms=2000)
+    start_server "$work/nocd-ref.log"
+fi
 
 echo "== reference run (uninterrupted) =="
 "$quickstart" "${args[@]}" > "$work/reference.log"
@@ -42,8 +84,20 @@ compgen -G "$work/ckpt/ckpt-*.ckpt" > /dev/null || {
     cat "$work/killed.log" >&2
     exit 1
 }
-kill -9 "$pid" 2> /dev/null || true
-wait "$pid" 2> /dev/null || true
+if [ "$remote" = 1 ]; then
+    # SIGKILL the *server*: the client's next quantum RPC fails with a
+    # transport error, which health.degrade=false turns fatal — the
+    # client dies too, leaving only the paired images on disk.
+    kill -9 "$server_pid" 2> /dev/null || true
+    server_pid=""
+    wait "$pid" 2> /dev/null && {
+        echo "error: client survived the server SIGKILL" >&2
+        exit 1
+    } || true
+else
+    kill -9 "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+fi
 if grep -q "finished at tick" "$work/killed.log"; then
     echo "error: run completed before it could be killed" >&2
     exit 1
@@ -51,6 +105,11 @@ fi
 echo "killed pid $pid with $(ls "$work/ckpt" | wc -l) image(s) on disk"
 
 echo "== resumed run =="
+if [ "$remote" = 1 ]; then
+    # A fresh server process: the resumed client pushes the paired
+    # server-side image into it over CkptLoad.
+    start_server "$work/nocd-resume.log"
+fi
 "$quickstart" "${args[@]}" checkpoint.dir="$work/ckpt" \
     --restore="$work/ckpt" > "$work/resumed.log"
 

@@ -218,7 +218,9 @@ void
 QuantumBridge::advanceBackendChecked(Tick q_end)
 {
     auto t1 = std::chrono::steady_clock::now();
-    double budget_ms = health_ ? options_.health.worker_timeout_ms : 0.0;
+    double budget_ms = health_ ? options_.health.worker_timeout_ms *
+                                     options_.health.timeout_scale
+                               : 0.0;
     if (budget_ms <= 0.0) {
         if (health_) {
             // Backend panic()/fatal() become catchable SimError so a
@@ -341,7 +343,9 @@ QuantumBridge::runQuantumOverlapped(Tick q_end)
     }
     host_ns_ += elapsedNs(t0);
 
-    double budget_ms = health_ ? options_.health.worker_timeout_ms : 0.0;
+    double budget_ms = health_ ? options_.health.worker_timeout_ms *
+                                     options_.health.timeout_scale
+                               : 0.0;
     bool timed_out = false;
     if (budget_ms > 0.0) {
         // The worker already had the whole host quantum; grant the

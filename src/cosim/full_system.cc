@@ -82,6 +82,13 @@ FullSystemOptions::fromConfig(const Config &cfg)
     o.engine_workers =
         static_cast<int>(cfg.getUInt("system.engine_workers", 2));
     o.parallel = cfg.getBool("system.parallel", false);
+    o.network_backend = cfg.getString("network.backend", "inproc");
+    if (o.network_backend != "inproc" && o.network_backend != "remote") {
+        fatal("network.backend must be inproc or remote, not '",
+              o.network_backend, "'");
+    }
+    if (o.network_backend == "remote")
+        o.remote = noc::remote::RemoteOptions::fromConfig(cfg);
     o.noc = noc::NocParams::fromConfig(cfg);
     o.mem = mem::MemParams::fromConfig(cfg);
     o.health = HealthOptions::fromConfig(cfg);
@@ -113,10 +120,27 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
       case Mode::CosimCycle:
       case Mode::CosimGpu:
       case Mode::Monolithic:
-        cycle_net_ = std::make_unique<noc::CycleNetwork>(
-            *sim_, "net", options_.noc);
-        backend = cycle_net_.get();
+        if (options_.network_backend == "remote") {
+            // The detailed fabric lives in a rasim-nocd server; the
+            // server hosts the parallel engine too, so the requested
+            // worker count travels with the session.
+            noc::remote::RemoteOptions ro = options_.remote;
+            if (ro.engine_workers == 0 && options_.parallel)
+                ro.engine_workers = options_.engine_workers;
+            remote_net_ = std::make_unique<noc::remote::RemoteNetwork>(
+                *sim_, "net", options_.noc, ro);
+            backend = remote_net_.get();
+        } else {
+            cycle_net_ = std::make_unique<noc::CycleNetwork>(
+                *sim_, "net", options_.noc);
+            backend = cycle_net_.get();
+        }
         break;
+    }
+    if (options_.network_backend == "remote" && !remote_net_) {
+        fatal("network.backend=remote needs a cycle-network mode "
+              "(cosim, cosim-gpu or monolithic), not ",
+              toString(options_.mode));
     }
 
     // Deterministic fault injection sits between the bridge and the
@@ -161,6 +185,11 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
         bo.engine_workers = options_.engine_workers;
         break;
     }
+    // With a remote backend the parallel engine runs inside the
+    // server (wired through remote.engine_workers above); a client
+    // pool would have nothing to drive.
+    if (remote_net_)
+        bo.engine_workers = 0;
     bridge_ = std::make_unique<QuantumBridge>(*sim_, "bridge", *backend,
                                               options_.noc, bo);
 
@@ -188,7 +217,7 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
     // ("noc.colums") silently falling back to a default.
     sim_->config().warnUnread({"system.", "noc.", "mem.", "abstract.",
                                "fault.", "health.", "sim.",
-                               "checkpoint."});
+                               "checkpoint.", "network.", "remote."});
 
     if (!options_.checkpoint.restore.empty())
         restoreFromPath(options_.checkpoint.restore);
@@ -297,6 +326,7 @@ FullSystem::save(ArchiveWriter &aw) const
     // system built from the same knobs that shape dynamic state.
     aw.beginSection("meta");
     aw.putString(toString(options_.mode));
+    aw.putString(options_.network_backend);
     aw.putString(options_.app);
     aw.putU64(cores_.size());
     aw.putU64(options_.quantum);
@@ -314,10 +344,15 @@ FullSystem::save(ArchiveWriter &aw) const
 
     saveStats(aw, sim_->statsRoot());
 
-    if (cycle_net_)
+    if (cycle_net_) {
         cycle_net_->save(aw);
-    else
+    } else if (remote_net_) {
+        // The paired-checkpoint RPC only touches transport state and
+        // transport statistics; logically the system is unchanged.
+        remote_net_->save(aw);
+    } else {
         abstract_net_->save(aw);
+    }
     if (fault_injector_)
         fault_injector_->save(aw);
     bridge_->save(aw);
@@ -345,6 +380,8 @@ FullSystem::restoreArchive(ArchiveReader &ar, std::string *why)
     ar.expectSection("meta");
     if (ar.getString() != toString(options_.mode))
         return mismatch("mode");
+    if (ar.getString() != options_.network_backend)
+        return mismatch("network backend");
     if (ar.getString() != options_.app)
         return mismatch("app");
     if (ar.getU64() != cores_.size())
@@ -376,6 +413,8 @@ FullSystem::restoreArchive(ArchiveReader &ar, std::string *why)
 
     if (cycle_net_)
         cycle_net_->restore(ar);
+    else if (remote_net_)
+        remote_net_->restore(ar);
     else
         abstract_net_->restore(ar);
     if (fault_injector_)
@@ -526,6 +565,8 @@ FullSystem::meanPacketLatency() const
 {
     if (cycle_net_)
         return cycle_net_->totalLatency.mean();
+    if (remote_net_)
+        return remote_net_->totalLatency.mean();
     return abstract_net_->totalLatency.mean();
 }
 
@@ -534,6 +575,8 @@ FullSystem::meanPacketLatency(noc::MsgClass cls) const
 {
     if (cycle_net_)
         return cycle_net_->vnetLatency[static_cast<int>(cls)]->mean();
+    if (remote_net_)
+        return remote_net_->vnetLatency[static_cast<int>(cls)]->mean();
     return abstract_net_->vnetLatency[static_cast<int>(cls)]->mean();
 }
 
@@ -542,6 +585,9 @@ FullSystem::packetsDelivered() const
 {
     if (cycle_net_)
         return cycle_net_->deliveredCount();
+    if (remote_net_)
+        return static_cast<std::uint64_t>(
+            remote_net_->packetsDelivered.value());
     return static_cast<std::uint64_t>(
         abstract_net_->packetsDelivered.value());
 }

@@ -18,6 +18,7 @@
 #include "cpu/core.hh"
 #include "mem/memory_system.hh"
 #include "noc/cycle_network.hh"
+#include "noc/remote/remote_network.hh"
 #include "sim/config.hh"
 #include "sim/fault_injector.hh"
 #include "sim/simulation.hh"
@@ -97,6 +98,15 @@ struct FullSystemOptions
      * defaults off so single-core hosts skip the dispatch overhead.
      */
     bool parallel = false;
+    /**
+     * Where the cycle-level backend runs: "inproc" hosts it in this
+     * process, "remote" drives a rasim-nocd server over the quantum
+     * RPC protocol ("network.backend"). Only meaningful in the
+     * cycle-network modes; the abstract modes reject "remote".
+     */
+    std::string network_backend = "inproc";
+    /** Transport configuration of the remote backend ("remote.*"). */
+    noc::remote::RemoteOptions remote;
     noc::NocParams noc;
     mem::MemParams mem;
     /** Health-guard thresholds and degradation policy ("health.*"). */
@@ -146,6 +156,12 @@ class FullSystem
     {
         return abstract_net_.get();
     }
+    /** Non-null when network.backend=remote hosts the cycle network
+     *  in a rasim-nocd server. */
+    noc::remote::RemoteNetwork *remoteNetwork()
+    {
+        return remote_net_.get();
+    }
     /** Non-null when fault.enabled interposed the injector. */
     FaultInjector *faultInjector() { return fault_injector_.get(); }
 
@@ -187,6 +203,7 @@ class FullSystem
     FullSystemOptions options_;
     std::unique_ptr<Simulation> sim_;
     std::unique_ptr<noc::CycleNetwork> cycle_net_;
+    std::unique_ptr<noc::remote::RemoteNetwork> remote_net_;
     std::unique_ptr<abstractnet::AbstractNetwork> abstract_net_;
     std::unique_ptr<FaultInjector> fault_injector_;
     std::unique_ptr<QuantumBridge> bridge_;

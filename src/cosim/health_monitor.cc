@@ -20,6 +20,7 @@ HealthOptions::fromConfig(const Config &cfg)
     o.divergence_factor = cfg.getDouble("health.divergence_factor", 64.0);
     o.divergence_error = cfg.getDouble("health.divergence_error", 0.0);
     o.worker_timeout_ms = cfg.getDouble("health.worker_timeout_ms", 0.0);
+    o.timeout_scale = cfg.getDouble("health.timeout_scale", 1.0);
     o.checkpoint_quanta = cfg.getUInt("health.checkpoint_quanta", 8);
     o.recovery_quanta = cfg.getUInt("health.recovery_quanta", 64);
     o.probation_quanta = cfg.getUInt("health.probation_quanta", 8);
@@ -31,6 +32,8 @@ HealthOptions::fromConfig(const Config &cfg)
         fatal("health.divergence_error must be non-negative");
     if (o.worker_timeout_ms < 0.0)
         fatal("health.worker_timeout_ms must be non-negative");
+    if (o.timeout_scale <= 0.0)
+        fatal("health.timeout_scale must be positive");
     if (o.checkpoint_quanta == 0)
         fatal("health.checkpoint_quanta must be positive");
     if (o.probation_quanta == 0)
@@ -64,6 +67,8 @@ HealthMonitor::HealthMonitor(Simulation &sim, const std::string &name,
                       "estimate-divergence guard trips"),
       timeoutTrips(this, "timeout_trips",
                    "backend wall-clock timeout trips"),
+      transportTrips(this, "transport_trips",
+                     "remote-backend transport failures caught"),
       internalTrips(this, "internal_trips",
                     "backend exceptions caught at the boundary"),
       degradations(this, "degradations",
@@ -152,13 +157,12 @@ HealthMonitor::checkBoundary(const Snapshot &s)
 
     // Timeout: the backend burnt more wall-clock on this quantum than
     // the budget allows (the worker was already asked to abort).
-    if (options_.worker_timeout_ms > 0.0 &&
-        s.worker_ms > options_.worker_timeout_ms) {
+    double budget_ms = options_.worker_timeout_ms * options_.timeout_scale;
+    if (options_.worker_timeout_ms > 0.0 && s.worker_ms > budget_ms) {
         ++timeoutTrips;
         std::ostringstream os;
         os << "backend spent " << s.worker_ms
-           << " ms on one quantum (budget "
-           << options_.worker_timeout_ms << " ms)";
+           << " ms on one quantum (budget " << budget_ms << " ms)";
         return Trip{ErrorKind::Timeout, os.str()};
     }
 
@@ -190,6 +194,9 @@ HealthMonitor::noteTrip(ErrorKind kind)
         break;
       case ErrorKind::Timeout:
         ++timeoutTrips;
+        break;
+      case ErrorKind::Transport:
+        ++transportTrips;
         break;
       default:
         ++internalTrips;

@@ -63,6 +63,15 @@ struct HealthOptions
     /** Wall-clock budget per backend quantum in milliseconds
      *  (0 = off). */
     double worker_timeout_ms = 0.0;
+    /**
+     * Multiplier applied to worker_timeout_ms wherever it is enforced
+     * (the bridge's preemption budget and the boundary timeout guard).
+     * Lets slow hosts — sanitizer builds, loaded CI runners, remote
+     * backends over congested links — loosen the wall-clock watchdog
+     * without retuning every config. The default 1.0 changes nothing,
+     * so runs stay bit-identical unless explicitly scaled.
+     */
+    double timeout_scale = 1.0;
     /** Checkpoint the latency table every N healthy boundaries. */
     std::uint64_t checkpoint_quanta = 8;
     /** Quanta to stay quarantined before re-engaging the backend
@@ -157,6 +166,7 @@ class HealthMonitor : public SimObject
     stats::Scalar deadlockTrips;
     stats::Scalar divergenceTrips;
     stats::Scalar timeoutTrips;
+    stats::Scalar transportTrips;
     stats::Scalar internalTrips;
     stats::Scalar degradations;
     stats::Scalar recoveries;

@@ -1,0 +1,124 @@
+#include "ipc/frame.hh"
+
+#include <cstring>
+
+#include "sim/sim_error.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+const char *
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello:
+        return "Hello";
+      case MsgType::InjectBatch:
+        return "InjectBatch";
+      case MsgType::Advance:
+        return "Advance";
+      case MsgType::TableGet:
+        return "TableGet";
+      case MsgType::StatsGet:
+        return "StatsGet";
+      case MsgType::CkptSave:
+        return "CkptSave";
+      case MsgType::CkptLoad:
+        return "CkptLoad";
+      case MsgType::Bye:
+        return "Bye";
+      case MsgType::HelloAck:
+        return "HelloAck";
+      case MsgType::DeliveryBatch:
+        return "DeliveryBatch";
+      case MsgType::TableData:
+        return "TableData";
+      case MsgType::StatsData:
+        return "StatsData";
+      case MsgType::CkptData:
+        return "CkptData";
+      case MsgType::CkptLoadAck:
+        return "CkptLoadAck";
+      case MsgType::ErrorReply:
+        return "ErrorReply";
+    }
+    return "unknown";
+}
+
+ArchiveWriter
+beginMessage(MsgType type)
+{
+    ArchiveWriter aw;
+    aw.beginSection("msg");
+    aw.putU32(static_cast<std::uint32_t>(type));
+    return aw;
+}
+
+void
+sendMessage(const Fd &fd, ArchiveWriter &&aw)
+{
+    aw.endSection();
+    std::string payload = aw.finish();
+    char header[12];
+    std::memcpy(header, frame_magic, sizeof(frame_magic));
+    std::uint64_t len = payload.size();
+    std::memcpy(header + sizeof(frame_magic), &len, sizeof(len));
+    sendAll(fd, header, sizeof(header));
+    sendAll(fd, payload.data(), payload.size());
+}
+
+std::optional<Message>
+recvMessage(const Fd &fd, double timeout_ms,
+            const std::atomic<bool> *abort)
+{
+    char header[12];
+    std::size_t got =
+        recvUpTo(fd, header, sizeof(header), timeout_ms, abort);
+    if (got == 0)
+        return std::nullopt; // clean EOF at a frame boundary
+    if (got < sizeof(header)) {
+        throw SimError(ErrorKind::Transport,
+                       "short read: peer closed inside the frame "
+                       "header (" +
+                           std::to_string(got) + " of 12 bytes)");
+    }
+    if (std::memcmp(header, frame_magic, sizeof(frame_magic)) != 0) {
+        throw SimError(ErrorKind::Transport,
+                       "bad frame magic (stream desynchronised or not "
+                       "a rasim-nocd peer)");
+    }
+    std::uint64_t len = 0;
+    std::memcpy(&len, header + sizeof(frame_magic), sizeof(len));
+    if (len > max_frame_bytes) {
+        throw SimError(ErrorKind::Transport,
+                       "oversized frame rejected: declared payload of " +
+                           std::to_string(len) + " bytes exceeds " +
+                           std::to_string(max_frame_bytes));
+    }
+    std::string payload(len, '\0');
+    got = len == 0 ? 0
+                   : recvUpTo(fd, payload.data(), len, timeout_ms,
+                              abort);
+    if (got < len) {
+        throw SimError(ErrorKind::Transport,
+                       "torn frame: peer closed after " +
+                           std::to_string(got) + " of " +
+                           std::to_string(len) + " payload bytes");
+    }
+    ArchiveReader ar(std::move(payload));
+    if (!ar.ok()) {
+        // The archive's own validation names the failure: bad magic,
+        // version mismatch or CRC corruption.
+        throw SimError(ErrorKind::Transport,
+                       "corrupt message payload: " + ar.error());
+    }
+    Message msg(std::move(ar));
+    msg.ar.expectSection("msg");
+    msg.type = static_cast<MsgType>(msg.ar.getU32());
+    return msg;
+}
+
+} // namespace ipc
+} // namespace rasim

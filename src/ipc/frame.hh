@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Length-prefixed, versioned message framing for the quantum-RPC
+ * protocol. A frame on the wire is
+ *
+ *   [4]  frame magic "RNOC"
+ *   [8]  payload length (u64, little-endian)
+ *   [..] payload: a complete sim/serialize archive image
+ *
+ * The payload reuses the existing archive primitives, so its own
+ * magic, format version and CRC32 trailer guard the content; the frame
+ * prefix only delimits it on the stream. Inside the archive, every
+ * message is one "msg" section opening with a u32 message type.
+ *
+ * Failure taxonomy (all typed SimErrors, no crash, no hang):
+ *
+ *   short read   peer closed inside the 12-byte frame header
+ *   torn frame   peer closed inside the payload
+ *   oversized    declared length above max_frame_bytes
+ *   version      archive format version mismatch
+ *   CRC          archive CRC32 mismatch (bit rot / truncation)
+ */
+
+#ifndef RASIM_IPC_FRAME_HH
+#define RASIM_IPC_FRAME_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "ipc/socket.hh"
+#include "sim/serialize.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+/** Frame prefix magic ("RNOC"). */
+constexpr char frame_magic[4] = {'R', 'N', 'O', 'C'};
+
+/** Largest payload accepted off the wire (defence against a torn
+ *  length prefix masquerading as a multi-gigabyte frame). */
+constexpr std::uint64_t max_frame_bytes = 64ull << 20;
+
+/** Message types of the quantum-RPC protocol. */
+enum class MsgType : std::uint32_t
+{
+    // client -> server
+    Hello = 1,       ///< open a session: network config + start tick
+    InjectBatch = 2, ///< packets buffered over the last host quantum
+    Advance = 3,     ///< advance-to-tick; replied with DeliveryBatch
+    TableGet = 4,    ///< read back the server's tuned LatencyTable
+    StatsGet = 5,    ///< pull the hosted network's statistics tree
+    CkptSave = 6,    ///< take a paired server-side checkpoint
+    CkptLoad = 7,    ///< push a checkpoint image into the session
+    Bye = 8,         ///< close the session cleanly
+
+    // server -> client
+    HelloAck = 101,
+    DeliveryBatch = 103, ///< deliveries + time/idle/accounting
+    TableData = 104,
+    StatsData = 105,
+    CkptData = 106,
+    CkptLoadAck = 107,
+    ErrorReply = 199, ///< request failed server-side: kind + message
+};
+
+/** Render a message type for diagnostics. */
+const char *toString(MsgType type);
+
+/**
+ * Start a message: an ArchiveWriter with the "msg" section opened and
+ * the type recorded. Callers append payload fields, then hand the
+ * writer to sendMessage() (which closes the section and seals the
+ * archive).
+ */
+ArchiveWriter beginMessage(MsgType type);
+
+/** Seal @p aw (from beginMessage) and send it as one frame. */
+void sendMessage(const Fd &fd, ArchiveWriter &&aw);
+
+/**
+ * A received message: the reader is positioned after the type field,
+ * inside the open "msg" section. Call done() after consuming every
+ * payload field.
+ */
+struct Message
+{
+    MsgType type = MsgType::Bye;
+    ArchiveReader ar;
+
+    explicit Message(ArchiveReader reader) : ar(std::move(reader)) {}
+
+    /** Close the "msg" section (asserts full consumption). */
+    void done() { ar.endSection(); }
+};
+
+/**
+ * Receive one frame and open its message.
+ *
+ * @param timeout_ms Deadline for the whole frame (0 = no deadline).
+ * @param abort Cooperative abort flag, polled while waiting.
+ * @return nullopt on a clean EOF at a frame boundary (the peer closed
+ *         the session); a Message otherwise.
+ * @throws SimError{Transport} for short reads, torn frames, bad frame
+ *         magic, oversized payloads, archive version or CRC failures;
+ *         SimError{Timeout} on deadline expiry or abort.
+ */
+std::optional<Message> recvMessage(const Fd &fd, double timeout_ms,
+                                   const std::atomic<bool> *abort =
+                                       nullptr);
+
+} // namespace ipc
+} // namespace rasim
+
+#endif // RASIM_IPC_FRAME_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * rasim-nocd: the out-of-process NoC backend server. Hosts one
+ * cycle-level network per session behind a Unix-domain or TCP socket;
+ * a RemoteNetwork client (network.backend=remote) drives it with the
+ * quantum-RPC protocol.
+ *
+ * Usage: rasim-nocd [address] [--once] [--max-sessions N]
+ *                   [--io-timeout-ms MS]
+ *
+ * The default address is unix:/tmp/rasim-nocd.sock. The server prints
+ * "rasim-nocd listening on <address>" once it is connectable, so
+ * scripts can wait on that line instead of sleeping.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ipc/nocd_server.hh"
+#include "sim/logging.hh"
+#include "sim/sim_error.hh"
+
+namespace
+{
+
+rasim::ipc::NocServer *running_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (running_server)
+        running_server->stop(); // one relaxed atomic store: safe here
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [address] [--once] [--max-sessions N] "
+                 "[--io-timeout-ms MS]\n"
+                 "  address   unix:/path, tcp:host:port, or a bare "
+                 "path (default unix:/tmp/rasim-nocd.sock)\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rasim::ipc::NocServerOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--once") == 0) {
+            opts.max_sessions = 1;
+        } else if (std::strcmp(arg, "--max-sessions") == 0 &&
+                   i + 1 < argc) {
+            opts.max_sessions =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--io-timeout-ms") == 0 &&
+                   i + 1 < argc) {
+            opts.io_timeout_ms = std::atof(argv[++i]);
+        } else if (arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            opts.address = arg;
+        }
+    }
+
+    // A client that dies mid-reply must not kill the server (sendAll
+    // also passes MSG_NOSIGNAL; this covers platforms without it).
+    std::signal(SIGPIPE, SIG_IGN);
+
+    try {
+        rasim::ipc::NocServer server(std::move(opts));
+        running_server = &server;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::printf("rasim-nocd listening on %s\n",
+                    server.address().c_str());
+        std::fflush(stdout);
+        server.run();
+        running_server = nullptr;
+        std::printf("rasim-nocd served %llu session(s), exiting\n",
+                    static_cast<unsigned long long>(
+                        server.sessionsServed()));
+        return 0;
+    } catch (const rasim::SimError &err) {
+        std::fprintf(stderr, "rasim-nocd: %s\n", err.what());
+        return 1;
+    }
+}

@@ -1,0 +1,317 @@
+#include "ipc/nocd_server.hh"
+
+#include <vector>
+
+#include "abstractnet/latency_table.hh"
+#include "ipc/protocol.hh"
+#include "noc/cycle_network.hh"
+#include "noc/deflection_network.hh"
+#include "sim/logging.hh"
+#include "sim/parallel_engine.hh"
+#include "sim/simulation.hh"
+#include "stats/group.hh"
+#include "stats/stat.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+/**
+ * One hosted network and everything that shadows it. Torn down and
+ * rebuilt per session, so a new client always starts from a fresh,
+ * deterministic world.
+ */
+struct NocServer::Session
+{
+    explicit Session(const HelloRequest &req) : hello(req)
+    {
+        if (req.proto != protocol_version) {
+            throw SimError(
+                ErrorKind::Transport,
+                "protocol version mismatch: client speaks v" +
+                    std::to_string(req.proto) + ", server speaks v" +
+                    std::to_string(protocol_version));
+        }
+        sim = std::make_unique<Simulation>();
+        if (req.model == "cycle") {
+            cycle = std::make_unique<noc::CycleNetwork>(*sim, "net",
+                                                        req.params);
+            net = cycle.get();
+        } else if (req.model == "deflection") {
+            defl = std::make_unique<noc::DeflectionNetwork>(
+                *sim, "net", req.params);
+            net = defl.get();
+        } else {
+            throw SimError(ErrorKind::Config,
+                           "unknown hosted model '" + req.model +
+                               "' (want cycle or deflection)");
+        }
+        if (req.engine_workers > 0) {
+            engine =
+                std::make_unique<ParallelEngine>(req.engine_workers);
+            net->setEngine(engine.get());
+        }
+        table = std::make_unique<abstractnet::LatencyTable>(
+            req.params, req.table_max_hops, req.table_alpha,
+            req.table_pair_granularity
+                ? abstractnet::LatencyTable::Granularity::Pair
+                : abstractnet::LatencyTable::Granularity::Distance,
+            req.params.numNodes());
+
+        // Shadow-tune from every delivery, in delivery order — the
+        // identical order the client-side bridge observes them, so
+        // the two tables evolve bit-identically.
+        net->setDeliveryHandler([this](const noc::PacketPtr &pkt) {
+            deliveries.push_back(pkt);
+            table->observe(static_cast<int>(pkt->cls),
+                           static_cast<int>(pkt->hops),
+                           hello.params.flitsPerPacket(pkt->size_bytes),
+                           pkt->latency(), pkt->src, pkt->dst);
+        });
+
+        // Reconnect after a client-side quarantine: catch a fresh
+        // network up to the client's clock so injections at the
+        // current quantum are not "in the past".
+        if (req.start_tick > 0)
+            net->advanceTo(req.start_tick);
+        deliveries.clear();
+    }
+
+    const stats::Group &statsGroup() const { return *group(); }
+    stats::Group *
+    group() const
+    {
+        return cycle ? static_cast<stats::Group *>(cycle.get())
+                     : static_cast<stats::Group *>(defl.get());
+    }
+
+    void
+    save(ArchiveWriter &aw) const
+    {
+        aw.beginSection("nocd");
+        aw.putString(hello.model);
+        aw.putU32(static_cast<std::uint32_t>(hello.params.columns));
+        aw.putU32(static_cast<std::uint32_t>(hello.params.rows));
+        aw.putU64(net->curTime());
+        aw.endSection();
+        saveStats(aw, statsGroup());
+        if (cycle)
+            cycle->save(aw);
+        else
+            defl->save(aw);
+        table->saveBinary(aw);
+    }
+
+    void
+    restore(ArchiveReader &ar)
+    {
+        ar.expectSection("nocd");
+        std::string model = ar.getString();
+        auto columns = static_cast<int>(ar.getU32());
+        auto rows = static_cast<int>(ar.getU32());
+        ar.getU64(); // informational tick
+        ar.endSection();
+        if (model != hello.model || columns != hello.params.columns ||
+            rows != hello.params.rows) {
+            throw SimError(ErrorKind::Config,
+                           "checkpoint was taken on a different hosted "
+                           "network (" +
+                               model + " " + std::to_string(columns) +
+                               "x" + std::to_string(rows) + ")");
+        }
+        restoreStats(ar, *group());
+        if (cycle)
+            cycle->restore(ar);
+        else
+            defl->restore(ar);
+        table->restoreBinary(ar);
+        deliveries.clear();
+    }
+
+    HelloRequest hello;
+    std::unique_ptr<Simulation> sim;
+    std::unique_ptr<ParallelEngine> engine;
+    std::unique_ptr<noc::CycleNetwork> cycle;
+    std::unique_ptr<noc::DeflectionNetwork> defl;
+    noc::NetworkModel *net = nullptr;
+    std::unique_ptr<abstractnet::LatencyTable> table;
+    std::vector<noc::PacketPtr> deliveries;
+};
+
+namespace
+{
+
+void
+flattenStats(const stats::Group &g, std::vector<StatRow> &out)
+{
+    for (const stats::Stat *s : g.statList())
+        for (const auto &[sub, v] : s->values())
+            out.push_back({g.path() + "." + s->name(), sub, v});
+    for (const stats::Group *c : g.children())
+        flattenStats(*c, out);
+}
+
+void
+sendError(const Fd &conn, const SimError &err)
+{
+    ArchiveWriter aw = beginMessage(MsgType::ErrorReply);
+    encodeError(aw, err.kind(), err.what());
+    sendMessage(conn, std::move(aw));
+}
+
+} // namespace
+
+NocServer::NocServer(NocServerOptions opts) : opts_(std::move(opts))
+{
+    listener_ = listenOn(opts_.address);
+}
+
+NocServer::~NocServer() = default;
+
+void
+NocServer::run()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        Fd conn = acceptOn(listener_, 0.0, &stop_);
+        if (!conn.valid())
+            continue; // stop requested (or spurious wakeup)
+        ++sessions_;
+        try {
+            serveConnection(conn);
+        } catch (const SimError &err) {
+            // A sick or vanished client must not take the server
+            // down; drop the session and serve the next one.
+            warn("nocd session ended abnormally: ", err.what());
+        }
+        if (opts_.max_sessions > 0 && sessions_ >= opts_.max_sessions)
+            break;
+    }
+}
+
+void
+NocServer::serveConnection(const Fd &conn)
+{
+    std::unique_ptr<Session> session;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        auto msg = recvMessage(conn, opts_.io_timeout_ms, &stop_);
+        if (!msg)
+            return; // clean EOF: the client is gone
+        if (!dispatch(conn, *msg, session))
+            return;
+    }
+}
+
+bool
+NocServer::dispatch(const Fd &conn, Message &msg,
+                    std::unique_ptr<Session> &session)
+{
+    // Every failure below is reported to the client as a typed
+    // ErrorReply; only transport trouble while replying propagates.
+    try {
+        if (!session && msg.type != MsgType::Hello &&
+            msg.type != MsgType::Bye) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("request ") + toString(msg.type) +
+                               " before Hello");
+        }
+        switch (msg.type) {
+          case MsgType::Hello: {
+            HelloRequest req = decodeHello(msg.ar);
+            msg.done();
+            session = std::make_unique<Session>(req);
+            HelloReply rep;
+            rep.num_nodes = session->net->numNodes();
+            rep.cur_time = session->net->curTime();
+            ArchiveWriter aw = beginMessage(MsgType::HelloAck);
+            encodeHelloReply(aw, rep);
+            sendMessage(conn, std::move(aw));
+            return true;
+          }
+          case MsgType::InjectBatch: {
+            // Unacknowledged on purpose: one round-trip per quantum.
+            // An injection failure surfaces on the next Advance reply.
+            auto pkts = decodePackets(msg.ar);
+            msg.done();
+            for (const auto &pkt : pkts)
+                session->net->inject(pkt);
+            return true;
+          }
+          case MsgType::Advance: {
+            Tick target = decodeAdvance(msg.ar);
+            msg.done();
+            session->deliveries.clear();
+            session->net->advanceTo(target);
+            AdvanceReply rep;
+            rep.cur_time = session->net->curTime();
+            rep.idle = session->net->idle();
+            if (auto acct = session->net->accounting()) {
+                rep.injected = acct->injected;
+                rep.delivered = acct->delivered;
+                rep.in_flight = acct->in_flight;
+            }
+            rep.deliveries = std::move(session->deliveries);
+            session->deliveries.clear();
+            ArchiveWriter aw = beginMessage(MsgType::DeliveryBatch);
+            encodeAdvanceReply(aw, rep);
+            sendMessage(conn, std::move(aw));
+            return true;
+          }
+          case MsgType::TableGet: {
+            msg.done();
+            ArchiveWriter aw = beginMessage(MsgType::TableData);
+            session->table->saveBinary(aw);
+            sendMessage(conn, std::move(aw));
+            return true;
+          }
+          case MsgType::StatsGet: {
+            msg.done();
+            std::vector<StatRow> rows;
+            flattenStats(session->statsGroup(), rows);
+            ArchiveWriter aw = beginMessage(MsgType::StatsData);
+            encodeStatsReply(aw, rows);
+            sendMessage(conn, std::move(aw));
+            return true;
+          }
+          case MsgType::CkptSave: {
+            msg.done();
+            ArchiveWriter image;
+            session->save(image);
+            ArchiveWriter aw = beginMessage(MsgType::CkptData);
+            aw.putString(image.finish());
+            sendMessage(conn, std::move(aw));
+            return true;
+          }
+          case MsgType::CkptLoad: {
+            std::string bytes = msg.ar.getString();
+            msg.done();
+            ArchiveReader image(std::move(bytes));
+            if (!image.ok()) {
+                throw SimError(ErrorKind::Transport,
+                               "corrupt checkpoint image: " +
+                                   image.error());
+            }
+            session->restore(image);
+            ArchiveWriter aw = beginMessage(MsgType::CkptLoadAck);
+            aw.putU64(session->net->curTime());
+            sendMessage(conn, std::move(aw));
+            return true;
+          }
+          case MsgType::Bye:
+            msg.done();
+            return false;
+          default:
+            throw SimError(ErrorKind::Transport,
+                           std::string("unexpected message type ") +
+                               toString(msg.type));
+        }
+    } catch (const SimError &err) {
+        sendError(conn, err);
+        // A failed Hello leaves no session; anything else keeps the
+        // connection alive so the client can decide what to do.
+        return session != nullptr;
+    }
+}
+
+} // namespace ipc
+} // namespace rasim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The rasim-nocd session server: hosts one cycle-level network
+ * (CycleNetwork or DeflectionNetwork, serial or parallel engine)
+ * behind a socket speaking the quantum-RPC protocol.
+ *
+ * Sessions are strictly one at a time — the whole point of the remote
+ * backend is that a remote run is bit-identical to an in-process one,
+ * and interleaving two clients on one hosted network would destroy
+ * that. A second connection queues in the listen backlog until the
+ * current session ends.
+ *
+ * The server also keeps a shadow LatencyTable, tuned from every
+ * delivery in delivery order — the same order the client-side bridge
+ * observes them — so TableGet returns a table bit-identical to the
+ * client's own tuned table. That readback is the differential proof
+ * that remote feedback behaves exactly like in-process feedback.
+ *
+ * NocServer is usable two ways: run() on a background thread inside a
+ * test process (hermetic differential tests), or wrapped by the
+ * rasim-nocd executable for cross-process runs.
+ */
+
+#ifndef RASIM_IPC_NOCD_SERVER_HH
+#define RASIM_IPC_NOCD_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ipc/frame.hh"
+#include "ipc/socket.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+struct NocServerOptions
+{
+    /** Listen address (unix:/path, tcp:host:port, or a bare path). */
+    std::string address = "unix:/tmp/rasim-nocd.sock";
+    /** Stop after serving this many sessions (0 = serve forever). */
+    std::uint64_t max_sessions = 0;
+    /** Idle deadline while waiting for the next request inside a
+     *  session, in ms (0 = wait forever). A client that vanished
+     *  without closing its socket frees the server after this long. */
+    double io_timeout_ms = 0.0;
+};
+
+class NocServer
+{
+  public:
+    /** Binds and listens immediately, so the address is connectable
+     *  the moment the constructor returns (no startup race for tests
+     *  and scripts). @throws SimError on an unusable address. */
+    explicit NocServer(NocServerOptions opts);
+    ~NocServer();
+
+    NocServer(const NocServer &) = delete;
+    NocServer &operator=(const NocServer &) = delete;
+
+    /**
+     * Accept and serve sessions until stop() is called or
+     * max_sessions is reached. Blocking; run it on a thread when the
+     * server shares a process with the client.
+     */
+    void run();
+
+    /** Ask run() to return at the next safe point (thread-safe). */
+    void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+    const std::string &address() const { return opts_.address; }
+    std::uint64_t sessionsServed() const { return sessions_; }
+
+  private:
+    struct Session;
+
+    /** Serve one connection until Bye/EOF/stop. */
+    void serveConnection(const Fd &conn);
+
+    /** Handle one request; false ends the session. */
+    bool dispatch(const Fd &conn, Message &msg,
+                  std::unique_ptr<Session> &session);
+
+    NocServerOptions opts_;
+    Fd listener_;
+    std::atomic<bool> stop_{false};
+    std::uint64_t sessions_ = 0;
+};
+
+} // namespace ipc
+} // namespace rasim
+
+#endif // RASIM_IPC_NOCD_SERVER_HH

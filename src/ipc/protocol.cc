@@ -1,0 +1,169 @@
+#include "ipc/protocol.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+void
+encodeHello(ArchiveWriter &aw, const HelloRequest &req)
+{
+    aw.putU32(req.proto);
+    aw.putString(req.model);
+    aw.putU32(static_cast<std::uint32_t>(req.params.columns));
+    aw.putU32(static_cast<std::uint32_t>(req.params.rows));
+    aw.putString(req.params.topology);
+    aw.putString(req.params.routing);
+    aw.putU32(static_cast<std::uint32_t>(req.params.vcs_per_vnet));
+    aw.putU32(static_cast<std::uint32_t>(req.params.vc_classes));
+    aw.putU32(static_cast<std::uint32_t>(req.params.buffer_depth));
+    aw.putU32(static_cast<std::uint32_t>(req.params.link_latency));
+    aw.putU32(static_cast<std::uint32_t>(req.params.pipeline_stages));
+    aw.putU32(req.params.flit_bytes);
+    aw.putU32(static_cast<std::uint32_t>(req.engine_workers));
+    aw.putU64(req.start_tick);
+    aw.putDouble(req.table_alpha);
+    aw.putBool(req.table_pair_granularity);
+    aw.putU32(static_cast<std::uint32_t>(req.table_max_hops));
+}
+
+HelloRequest
+decodeHello(ArchiveReader &ar)
+{
+    HelloRequest req;
+    req.proto = ar.getU32();
+    req.model = ar.getString();
+    req.params.columns = static_cast<int>(ar.getU32());
+    req.params.rows = static_cast<int>(ar.getU32());
+    req.params.topology = ar.getString();
+    req.params.routing = ar.getString();
+    req.params.vcs_per_vnet = static_cast<int>(ar.getU32());
+    req.params.vc_classes = static_cast<int>(ar.getU32());
+    req.params.buffer_depth = static_cast<int>(ar.getU32());
+    req.params.link_latency = static_cast<int>(ar.getU32());
+    req.params.pipeline_stages = static_cast<int>(ar.getU32());
+    req.params.flit_bytes = ar.getU32();
+    req.engine_workers = static_cast<int>(ar.getU32());
+    req.start_tick = ar.getU64();
+    req.table_alpha = ar.getDouble();
+    req.table_pair_granularity = ar.getBool();
+    req.table_max_hops = static_cast<int>(ar.getU32());
+    return req;
+}
+
+void
+encodeHelloReply(ArchiveWriter &aw, const HelloReply &rep)
+{
+    aw.putU64(rep.num_nodes);
+    aw.putU64(rep.cur_time);
+}
+
+HelloReply
+decodeHelloReply(ArchiveReader &ar)
+{
+    HelloReply rep;
+    rep.num_nodes = ar.getU64();
+    rep.cur_time = ar.getU64();
+    return rep;
+}
+
+void
+encodePackets(ArchiveWriter &aw, const std::vector<noc::PacketPtr> &pkts)
+{
+    aw.putU64(pkts.size());
+    for (const auto &pkt : pkts)
+        noc::savePacket(aw, *pkt);
+}
+
+std::vector<noc::PacketPtr>
+decodePackets(ArchiveReader &ar)
+{
+    std::uint64_t count = ar.getU64();
+    std::vector<noc::PacketPtr> pkts;
+    pkts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        pkts.push_back(noc::restorePacket(ar));
+    return pkts;
+}
+
+void
+encodeAdvance(ArchiveWriter &aw, Tick target)
+{
+    aw.putU64(target);
+}
+
+Tick
+decodeAdvance(ArchiveReader &ar)
+{
+    return ar.getU64();
+}
+
+void
+encodeAdvanceReply(ArchiveWriter &aw, const AdvanceReply &rep)
+{
+    aw.putU64(rep.cur_time);
+    aw.putBool(rep.idle);
+    aw.putU64(rep.injected);
+    aw.putU64(rep.delivered);
+    aw.putU64(rep.in_flight);
+    encodePackets(aw, rep.deliveries);
+}
+
+AdvanceReply
+decodeAdvanceReply(ArchiveReader &ar)
+{
+    AdvanceReply rep;
+    rep.cur_time = ar.getU64();
+    rep.idle = ar.getBool();
+    rep.injected = ar.getU64();
+    rep.delivered = ar.getU64();
+    rep.in_flight = ar.getU64();
+    rep.deliveries = decodePackets(ar);
+    return rep;
+}
+
+void
+encodeStatsReply(ArchiveWriter &aw, const std::vector<StatRow> &rows)
+{
+    aw.putU64(rows.size());
+    for (const auto &row : rows) {
+        aw.putString(row.path);
+        aw.putString(row.sub);
+        aw.putDouble(row.value);
+    }
+}
+
+std::vector<StatRow>
+decodeStatsReply(ArchiveReader &ar)
+{
+    std::uint64_t count = ar.getU64();
+    std::vector<StatRow> rows;
+    rows.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        StatRow row;
+        row.path = ar.getString();
+        row.sub = ar.getString();
+        row.value = ar.getDouble();
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+encodeError(ArchiveWriter &aw, ErrorKind kind, const std::string &what)
+{
+    aw.putU32(static_cast<std::uint32_t>(kind));
+    aw.putString(what);
+}
+
+void
+throwDecodedError(ArchiveReader &ar)
+{
+    auto kind = static_cast<ErrorKind>(ar.getU32());
+    std::string what = ar.getString();
+    ar.endSection();
+    throw SimError(kind, "remote peer reported: " + what);
+}
+
+} // namespace ipc
+} // namespace rasim

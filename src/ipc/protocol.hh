@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The quantum-RPC protocol spoken between a RemoteNetwork client and a
+ * rasim-nocd server: typed encode/decode for every message payload, on
+ * top of the ipc framing layer. One session hosts one network; the
+ * protocol is strictly request/reply from the client's point of view,
+ * which is what keeps a remote run bit-identical to an in-process one.
+ *
+ * Session lifecycle:
+ *
+ *   Hello -> HelloAck                 build the hosted network
+ *   { InjectBatch* Advance -> DeliveryBatch }   once per quantum
+ *   TableGet -> TableData             tuned-table readback (optional)
+ *   StatsGet -> StatsData             stats pull (optional)
+ *   CkptSave -> CkptData              paired checkpoint (optional)
+ *   CkptLoad -> CkptLoadAck           cross-process restore (optional)
+ *   Bye (or EOF)                      tear the session down
+ *
+ * Any request can instead be answered with ErrorReply carrying an
+ * ErrorKind + message, which the client re-raises as a SimError.
+ */
+
+#ifndef RASIM_IPC_PROTOCOL_HH
+#define RASIM_IPC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ipc/frame.hh"
+#include "noc/packet.hh"
+#include "noc/params.hh"
+#include "sim/sim_error.hh"
+#include "sim/types.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+/** Protocol revision, checked in Hello independently of the archive
+ *  format version (the archive guards encoding, this guards meaning). */
+constexpr std::uint32_t protocol_version = 1;
+
+/** Session-opening handshake: everything the server needs to build a
+ *  deterministic twin of the in-process backend. */
+struct HelloRequest
+{
+    std::uint32_t proto = protocol_version;
+    /** Hosted model: "cycle" or "deflection". */
+    std::string model = "cycle";
+    noc::NocParams params;
+    /** Worker threads of the server-side ParallelEngine (0 = serial).
+     *  Bit-identical either way, by the engine determinism contract. */
+    int engine_workers = 0;
+    /** Fast-forward a fresh network to this tick (reconnect after a
+     *  server loss mid-run; 0 on a cold start). */
+    Tick start_tick = 0;
+    /** Shadow LatencyTable geometry (tuned-table readback). */
+    double table_alpha = 0.05;
+    bool table_pair_granularity = false;
+    int table_max_hops = 0;
+};
+
+struct HelloReply
+{
+    std::uint64_t num_nodes = 0;
+    Tick cur_time = 0;
+};
+
+/** Advance reply: the quantum's deliveries plus the mirrored state the
+ *  client needs to answer NetworkModel queries locally. */
+struct AdvanceReply
+{
+    Tick cur_time = 0;
+    bool idle = true;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t in_flight = 0;
+    std::vector<noc::PacketPtr> deliveries;
+};
+
+/** One flattened statistics row of the hosted network's subtree. */
+struct StatRow
+{
+    std::string path;
+    std::string sub;
+    double value = 0.0;
+
+    bool operator==(const StatRow &other) const = default;
+};
+
+/** @name Payload encoders (append to a beginMessage() writer) */
+/// @{
+void encodeHello(ArchiveWriter &aw, const HelloRequest &req);
+void encodeHelloReply(ArchiveWriter &aw, const HelloReply &rep);
+void encodePackets(ArchiveWriter &aw,
+                   const std::vector<noc::PacketPtr> &pkts);
+void encodeAdvance(ArchiveWriter &aw, Tick target);
+void encodeAdvanceReply(ArchiveWriter &aw, const AdvanceReply &rep);
+void encodeStatsReply(ArchiveWriter &aw,
+                      const std::vector<StatRow> &rows);
+void encodeError(ArchiveWriter &aw, ErrorKind kind,
+                 const std::string &what);
+/// @}
+
+/** @name Payload decoders (consume a recvMessage() payload) */
+/// @{
+HelloRequest decodeHello(ArchiveReader &ar);
+HelloReply decodeHelloReply(ArchiveReader &ar);
+std::vector<noc::PacketPtr> decodePackets(ArchiveReader &ar);
+Tick decodeAdvance(ArchiveReader &ar);
+AdvanceReply decodeAdvanceReply(ArchiveReader &ar);
+std::vector<StatRow> decodeStatsReply(ArchiveReader &ar);
+/** Re-raise a decoded ErrorReply as the SimError it describes. */
+[[noreturn]] void throwDecodedError(ArchiveReader &ar);
+/// @}
+
+} // namespace ipc
+} // namespace rasim
+
+#endif // RASIM_IPC_PROTOCOL_HH

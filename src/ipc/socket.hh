@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal blocking-socket transport for the out-of-process NoC
+ * backend: Unix-domain and TCP stream sockets behind one address
+ * syntax, with deadline-bounded reads and cooperative abort.
+ *
+ * Addresses:
+ *
+ *   unix:/path/to/socket   Unix-domain stream socket
+ *   tcp:host:port          TCP (IPv4) stream socket
+ *   /path/to/socket        shorthand for unix:
+ *
+ * Every failure surfaces as a typed SimError (ErrorKind::Transport for
+ * peer/IO trouble, ErrorKind::Timeout for an expired deadline,
+ * ErrorKind::Config for an unusable address) — never a crash or a
+ * hang, which is what lets the co-simulation health machinery map
+ * transport faults onto its quarantine/fallback policy.
+ */
+
+#ifndef RASIM_IPC_SOCKET_HH
+#define RASIM_IPC_SOCKET_HH
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace rasim
+{
+namespace ipc
+{
+
+/** RAII file descriptor (move-only). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    Fd(Fd &&other) noexcept : fd_(other.release()) {}
+
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /** Close (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/** True when @p addr parses as a supported socket address. */
+bool validAddress(const std::string &addr);
+
+/**
+ * Bind and listen on @p addr. A pre-existing Unix socket file is
+ * unlinked first (a previous server that died without cleanup).
+ * @throws SimError{Config} on an unusable address,
+ *         SimError{Transport} on bind/listen failure.
+ */
+Fd listenOn(const std::string &addr);
+
+/**
+ * Accept one connection, waiting up to @p timeout_ms (0 = forever).
+ * Returns an invalid Fd when @p stop became true or the timeout
+ * expired; throws SimError{Transport} when the listening socket died.
+ */
+Fd acceptOn(const Fd &listener, double timeout_ms,
+            const std::atomic<bool> *stop = nullptr);
+
+/**
+ * Connect to @p addr, retrying until @p timeout_ms expires (a server
+ * that is still starting up is not an error until the deadline).
+ * @throws SimError{Transport} when the deadline expires.
+ */
+Fd connectTo(const std::string &addr, double timeout_ms);
+
+/**
+ * Write all @p len bytes. @throws SimError{Transport} on a dead peer
+ * (EPIPE/ECONNRESET are reported, never raised as SIGPIPE).
+ */
+void sendAll(const Fd &fd, const void *data, std::size_t len);
+
+/**
+ * Read exactly @p len bytes, honouring a wall-clock deadline and a
+ * cooperative abort flag (polled between reads).
+ *
+ * @param timeout_ms Deadline for the whole read (0 = no deadline).
+ * @param abort When non-null and set, the read stops early.
+ * @return bytes read before a clean EOF (== len on success; a short
+ *         count means the peer closed mid-object — the caller decides
+ *         whether that is a clean end-of-session or a torn frame).
+ * @throws SimError{Timeout} on deadline expiry or abort,
+ *         SimError{Transport} on IO errors.
+ */
+std::size_t recvUpTo(const Fd &fd, void *data, std::size_t len,
+                     double timeout_ms,
+                     const std::atomic<bool> *abort = nullptr);
+
+} // namespace ipc
+} // namespace rasim
+
+#endif // RASIM_IPC_SOCKET_HH

@@ -1,0 +1,393 @@
+#include "noc/remote/remote_network.hh"
+
+#include <utility>
+
+#include "ipc/frame.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace rasim
+{
+namespace noc
+{
+namespace remote
+{
+
+RemoteOptions
+RemoteOptions::fromConfig(const Config &cfg)
+{
+    RemoteOptions o;
+    o.socket = cfg.getString("remote.socket", o.socket);
+    o.connect_timeout_ms =
+        cfg.getDouble("remote.connect_timeout_ms", o.connect_timeout_ms);
+    o.quantum_timeout_ms =
+        cfg.getDouble("remote.quantum_timeout_ms", o.quantum_timeout_ms);
+    o.model = cfg.getString("remote.model", o.model);
+    o.engine_workers =
+        static_cast<int>(cfg.getUInt("remote.engine_workers", 0));
+    if (!ipc::validAddress(o.socket))
+        fatal("remote.socket: unusable address '", o.socket, "'");
+    if (o.connect_timeout_ms <= 0.0)
+        fatal("remote.connect_timeout_ms must be positive");
+    if (o.quantum_timeout_ms < 0.0)
+        fatal("remote.quantum_timeout_ms must be non-negative");
+    if (o.model != "cycle" && o.model != "deflection")
+        fatal("remote.model must be cycle or deflection, not '",
+              o.model, "'");
+    if (o.engine_workers < 0)
+        fatal("remote.engine_workers must be non-negative");
+    return o;
+}
+
+RemoteNetwork::RemoteNetwork(Simulation &sim, const std::string &name,
+                             const NocParams &params,
+                             RemoteOptions options, SimObject *parent)
+    : SimObject(sim, name, parent),
+      packetsInjected(this, "packets_injected",
+                      "packets handed to the network"),
+      packetsDelivered(this, "packets_delivered",
+                       "packets fully received"),
+      totalLatency(this, "total_latency",
+                   "inject-to-deliver latency (cycles)"),
+      networkLatency(this, "network_latency",
+                     "fabric enter-to-deliver latency (cycles)"),
+      queueLatency(this, "queue_latency",
+                   "source queueing latency (cycles)"),
+      hopCount(this, "hop_count", "router-to-router hops per packet"),
+      rpcRoundTrips(this, "rpc_round_trips",
+                    "quantum RPC round-trips completed"),
+      reconnects(this, "reconnects",
+                 "sessions re-opened after a connection loss"),
+      params_(params), options_(std::move(options)),
+      // Identical geometry to the bridge's reciprocal table, so the
+      // server's shadow table and the bridge's table are comparable
+      // entry for entry.
+      table_proto_(params, params.columns + params.rows + 2,
+                   sim.config().getDouble("abstract.ewma_alpha", 0.05),
+                   sim.config().getString("abstract.granularity",
+                                          "distance") == "pair"
+                       ? abstractnet::LatencyTable::Granularity::Pair
+                       : abstractnet::LatencyTable::Granularity::Distance,
+                   params.numNodes())
+{
+    params_.validate();
+    for (int v = 0; v < num_vnets; ++v) {
+        vnetLatency.push_back(std::make_unique<stats::Distribution>(
+            this, std::string("latency_vnet") + std::to_string(v),
+            "total latency on vnet " + std::to_string(v)));
+    }
+    num_nodes_ = static_cast<std::uint64_t>(params_.numNodes());
+    ensureSession();
+}
+
+RemoteNetwork::~RemoteNetwork()
+{
+    if (!fd_.valid())
+        return;
+    try {
+        ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::Bye));
+    } catch (const SimError &) {
+        // Best-effort goodbye; the server treats EOF the same way.
+    }
+}
+
+std::size_t
+RemoteNetwork::numNodes() const
+{
+    return static_cast<std::size_t>(num_nodes_);
+}
+
+std::optional<NetworkModel::Accounting>
+RemoteNetwork::accounting() const
+{
+    return acct_;
+}
+
+void
+RemoteNetwork::requestAbort()
+{
+    abort_.store(true, std::memory_order_relaxed);
+}
+
+void
+RemoteNetwork::inject(const PacketPtr &pkt)
+{
+    // No IO here: injections buffer until the quantum boundary, so a
+    // dead server cannot fail an inject() — every transport fault
+    // surfaces inside advanceTo(), where the bridge's health machinery
+    // catches backend errors.
+    ++packetsInjected;
+    pending_.push_back(pkt);
+}
+
+void
+RemoteNetwork::markDisconnected()
+{
+    fd_.reset();
+    // Injections buffered for the dead server die with it — the same
+    // information loss the quarantine itself represents. A fresh
+    // session starts from an empty network at the current tick.
+    pending_.clear();
+}
+
+ipc::Message
+RemoteNetwork::expectReply(double timeout_ms)
+{
+    auto msg = ipc::recvMessage(fd_, timeout_ms, &abort_);
+    if (!msg) {
+        throw SimError(ErrorKind::Transport,
+                       "server '" + options_.socket +
+                           "' closed the connection mid-request");
+    }
+    return std::move(*msg);
+}
+
+void
+RemoteNetwork::ensureSession()
+{
+    if (fd_.valid())
+        return;
+    try {
+        fd_ = ipc::connectTo(options_.socket,
+                             options_.connect_timeout_ms);
+        ipc::HelloRequest req;
+        req.model = options_.model;
+        req.params = params_;
+        req.engine_workers = options_.engine_workers;
+        req.start_tick = cur_time_;
+        req.table_alpha = table_proto_.alpha();
+        req.table_pair_granularity =
+            table_proto_.granularity() ==
+            abstractnet::LatencyTable::Granularity::Pair;
+        req.table_max_hops = table_proto_.maxHops();
+        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Hello);
+        ipc::encodeHello(aw, req);
+        ipc::sendMessage(fd_, std::move(aw));
+
+        ipc::Message msg = expectReply(options_.connect_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::HelloAck) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected HelloAck, got ") +
+                               ipc::toString(msg.type));
+        }
+        ipc::HelloReply rep = ipc::decodeHelloReply(msg.ar);
+        msg.done();
+        num_nodes_ = rep.num_nodes;
+        cur_time_ = rep.cur_time;
+        if (ever_connected_)
+            ++reconnects;
+        ever_connected_ = true;
+    } catch (const SimError &) {
+        markDisconnected();
+        throw;
+    }
+}
+
+void
+RemoteNetwork::advanceTo(Tick t)
+{
+    // The abort request is sticky until the next advanceTo() call.
+    abort_.store(false, std::memory_order_relaxed);
+    try {
+        ensureSession();
+        if (!pending_.empty()) {
+            ArchiveWriter aw =
+                ipc::beginMessage(ipc::MsgType::InjectBatch);
+            ipc::encodePackets(aw, pending_);
+            ipc::sendMessage(fd_, std::move(aw));
+            pending_.clear();
+        }
+        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Advance);
+        ipc::encodeAdvance(aw, t);
+        ipc::sendMessage(fd_, std::move(aw));
+
+        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::DeliveryBatch) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected DeliveryBatch, got ") +
+                               ipc::toString(msg.type));
+        }
+        ipc::AdvanceReply rep = ipc::decodeAdvanceReply(msg.ar);
+        msg.done();
+
+        cur_time_ = rep.cur_time;
+        idle_ = rep.idle;
+        acct_.injected = rep.injected;
+        acct_.delivered = rep.delivered;
+        acct_.in_flight = rep.in_flight;
+        ++rpcRoundTrips;
+
+        // Replay in delivery order: the handler (and the mirrored
+        // aggregates) see exactly what an in-process backend would
+        // have produced, in the same order.
+        for (const PacketPtr &pkt : rep.deliveries) {
+            ++packetsDelivered;
+            totalLatency.sample(static_cast<double>(pkt->latency()));
+            networkLatency.sample(
+                static_cast<double>(pkt->networkLatency()));
+            queueLatency.sample(
+                static_cast<double>(pkt->queueLatency()));
+            hopCount.sample(static_cast<double>(pkt->hops));
+            vnetLatency[static_cast<int>(pkt->cls)]->sample(
+                static_cast<double>(pkt->latency()));
+            if (handler_)
+                handler_(pkt);
+        }
+    } catch (const SimError &) {
+        // Whatever went wrong (torn frame, timeout, server-side trip),
+        // the stream can no longer be trusted to be in sync; drop the
+        // session so a re-engagement starts clean.
+        markDisconnected();
+        throw;
+    }
+}
+
+void
+RemoteNetwork::setDeliveryHandler(DeliveryHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+abstractnet::LatencyTable
+RemoteNetwork::fetchTunedTable()
+{
+    ensureSession();
+    ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::TableGet));
+    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::TableData) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected TableData, got ") +
+                           ipc::toString(msg.type));
+    }
+    abstractnet::LatencyTable table = table_proto_;
+    table.restoreBinary(msg.ar);
+    msg.done();
+    return table;
+}
+
+std::vector<ipc::StatRow>
+RemoteNetwork::fetchRemoteStats()
+{
+    ensureSession();
+    ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::StatsGet));
+    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::StatsData) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected StatsData, got ") +
+                           ipc::toString(msg.type));
+    }
+    auto rows = ipc::decodeStatsReply(msg.ar);
+    msg.done();
+    return rows;
+}
+
+void
+RemoteNetwork::save(ArchiveWriter &aw)
+{
+    aw.beginSection("remote_net");
+    aw.putU64(cur_time_);
+    aw.putBool(idle_);
+    aw.putU64(acct_.injected);
+    aw.putU64(acct_.delivered);
+    aw.putU64(acct_.in_flight);
+    aw.putU64(num_nodes_);
+    aw.putU64(pending_.size());
+    for (const PacketPtr &pkt : pending_)
+        savePacket(aw, *pkt);
+
+    // Paired server-side checkpoint, embedded so one client image
+    // restores both processes coherently. Unreachable server: the
+    // image is omitted and restore opens a fresh session at the saved
+    // tick (the deliveries still in the old fabric are lost — the same
+    // loss the outage itself caused).
+    std::string image;
+    try {
+        ensureSession();
+        ipc::sendMessage(fd_,
+                         ipc::beginMessage(ipc::MsgType::CkptSave));
+        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::CkptData) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected CkptData, got ") +
+                               ipc::toString(msg.type));
+        }
+        image = msg.ar.getString();
+        msg.done();
+    } catch (const SimError &err) {
+        markDisconnected();
+        warn("remote checkpoint unavailable (", err.what(),
+             "); saving the client half only");
+    }
+    aw.putBool(!image.empty());
+    if (!image.empty())
+        aw.putString(image);
+    aw.endSection();
+}
+
+void
+RemoteNetwork::restore(ArchiveReader &ar)
+{
+    ar.expectSection("remote_net");
+    cur_time_ = ar.getU64();
+    idle_ = ar.getBool();
+    acct_.injected = ar.getU64();
+    acct_.delivered = ar.getU64();
+    acct_.in_flight = ar.getU64();
+    num_nodes_ = ar.getU64();
+    std::vector<PacketPtr> pending;
+    std::uint64_t n = ar.getU64();
+    pending.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        pending.push_back(restorePacket(ar));
+    bool has_image = ar.getBool();
+    std::string image = has_image ? ar.getString() : std::string();
+    ar.endSection();
+
+    if (has_image) {
+        // Push the paired image into the (possibly brand-new) server
+        // session; the hosted network resumes mid-flight state and all.
+        ensureSession();
+        ArchiveWriter aw =
+            ipc::beginMessage(ipc::MsgType::CkptLoad);
+        aw.putString(image);
+        ipc::sendMessage(fd_, std::move(aw));
+        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::CkptLoadAck) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected CkptLoadAck, got ") +
+                               ipc::toString(msg.type));
+        }
+        Tick server_tick = msg.ar.getU64();
+        msg.done();
+        if (server_tick != cur_time_) {
+            throw SimError(ErrorKind::Transport,
+                           "restored server is at tick " +
+                               std::to_string(server_tick) +
+                               " but the client checkpoint was taken "
+                               "at tick " +
+                               std::to_string(cur_time_));
+        }
+    } else {
+        // No paired image: rebuild an empty fabric at the saved tick.
+        markDisconnected();
+        ensureSession();
+    }
+    pending_ = std::move(pending);
+}
+
+} // namespace remote
+} // namespace noc
+} // namespace rasim

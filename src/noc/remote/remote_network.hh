@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The out-of-process NoC backend client: a NetworkModel whose detailed
+ * network lives in a rasim-nocd server, driven over the quantum-RPC
+ * protocol. Selected with network.backend=remote.
+ *
+ * Determinism: injections buffer locally (inject() never performs IO)
+ * and flush as one InjectBatch at advanceTo(); the server simulates
+ * the quantum and replies with the deliveries in delivery order, which
+ * this client replays through the delivery handler in that exact
+ * order. Every value the rest of the system reads between quanta
+ * (curTime, idle, accounting) is mirrored from the last reply, so a
+ * remote run is bit-identical to hosting the same network in-process.
+ *
+ * Failure: every transport fault or quantum timeout surfaces inside
+ * advanceTo() as a typed SimError — precisely where the co-simulation
+ * bridge's health machinery catches backend failures — so a killed
+ * server degrades the run to the tuned-abstract fallback instead of
+ * hanging it. On re-engagement the client transparently reconnects,
+ * opening a fresh session fast-forwarded to the current tick.
+ */
+
+#ifndef RASIM_NOC_REMOTE_REMOTE_NETWORK_HH
+#define RASIM_NOC_REMOTE_REMOTE_NETWORK_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abstractnet/latency_table.hh"
+#include "ipc/protocol.hh"
+#include "ipc/socket.hh"
+#include "noc/network_model.hh"
+#include "noc/params.hh"
+#include "sim/sim_object.hh"
+#include "stats/distribution.hh"
+#include "stats/stat.hh"
+
+namespace rasim
+{
+
+class Config;
+
+namespace noc
+{
+namespace remote
+{
+
+struct RemoteOptions
+{
+    /** Server address (unix:/path, tcp:host:port, or a bare path). */
+    std::string socket = "unix:/tmp/rasim-nocd.sock";
+    /** Budget for connect + Hello handshake, in ms. */
+    double connect_timeout_ms = 5000.0;
+    /** Budget for one quantum's DeliveryBatch, in ms (0 = forever). */
+    double quantum_timeout_ms = 30000.0;
+    /** Hosted model on the server: "cycle" or "deflection". */
+    std::string model = "cycle";
+    /** Server-side ParallelEngine workers (0 = serial). */
+    int engine_workers = 0;
+
+    /** Read the "remote.*" keys. */
+    static RemoteOptions fromConfig(const Config &cfg);
+};
+
+class RemoteNetwork : public SimObject, public NetworkModel
+{
+  public:
+    /** Connects and opens a session eagerly, so a missing server is a
+     *  construction-time SimError, not a mid-run surprise. */
+    RemoteNetwork(Simulation &sim, const std::string &name,
+                  const NocParams &params, RemoteOptions options,
+                  SimObject *parent = nullptr);
+    ~RemoteNetwork() override;
+
+    // NetworkModel interface.
+    void inject(const PacketPtr &pkt) override;
+    void advanceTo(Tick t) override;
+    void setDeliveryHandler(DeliveryHandler handler) override;
+    Tick curTime() const override { return cur_time_; }
+    bool idle() const override { return idle_ && pending_.empty(); }
+    std::size_t numNodes() const override;
+    std::optional<Accounting> accounting() const override;
+    void requestAbort() override;
+
+    /** Read back the server's shadow-tuned LatencyTable (the
+     *  differential proof that remote feedback equals in-process). */
+    abstractnet::LatencyTable fetchTunedTable();
+
+    /** Pull the hosted network's flattened statistics subtree. */
+    std::vector<ipc::StatRow> fetchRemoteStats();
+
+    /** True while a session is open (observability / tests). */
+    bool connected() const { return fd_.valid(); }
+
+    const NocParams &params() const { return params_; }
+    const RemoteOptions &options() const { return options_; }
+
+    /** Packets reported delivered by the server so far. */
+    std::uint64_t deliveredCount() const { return acct_.delivered; }
+
+    /**
+     * Checkpoint: the client-side mirror state plus a paired
+     * server-side checkpoint image taken over the live session (so a
+     * cross-process kill-and-resume restores both halves coherently).
+     * When the server is unreachable the image is omitted and restore
+     * falls back to a fresh session at the saved tick.
+     */
+    void save(ArchiveWriter &aw);
+    void restore(ArchiveReader &ar);
+
+    /** @name Mirrored delivery statistics
+     * Sampled from the replayed deliveries in delivery order, so they
+     * match a server-hosted (or in-process) CycleNetwork's aggregates
+     * bit for bit. */
+    /// @{
+    stats::Scalar packetsInjected;
+    stats::Scalar packetsDelivered;
+    stats::Distribution totalLatency;
+    stats::Distribution networkLatency;
+    stats::Distribution queueLatency;
+    stats::Distribution hopCount;
+    std::vector<std::unique_ptr<stats::Distribution>> vnetLatency;
+    /// @}
+
+    /** @name Transport statistics */
+    /// @{
+    stats::Scalar rpcRoundTrips; ///< Advance round-trips completed
+    stats::Scalar reconnects;    ///< sessions re-opened after a loss
+    /// @}
+
+  private:
+    /** Open a session if none is live (connect + Hello/HelloAck). */
+    void ensureSession();
+    /** Drop a broken connection; buffered injections are lost with
+     *  the server that would have simulated them. */
+    void markDisconnected();
+    /** Receive one reply, mapping EOF to a Transport SimError. */
+    ipc::Message expectReply(double timeout_ms);
+
+    NocParams params_;
+    RemoteOptions options_;
+
+    ipc::Fd fd_;
+    bool ever_connected_ = false;
+    std::atomic<bool> abort_{false};
+
+    DeliveryHandler handler_;
+    std::vector<PacketPtr> pending_; ///< injections since last quantum
+
+    // Mirrored from the last DeliveryBatch (or HelloAck).
+    Tick cur_time_ = 0;
+    bool idle_ = true;
+    Accounting acct_;
+    std::uint64_t num_nodes_ = 0;
+
+    /** Geometry prototype for fetchTunedTable() decoding. */
+    abstractnet::LatencyTable table_proto_;
+};
+
+} // namespace remote
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_REMOTE_REMOTE_NETWORK_HH

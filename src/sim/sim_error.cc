@@ -19,6 +19,8 @@ toString(ErrorKind kind)
         return "divergence";
       case ErrorKind::Timeout:
         return "timeout";
+      case ErrorKind::Transport:
+        return "transport";
     }
     return "unknown";
 }

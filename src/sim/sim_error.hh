@@ -37,6 +37,9 @@ enum class ErrorKind
     Divergence,
     /** Wall-clock timeout: a worker failed to finish a quantum. */
     Timeout,
+    /** IPC transport failure: a remote peer died, a frame was torn,
+     *  oversized or corrupted, or the protocol versions disagree. */
+    Transport,
 };
 
 /** Render a Kind as a short lowercase tag ("deadlock"). */

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace rasim
 {
@@ -61,6 +62,51 @@ PacketTrace::load(std::istream &is)
         r.cls = static_cast<noc::MsgClass>(cls);
         trace.records_.push_back(r);
     }
+    return trace;
+}
+
+void
+PacketTrace::saveBinary(std::ostream &os) const
+{
+    ArchiveWriter aw;
+    aw.beginSection("trace");
+    aw.putU64(records_.size());
+    for (const TraceRecord &r : records_) {
+        aw.putU64(r.inject_tick);
+        aw.putU32(r.src);
+        aw.putU32(r.dst);
+        aw.putU8(static_cast<std::uint8_t>(r.cls));
+        aw.putU32(r.size_bytes);
+    }
+    aw.endSection();
+    aw.writeTo(os);
+}
+
+PacketTrace
+PacketTrace::loadBinary(std::istream &is)
+{
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    ArchiveReader ar(ss.str());
+    if (!ar.ok())
+        fatal("cannot load binary trace: ", ar.error());
+    PacketTrace trace;
+    ar.expectSection("trace");
+    std::uint64_t count = ar.getU64();
+    trace.records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord r;
+        r.inject_tick = ar.getU64();
+        r.src = ar.getU32();
+        r.dst = ar.getU32();
+        int cls = ar.getU8();
+        r.size_bytes = ar.getU32();
+        if (cls < 0 || cls >= noc::num_vnets)
+            fatal("binary trace record ", i, ": bad class ", cls);
+        r.cls = static_cast<noc::MsgClass>(cls);
+        trace.records_.push_back(r);
+    }
+    ar.endSection();
     return trace;
 }
 

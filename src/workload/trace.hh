@@ -60,6 +60,18 @@ class PacketTrace
     /** Parse a CSV trace; fatal() on malformed rows. */
     static PacketTrace load(std::istream &is);
 
+    /**
+     * Write as a sim/serialize archive (magic, format version, CRC32):
+     * compact, fast to parse, and corruption is detected rather than
+     * silently mis-replayed. CSV remains the interchange format; this
+     * is the bulk-storage one.
+     */
+    void saveBinary(std::ostream &os) const;
+
+    /** Read an archive written by saveBinary(); fatal() on a corrupt,
+     *  truncated or version-mismatched image. */
+    static PacketTrace loadBinary(std::istream &is);
+
   private:
     std::vector<TraceRecord> records_;
 };

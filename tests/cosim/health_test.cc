@@ -445,6 +445,32 @@ TEST(Health, OverlappedWorkerThrowUnmonitoredPropagatesCleanly)
 // Full-system integration: fault.* keys interpose the injector, the
 // run completes degraded, and the health events reach the stats dump.
 
+TEST(Health, TimeoutScaleLoosensTheWallClockBudget)
+{
+    Simulation sim;
+    HealthOptions ho;
+    ho.worker_timeout_ms = 10.0;
+    HealthMonitor tight(sim, "tight", ho, nullptr);
+    HealthMonitor::Snapshot s;
+    s.worker_ms = 15.0; // over a 10 ms budget
+    auto trip = tight.checkBoundary(s);
+    ASSERT_TRUE(trip.has_value());
+    EXPECT_EQ(trip->kind, ErrorKind::Timeout);
+
+    // The same overrun fits inside a 2x-scaled budget (slow host).
+    ho.timeout_scale = 2.0;
+    HealthMonitor loose(sim, "loose", ho, nullptr);
+    EXPECT_FALSE(loose.checkBoundary(s).has_value());
+
+    Config cfg;
+    cfg.set("health.timeout_scale", 3.5);
+    EXPECT_DOUBLE_EQ(HealthOptions::fromConfig(cfg).timeout_scale, 3.5);
+    Config bad;
+    bad.set("health.timeout_scale", 0.0);
+    EXPECT_SIM_ERROR(HealthOptions::fromConfig(bad),
+                     "timeout_scale must be positive");
+}
+
 TEST(Health, FullSystemSurvivesInjectedFaults)
 {
     Config cfg;

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Session-level tests of the rasim-nocd server: the protocol lifecycle
+ * over a real Unix-domain socket, error replies for malformed or
+ * out-of-order requests, and the server-side checkpoint round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ipc/frame.hh"
+#include "ipc/nocd_server.hh"
+#include "ipc/protocol.hh"
+#include "noc/packet.hh"
+#include "sim/sim_error.hh"
+
+namespace
+{
+
+using namespace rasim;
+using namespace rasim::ipc;
+
+/** A running server on a per-test Unix socket + its service thread. */
+class ServerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        addr_ = "unix:/tmp/rasim-nocd-test-" +
+                std::to_string(::getpid()) + ".sock";
+        NocServerOptions opts;
+        opts.address = addr_;
+        server_ = std::make_unique<NocServer>(opts);
+        thread_ = std::thread([this] { server_->run(); });
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+        thread_.join();
+    }
+
+    Fd
+    connect()
+    {
+        return connectTo(addr_, 2000.0);
+    }
+
+    /** One request/reply exchange. */
+    Message
+    call(const Fd &fd, ArchiveWriter &&aw)
+    {
+        sendMessage(fd, std::move(aw));
+        auto msg = recvMessage(fd, 5000.0);
+        EXPECT_TRUE(msg.has_value());
+        return std::move(*msg);
+    }
+
+    HelloReply
+    hello(const Fd &fd, const HelloRequest &req)
+    {
+        ArchiveWriter aw = beginMessage(MsgType::Hello);
+        encodeHello(aw, req);
+        Message rep = call(fd, std::move(aw));
+        EXPECT_EQ(rep.type, MsgType::HelloAck);
+        HelloReply hr = decodeHelloReply(rep.ar);
+        rep.done();
+        return hr;
+    }
+
+    AdvanceReply
+    advance(const Fd &fd, Tick target)
+    {
+        ArchiveWriter aw = beginMessage(MsgType::Advance);
+        encodeAdvance(aw, target);
+        Message rep = call(fd, std::move(aw));
+        EXPECT_EQ(rep.type, MsgType::DeliveryBatch);
+        AdvanceReply ar = decodeAdvanceReply(rep.ar);
+        rep.done();
+        return ar;
+    }
+
+    std::string addr_;
+    std::unique_ptr<NocServer> server_;
+    std::thread thread_;
+};
+
+TEST_F(ServerFixture, HelloBuildsTheHostedNetwork)
+{
+    Fd fd = connect();
+    HelloRequest req;
+    req.params.columns = 4;
+    req.params.rows = 4;
+    HelloReply hr = hello(fd, req);
+    EXPECT_EQ(hr.num_nodes, 16u);
+    EXPECT_EQ(hr.cur_time, 0u);
+}
+
+TEST_F(ServerFixture, InjectAdvanceDelivers)
+{
+    Fd fd = connect();
+    HelloRequest req;
+    req.params.columns = 4;
+    req.params.rows = 4;
+    hello(fd, req);
+
+    std::vector<noc::PacketPtr> pkts;
+    pkts.push_back(
+        noc::makePacket(1, 0, 15, noc::MsgClass::Request, 8, 5));
+    pkts.push_back(
+        noc::makePacket(2, 3, 12, noc::MsgClass::Response, 72, 7));
+    ArchiveWriter aw = beginMessage(MsgType::InjectBatch);
+    encodePackets(aw, pkts);
+    sendMessage(fd, std::move(aw)); // deliberately unacknowledged
+
+    AdvanceReply rep = advance(fd, 5000);
+    EXPECT_EQ(rep.cur_time, 5000u);
+    EXPECT_TRUE(rep.idle);
+    EXPECT_EQ(rep.injected, 2u);
+    EXPECT_EQ(rep.delivered, 2u);
+    EXPECT_EQ(rep.in_flight, 0u);
+    ASSERT_EQ(rep.deliveries.size(), 2u);
+    for (const auto &pkt : rep.deliveries)
+        EXPECT_GT(pkt->latency(), 0u);
+}
+
+TEST_F(ServerFixture, RequestBeforeHelloIsATypedError)
+{
+    Fd fd = connect();
+    ArchiveWriter aw = beginMessage(MsgType::Advance);
+    encodeAdvance(aw, 100);
+    Message rep = call(fd, std::move(aw));
+    ASSERT_EQ(rep.type, MsgType::ErrorReply);
+    try {
+        throwDecodedError(rep.ar);
+        FAIL() << "throwDecodedError returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Transport);
+        EXPECT_NE(std::string(e.what()).find("before Hello"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ServerFixture, ProtocolVersionMismatchIsRejected)
+{
+    Fd fd = connect();
+    HelloRequest req;
+    req.proto = protocol_version + 1;
+    ArchiveWriter aw = beginMessage(MsgType::Hello);
+    encodeHello(aw, req);
+    Message rep = call(fd, std::move(aw));
+    ASSERT_EQ(rep.type, MsgType::ErrorReply);
+    try {
+        throwDecodedError(rep.ar);
+        FAIL() << "throwDecodedError returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Transport);
+        EXPECT_NE(std::string(e.what()).find("version mismatch"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ServerFixture, UnknownModelIsRejected)
+{
+    Fd fd = connect();
+    HelloRequest req;
+    req.model = "quantum-foam";
+    ArchiveWriter aw = beginMessage(MsgType::Hello);
+    encodeHello(aw, req);
+    Message rep = call(fd, std::move(aw));
+    ASSERT_EQ(rep.type, MsgType::ErrorReply);
+    try {
+        throwDecodedError(rep.ar);
+        FAIL() << "throwDecodedError returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("unknown hosted model"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ServerFixture, CheckpointRoundTripRewindsTheSession)
+{
+    Fd fd = connect();
+    HelloRequest req;
+    req.params.columns = 4;
+    req.params.rows = 4;
+    hello(fd, req);
+
+    std::vector<noc::PacketPtr> pkts;
+    pkts.push_back(
+        noc::makePacket(1, 0, 15, noc::MsgClass::Request, 8, 5));
+    ArchiveWriter inj = beginMessage(MsgType::InjectBatch);
+    encodePackets(inj, pkts);
+    sendMessage(fd, std::move(inj));
+    AdvanceReply a1 = advance(fd, 1000);
+    EXPECT_EQ(a1.delivered, 1u);
+
+    Message ck = call(fd, beginMessage(MsgType::CkptSave));
+    ASSERT_EQ(ck.type, MsgType::CkptData);
+    std::string image = ck.ar.getString();
+    ck.done();
+    EXPECT_FALSE(image.empty());
+
+    // Diverge, then rewind with the image.
+    std::vector<noc::PacketPtr> more;
+    more.push_back(
+        noc::makePacket(2, 1, 14, noc::MsgClass::Forward, 8, 1500));
+    ArchiveWriter inj2 = beginMessage(MsgType::InjectBatch);
+    encodePackets(inj2, more);
+    sendMessage(fd, std::move(inj2));
+    AdvanceReply a2 = advance(fd, 3000);
+    EXPECT_EQ(a2.delivered, 2u);
+
+    ArchiveWriter load = beginMessage(MsgType::CkptLoad);
+    load.putString(image);
+    Message ack = call(fd, std::move(load));
+    ASSERT_EQ(ack.type, MsgType::CkptLoadAck);
+    EXPECT_EQ(ack.ar.getU64(), 1000u);
+    ack.done();
+
+    // The restored session replays the diverged tail identically.
+    ArchiveWriter inj3 = beginMessage(MsgType::InjectBatch);
+    encodePackets(inj3, more);
+    sendMessage(fd, std::move(inj3));
+    AdvanceReply a3 = advance(fd, 3000);
+    EXPECT_EQ(a3.delivered, a2.delivered);
+    EXPECT_EQ(a3.injected, a2.injected);
+}
+
+TEST_F(ServerFixture, CorruptCheckpointImageIsRejected)
+{
+    Fd fd = connect();
+    HelloRequest req;
+    hello(fd, req);
+
+    ArchiveWriter load = beginMessage(MsgType::CkptLoad);
+    load.putString("definitely not an archive");
+    Message rep = call(fd, std::move(load));
+    ASSERT_EQ(rep.type, MsgType::ErrorReply);
+    try {
+        throwDecodedError(rep.ar);
+        FAIL() << "throwDecodedError returned";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Transport);
+        EXPECT_NE(std::string(e.what()).find("corrupt checkpoint"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ServerFixture, ServerSurvivesAVanishedClient)
+{
+    {
+        Fd fd = connect();
+        HelloRequest req;
+        hello(fd, req);
+        // fd drops here, mid-session.
+    }
+    // A fresh client gets a fresh, working session.
+    Fd fd = connect();
+    HelloRequest req;
+    req.params.columns = 4;
+    req.params.rows = 4;
+    HelloReply hr = hello(fd, req);
+    EXPECT_EQ(hr.num_nodes, 16u);
+    AdvanceReply rep = advance(fd, 100);
+    EXPECT_EQ(rep.cur_time, 100u);
+}
+
+} // namespace

@@ -56,6 +56,62 @@ TEST(PacketTrace, LoadRejectsGarbage)
     EXPECT_SIM_ERROR(PacketTrace::load(ss), "malformed");
 }
 
+TEST(PacketTrace, BinaryRoundTrip)
+{
+    PacketTrace t = sampleTrace();
+    std::stringstream ss;
+    t.saveBinary(ss);
+    PacketTrace u = PacketTrace::loadBinary(ss);
+    ASSERT_EQ(u.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(u.records()[i], t.records()[i]);
+}
+
+TEST(PacketTrace, CsvToBinaryAndBackIsLossless)
+{
+    PacketTrace t = sampleTrace();
+    std::stringstream csv;
+    t.save(csv);
+    PacketTrace from_csv = PacketTrace::load(csv);
+    std::stringstream bin;
+    from_csv.saveBinary(bin);
+    PacketTrace from_bin = PacketTrace::loadBinary(bin);
+    std::stringstream csv2;
+    from_bin.save(csv2);
+    csv.clear();
+    csv.seekg(0);
+    EXPECT_EQ(csv.str(), csv2.str());
+    ASSERT_EQ(from_bin.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(from_bin.records()[i], t.records()[i]);
+}
+
+TEST(PacketTrace, BinaryLoadRejectsCorruption)
+{
+    PacketTrace t = sampleTrace();
+    std::stringstream ss;
+    t.saveBinary(ss);
+    std::string image = ss.str();
+
+    // Flip one payload byte: the CRC trailer must catch it.
+    std::string corrupt = image;
+    corrupt[image.size() / 2] ^= 0x40;
+    std::stringstream bad(corrupt);
+    EXPECT_SIM_ERROR(PacketTrace::loadBinary(bad),
+                     "cannot load binary trace");
+
+    // Truncation inside the body must also be rejected.
+    std::stringstream trunc(image.substr(0, image.size() / 2));
+    EXPECT_SIM_ERROR(PacketTrace::loadBinary(trunc),
+                     "cannot load binary trace");
+
+    // A CSV file fed to the binary loader is not a crash either.
+    std::stringstream csv;
+    t.save(csv);
+    EXPECT_SIM_ERROR(PacketTrace::loadBinary(csv),
+                     "cannot load binary trace");
+}
+
 TEST(TraceReplayer, ReplaysAtRecordedTimes)
 {
     Simulation sim;
