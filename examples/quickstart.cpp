@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cosim/full_system.hh"
+#include "sim/sim_error.hh"
 #include "stats/output.hh"
 
 using namespace rasim;
@@ -50,6 +51,8 @@ main(int argc, char **argv)
         }
     }
     cfg.parseArgs(static_cast<int>(args.size()), args.data());
+
+    try {
 
     // 2. Build the full system: cores, caches, directories, and a
     //    cycle-level NoC coupled through the reciprocal bridge.
@@ -85,4 +88,12 @@ main(int argc, char **argv)
     std::printf("\n--- full statistics dump ---\n");
     stats::dumpText(std::cout, system.simulation().statsRoot());
     return 0;
+
+    } catch (const SimError &e) {
+        // E.g. a remote backend that is unreachable, at capacity, or
+        // lost mid-run with health.degrade=false: die with the typed
+        // message, not an unhandled-exception abort.
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
 }

@@ -10,7 +10,11 @@
 # (run with health.degrade=false so a lost backend is fatal rather
 # than degraded) dies on the transport error, the server is restarted,
 # and the resumed client restores both halves from the paired
-# client+server checkpoint image.
+# client+server checkpoint image. The client speaks the pipelined v2
+# transport (coalesced Step frames, idle elision, server speculation —
+# all default-on), so the SIGKILL routinely lands while the server is
+# mid-speculation; the bit-identical resume proves speculative state
+# never leaks into a checkpoint.
 #
 # Usage: scripts/kill_and_resume.sh [build-dir] [--remote]
 set -euo pipefail

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Build the simulator with ThreadSanitizer and run the test labels
-# that exercise the parallel step engine: sim (engine unit/property
-# tests), noc (serial-vs-parallel differential tests) and cosim
-# (overlapped bridge determinism).
+# that exercise concurrency: sim (engine unit/property tests), noc
+# (serial-vs-parallel differential tests), cosim (overlapped bridge
+# determinism) and ipc (the multiplexing rasim-nocd daemon — session
+# threads, fair scheduler, speculation, and the multi-session soak).
 #
 # Usage: scripts/run_tsan.sh [build-dir]
 set -euo pipefail
@@ -19,4 +20,4 @@ cmake --build "$build" -j "$jobs"
 # the log; second_deadlock_stack aids lock-order reports.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 
-ctest --test-dir "$build" --output-on-failure -L 'sim|noc|cosim'
+ctest --test-dir "$build" --output-on-failure -L 'sim|noc|cosim|ipc'

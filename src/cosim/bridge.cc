@@ -649,7 +649,7 @@ QuantumBridge::advanceCoupled(Tick t)
                 else
                     runQuantumSync(q_end);
             } catch (const SimError &e) {
-                health_->noteTrip(e.kind());
+                health_->noteTrip(e.kind(), e.what());
                 trip = std::make_pair(e.kind(), std::string(e.what()));
             }
             if (!trip)

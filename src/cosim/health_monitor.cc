@@ -69,6 +69,8 @@ HealthMonitor::HealthMonitor(Simulation &sim, const std::string &name,
                    "backend wall-clock timeout trips"),
       transportTrips(this, "transport_trips",
                      "remote-backend transport failures caught"),
+      backpressureTrips(this, "backpressure_trips",
+                        "batches the remote server refused over quota"),
       internalTrips(this, "internal_trips",
                     "backend exceptions caught at the boundary"),
       degradations(this, "degradations",
@@ -180,7 +182,7 @@ HealthMonitor::rebase(
 }
 
 void
-HealthMonitor::noteTrip(ErrorKind kind)
+HealthMonitor::noteTrip(ErrorKind kind, const std::string &detail)
 {
     switch (kind) {
       case ErrorKind::Conservation:
@@ -197,6 +199,12 @@ HealthMonitor::noteTrip(ErrorKind kind)
         break;
       case ErrorKind::Transport:
         ++transportTrips;
+        // The server's frame-quota refusals travel as Transport
+        // errors with a wire-contract message prefix; count them
+        // separately so an operator can tell a flaky link from a
+        // client that overruns the daemon's quotas.
+        if (detail.find("backpressure:") != std::string::npos)
+            ++backpressureTrips;
         break;
       default:
         ++internalTrips;

@@ -141,8 +141,12 @@ class HealthMonitor : public SimObject
      */
     void rebase(const std::optional<noc::NetworkModel::Accounting> &acc);
 
-    /** Count a trip detected outside checkBoundary (backend threw). */
-    void noteTrip(ErrorKind kind);
+    /** Count a trip detected outside checkBoundary (backend threw).
+     *  @p detail distinguishes sub-causes: a Transport trip whose
+     *  message carries the server's "backpressure:" marker (a frame
+     *  quota refused the batch) also counts as a backpressure trip. */
+    void noteTrip(ErrorKind kind,
+                  const std::string &detail = std::string());
 
     /** Checkpoint watchdog/conservation tracking (stats are archived
      *  with the global stats tree). */
@@ -167,6 +171,7 @@ class HealthMonitor : public SimObject
     stats::Scalar divergenceTrips;
     stats::Scalar timeoutTrips;
     stats::Scalar transportTrips;
+    stats::Scalar backpressureTrips;
     stats::Scalar internalTrips;
     stats::Scalar degradations;
     stats::Scalar recoveries;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/logging.hh"
 #include "sim/sim_error.hh"
 
 namespace rasim
@@ -29,6 +30,8 @@ toString(MsgType type)
         return "CkptLoad";
       case MsgType::Bye:
         return "Bye";
+      case MsgType::Step:
+        return "Step";
       case MsgType::HelloAck:
         return "HelloAck";
       case MsgType::DeliveryBatch:
@@ -41,10 +44,51 @@ toString(MsgType type)
         return "CkptData";
       case MsgType::CkptLoadAck:
         return "CkptLoadAck";
+      case MsgType::StepReply:
+        return "StepReply";
       case MsgType::ErrorReply:
         return "ErrorReply";
     }
     return "unknown";
+}
+
+bool
+knownMsgType(std::uint32_t raw)
+{
+    switch (static_cast<MsgType>(raw)) {
+      case MsgType::Hello:
+      case MsgType::InjectBatch:
+      case MsgType::Advance:
+      case MsgType::TableGet:
+      case MsgType::StatsGet:
+      case MsgType::CkptSave:
+      case MsgType::CkptLoad:
+      case MsgType::Bye:
+      case MsgType::Step:
+      case MsgType::HelloAck:
+      case MsgType::DeliveryBatch:
+      case MsgType::TableData:
+      case MsgType::StatsData:
+      case MsgType::CkptData:
+      case MsgType::CkptLoadAck:
+      case MsgType::StepReply:
+      case MsgType::ErrorReply:
+        return true;
+    }
+    return false;
+}
+
+void
+Message::done()
+{
+    try {
+        logging::ThrowOnError guard;
+        ar.endSection();
+    } catch (const SimError &err) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("malformed message payload: ") +
+                           err.what());
+    }
 }
 
 ArchiveWriter
@@ -56,17 +100,32 @@ beginMessage(MsgType type)
     return aw;
 }
 
-void
-sendMessage(const Fd &fd, ArchiveWriter &&aw)
+std::string
+sealFrame(ArchiveWriter &&aw)
 {
     aw.endSection();
     std::string payload = aw.finish();
-    char header[12];
-    std::memcpy(header, frame_magic, sizeof(frame_magic));
+    std::string frame;
+    frame.reserve(12 + payload.size());
+    frame.append(frame_magic, sizeof(frame_magic));
     std::uint64_t len = payload.size();
-    std::memcpy(header + sizeof(frame_magic), &len, sizeof(len));
-    sendAll(fd, header, sizeof(header));
-    sendAll(fd, payload.data(), payload.size());
+    frame.append(reinterpret_cast<const char *>(&len), sizeof(len));
+    frame.append(payload);
+    return frame;
+}
+
+void
+sendFrameBytes(const Fd &fd, const std::string &frame)
+{
+    sendAll(fd, frame.data(), frame.size());
+}
+
+void
+sendMessage(const Fd &fd, ArchiveWriter &&aw)
+{
+    // One contiguous buffer, one send: half the syscalls of the
+    // header-then-payload scheme, and no torn-header window.
+    sendFrameBytes(fd, sealFrame(std::move(aw)));
 }
 
 std::optional<Message>
@@ -115,8 +174,27 @@ recvMessage(const Fd &fd, double timeout_ms,
                        "corrupt message payload: " + ar.error());
     }
     Message msg(std::move(ar));
-    msg.ar.expectSection("msg");
-    msg.type = static_cast<MsgType>(msg.ar.getU32());
+    // A CRC-valid archive can still fail to be a message (wrong
+    // section tag, truncated type field). Those reader panics are
+    // programming errors for trusted archives, but off the wire they
+    // are just more corruption — demote them to typed errors.
+    std::uint32_t raw_type = 0;
+    try {
+        logging::ThrowOnError guard;
+        msg.ar.expectSection("msg");
+        raw_type = msg.ar.getU32();
+    } catch (const SimError &err) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("malformed message payload: ") +
+                           err.what());
+    }
+    if (!knownMsgType(raw_type)) {
+        throw SimError(ErrorKind::Transport,
+                       "unknown message type " +
+                           std::to_string(raw_type) +
+                           " (peer speaks a newer protocol?)");
+    }
+    msg.type = static_cast<MsgType>(raw_type);
     return msg;
 }
 

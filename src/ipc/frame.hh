@@ -19,6 +19,8 @@
  *   oversized    declared length above max_frame_bytes
  *   version      archive format version mismatch
  *   CRC          archive CRC32 mismatch (bit rot / truncation)
+ *   malformed    CRC-valid payload whose structure is not a message
+ *   unknown type CRC-valid message of a type this build cannot speak
  */
 
 #ifndef RASIM_IPC_FRAME_HH
@@ -57,6 +59,7 @@ enum class MsgType : std::uint32_t
     CkptSave = 6,    ///< take a paired server-side checkpoint
     CkptLoad = 7,    ///< push a checkpoint image into the session
     Bye = 8,         ///< close the session cleanly
+    Step = 9,        ///< coalesced inject batch + advance (pipelined)
 
     // server -> client
     HelloAck = 101,
@@ -65,11 +68,15 @@ enum class MsgType : std::uint32_t
     StatsData = 105,
     CkptData = 106,
     CkptLoadAck = 107,
+    StepReply = 108, ///< DeliveryBatch payload + speculation flags
     ErrorReply = 199, ///< request failed server-side: kind + message
 };
 
 /** Render a message type for diagnostics. */
 const char *toString(MsgType type);
+
+/** True when @p raw is a message type this build understands. */
+bool knownMsgType(std::uint32_t raw);
 
 /**
  * Start a message: an ArchiveWriter with the "msg" section opened and
@@ -79,8 +86,21 @@ const char *toString(MsgType type);
  */
 ArchiveWriter beginMessage(MsgType type);
 
-/** Seal @p aw (from beginMessage) and send it as one frame. */
+/** Seal @p aw (from beginMessage) and send it as one frame. The
+ *  header and payload go out in a single send, so a frame costs one
+ *  syscall on the happy path. */
 void sendMessage(const Fd &fd, ArchiveWriter &&aw);
+
+/**
+ * Seal @p aw (from beginMessage) into complete wire bytes — frame
+ * header plus payload — without sending. Lets the server pre-encode a
+ * speculative reply once and transmit it later with sendFrameBytes()
+ * at the cost of a single write.
+ */
+std::string sealFrame(ArchiveWriter &&aw);
+
+/** Transmit bytes produced by sealFrame(). */
+void sendFrameBytes(const Fd &fd, const std::string &frame);
 
 /**
  * A received message: the reader is positioned after the type field,
@@ -94,8 +114,10 @@ struct Message
 
     explicit Message(ArchiveReader reader) : ar(std::move(reader)) {}
 
-    /** Close the "msg" section (asserts full consumption). */
-    void done() { ar.endSection(); }
+    /** Close the "msg" section. Incomplete consumption means the
+     *  payload carried bytes this build does not understand — a typed
+     *  SimError{Transport}, not a panic, since it came off the wire. */
+    void done();
 };
 
 /**

@@ -1,12 +1,22 @@
 /**
  * @file
- * rasim-nocd: the out-of-process NoC backend server. Hosts one
- * cycle-level network per session behind a Unix-domain or TCP socket;
- * a RemoteNetwork client (network.backend=remote) drives it with the
- * quantum-RPC protocol.
+ * rasim-nocd: the out-of-process NoC backend daemon. Hosts one
+ * cycle-level network per session behind a Unix-domain or TCP socket,
+ * serving many concurrent sessions on their own threads; RemoteNetwork
+ * clients (network.backend=remote) drive it with the quantum-RPC
+ * protocol.
  *
- * Usage: rasim-nocd [address] [--once] [--max-sessions N]
- *                   [--io-timeout-ms MS]
+ * Usage: rasim-nocd [address] [--once] [--serve-limit N]
+ *                   [--max-sessions N] [--max-active N]
+ *                   [--quota-frames N] [--max-batch-packets N]
+ *                   [--no-speculate] [--io-timeout-ms MS]
+ *
+ *   --once / --serve-limit   exit after serving N sessions (tooling)
+ *   --max-sessions           concurrent-session admission cap
+ *   --max-active             sessions computing at once (0 = auto)
+ *   --quota-frames           consecutive grants before a forced yield
+ *   --max-batch-packets      per-batch quota (refused as backpressure)
+ *   --no-speculate           disable server-side speculation
  *
  * The default address is unix:/tmp/rasim-nocd.sock. The server prints
  * "rasim-nocd listening on <address>" once it is connectable, so
@@ -38,8 +48,10 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [address] [--once] [--max-sessions N] "
-                 "[--io-timeout-ms MS]\n"
+                 "usage: %s [address] [--once] [--serve-limit N] "
+                 "[--max-sessions N] [--max-active N] "
+                 "[--quota-frames N] [--max-batch-packets N] "
+                 "[--no-speculate] [--io-timeout-ms MS]\n"
                  "  address   unix:/path, tcp:host:port, or a bare "
                  "path (default unix:/tmp/rasim-nocd.sock)\n",
                  argv0);
@@ -55,11 +67,28 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--once") == 0) {
-            opts.max_sessions = 1;
+            opts.serve_limit = 1;
+        } else if (std::strcmp(arg, "--serve-limit") == 0 &&
+                   i + 1 < argc) {
+            opts.serve_limit =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (std::strcmp(arg, "--max-sessions") == 0 &&
                    i + 1 < argc) {
             opts.max_sessions =
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--max-active") == 0 &&
+                   i + 1 < argc) {
+            opts.max_active = std::atoi(argv[++i]);
+        } else if (std::strcmp(arg, "--quota-frames") == 0 &&
+                   i + 1 < argc) {
+            opts.quota_frames =
+                static_cast<std::uint32_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--max-batch-packets") == 0 &&
+                   i + 1 < argc) {
+            opts.max_batch_packets =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--no-speculate") == 0) {
+            opts.speculate = false;
         } else if (std::strcmp(arg, "--io-timeout-ms") == 0 &&
                    i + 1 < argc) {
             opts.io_timeout_ms = std::atof(argv[++i]);

@@ -1,11 +1,14 @@
 #include "ipc/nocd_server.hh"
 
+#include <chrono>
+#include <utility>
 #include <vector>
 
 #include "abstractnet/latency_table.hh"
 #include "ipc/protocol.hh"
 #include "noc/cycle_network.hh"
 #include "noc/deflection_network.hh"
+#include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/parallel_engine.hh"
 #include "sim/simulation.hh"
@@ -18,9 +21,10 @@ namespace ipc
 {
 
 /**
- * One hosted network and everything that shadows it. Torn down and
- * rebuilt per session, so a new client always starts from a fresh,
- * deterministic world.
+ * One hosted network and everything that shadows it, including the
+ * session's speculation state. Sessions share nothing mutable with
+ * each other, which is what keeps every concurrent session
+ * bit-identical to a solo run against a dedicated server.
  */
 struct NocServer::Session
 {
@@ -129,6 +133,34 @@ struct NocServer::Session
         deliveries.clear();
     }
 
+    /** Package the state a quantum reply mirrors to the client,
+     *  consuming the deliveries gathered since the last reply. */
+    AdvanceReply
+    takeReply()
+    {
+        AdvanceReply rep;
+        rep.cur_time = net->curTime();
+        rep.idle = net->idle();
+        if (auto acct = net->accounting()) {
+            rep.injected = acct->injected;
+            rep.delivered = acct->delivered;
+            rep.in_flight = acct->in_flight;
+        }
+        rep.deliveries = std::move(deliveries);
+        deliveries.clear();
+        return rep;
+    }
+
+    /** Record the stride of the client's quantum clock; the predictor
+     *  assumes the next Step lands one stride further on. */
+    void
+    noteStep(const StepRequest &req)
+    {
+        if (req.target > last_target)
+            last_delta = req.target - last_target;
+        last_target = req.target;
+    }
+
     HelloRequest hello;
     std::unique_ptr<Simulation> sim;
     std::unique_ptr<ParallelEngine> engine;
@@ -137,6 +169,53 @@ struct NocServer::Session
     noc::NetworkModel *net = nullptr;
     std::unique_ptr<abstractnet::LatencyTable> table;
     std::vector<noc::PacketPtr> deliveries;
+
+    /// @name Speculation state (see maybeSpeculate / rebase)
+    /// @{
+    bool spec_armed = false;    ///< predictor wants the next gap
+    bool spec_valid = false;    ///< state is speculatively advanced
+    Tick spec_predicted = 0;    ///< tick the speculation ran to
+    std::string spec_snapshot;  ///< committed state (rebase target)
+    std::string spec_frame;     ///< pre-sealed StepReply for a hit
+    Tick last_target = 0;       ///< last Step's advance target
+    Tick last_delta = 0;        ///< last observed quantum stride
+    /// @}
+};
+
+/** One session thread. The Fd lives here so its lifetime matches the
+ *  thread that reads from it. */
+struct NocServer::Worker
+{
+    Fd conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+};
+
+/** RAII compute grant: waits for a FairScheduler slot on entry,
+ *  releases it on exit, and feeds the wait/yield counters. */
+class NocServer::Turn
+{
+  public:
+    Turn(NocServer &srv, std::uint64_t id) : srv_(srv)
+    {
+        bool quota_yield = false;
+        srv_.sched_.acquire(id, srv_.stop_, waited_, quota_yield);
+        if (waited_)
+            srv_.sched_waits_.fetch_add(1, std::memory_order_relaxed);
+        if (quota_yield)
+            srv_.quota_yields_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~Turn() { srv_.sched_.release(); }
+
+    Turn(const Turn &) = delete;
+    Turn &operator=(const Turn &) = delete;
+
+    /** True when the grant had to queue behind other sessions. */
+    bool waited() const { return waited_; }
+
+  private:
+    NocServer &srv_;
+    bool waited_ = false;
 };
 
 namespace
@@ -162,12 +241,151 @@ sendError(const Fd &conn, const SimError &err)
 
 } // namespace
 
+NocServerOptions
+NocServerOptions::fromConfig(const Config &cfg)
+{
+    NocServerOptions o;
+    o.address = cfg.getString("server.address", o.address);
+    o.max_sessions = cfg.getUInt("server.max_sessions", o.max_sessions);
+    o.serve_limit = cfg.getUInt("server.serve_limit", o.serve_limit);
+    o.io_timeout_ms =
+        cfg.getDouble("server.io_timeout_ms", o.io_timeout_ms);
+    o.max_active = static_cast<int>(cfg.getUInt(
+        "server.max_active", static_cast<std::uint64_t>(o.max_active)));
+    o.quota_frames = static_cast<std::uint32_t>(
+        cfg.getUInt("server.quota_frames", o.quota_frames));
+    o.max_batch_packets =
+        cfg.getUInt("server.max_batch_packets", o.max_batch_packets);
+    o.speculate = cfg.getBool("server.speculate", o.speculate);
+    return o;
+}
+
+void
+NocServer::FairScheduler::configure(int max_active,
+                                    std::uint32_t quota_frames)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    max_active_ = max_active > 0 ? max_active : 1;
+    // quota 0 = unlimited consecutive grants (never force a yield).
+    quota_ = quota_frames > 0 ? quota_frames : ~std::uint32_t(0);
+}
+
+void
+NocServer::FairScheduler::acquire(std::uint64_t id,
+                                  const std::atomic<bool> &stop,
+                                  bool &waited, bool &quota_yield)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    auto grant = [&] {
+        ++active_;
+        if (last_id_ == id) {
+            ++consecutive_;
+        } else {
+            last_id_ = id;
+            consecutive_ = 1;
+        }
+    };
+    // A session continuing its streak may barge ahead of the queue
+    // (its state is hot) until it exhausts quota_ consecutive grants;
+    // after that it takes its place at the back — block round-robin
+    // with block size quota_frames.
+    bool streak = last_id_ == id && consecutive_ < quota_;
+    if (active_ < max_active_ && (queue_.empty() || streak)) {
+        grant();
+        return;
+    }
+    waited = true;
+    quota_yield =
+        !queue_.empty() && last_id_ == id && consecutive_ >= quota_;
+    queue_.push_back(id);
+    // Timed slices instead of a pure notify wake: stop() is a plain
+    // atomic store (it must stay async-signal-safe), so shutdown is
+    // noticed by polling, not by notification.
+    while (!stop.load(std::memory_order_relaxed) &&
+           !(queue_.front() == id && active_ < max_active_)) {
+        cv_.wait_for(lk, std::chrono::milliseconds(20));
+    }
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == id) {
+            queue_.erase(it);
+            break;
+        }
+    }
+    // On shutdown this over-grants past max_active_ — harmless, every
+    // session is winding down anyway.
+    grant();
+}
+
+void
+NocServer::FairScheduler::release()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    --active_;
+    cv_.notify_all();
+}
+
 NocServer::NocServer(NocServerOptions opts) : opts_(std::move(opts))
 {
     listener_ = listenOn(opts_.address);
+    int max_active = opts_.max_active;
+    if (max_active <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        max_active = hw > 1 ? static_cast<int>(hw - 1) : 1;
+    }
+    sched_.configure(max_active, opts_.quota_frames);
 }
 
-NocServer::~NocServer() = default;
+NocServer::~NocServer()
+{
+    stop();
+    reapWorkers(true);
+    listener_.reset();
+    // A clean shutdown leaves no stale socket file behind.
+    unlinkAddress(opts_.address);
+}
+
+void
+NocServer::stop()
+{
+    // Only the store: stop() is called from signal handlers, so it
+    // must stay async-signal-safe (no locks, no notifies). Waiters
+    // poll the flag in timed slices.
+    stop_.store(true, std::memory_order_relaxed);
+}
+
+NocServerCounters
+NocServer::counters() const
+{
+    NocServerCounters c;
+    c.sessions_served = sessions_served_.load(std::memory_order_relaxed);
+    c.sessions_active = sessions_active_.load(std::memory_order_relaxed);
+    c.sessions_peak = sessions_peak_.load(std::memory_order_relaxed);
+    c.sessions_rejected =
+        sessions_rejected_.load(std::memory_order_relaxed);
+    c.frames = frames_.load(std::memory_order_relaxed);
+    c.spec_hits = spec_hits_.load(std::memory_order_relaxed);
+    c.spec_rebases = spec_rebases_.load(std::memory_order_relaxed);
+    c.sched_waits = sched_waits_.load(std::memory_order_relaxed);
+    c.quota_yields = quota_yields_.load(std::memory_order_relaxed);
+    c.quota_trips = quota_trips_.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+NocServer::reapWorkers(bool all)
+{
+    std::lock_guard<std::mutex> lk(workers_mu_);
+    for (auto it = workers_.begin(); it != workers_.end();) {
+        Worker &w = **it;
+        if (all || w.done.load(std::memory_order_acquire)) {
+            if (w.thread.joinable())
+                w.thread.join();
+            it = workers_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
 
 void
 NocServer::run()
@@ -176,35 +394,146 @@ NocServer::run()
         Fd conn = acceptOn(listener_, 0.0, &stop_);
         if (!conn.valid())
             continue; // stop requested (or spurious wakeup)
-        ++sessions_;
-        try {
-            serveConnection(conn);
-        } catch (const SimError &err) {
-            // A sick or vanished client must not take the server
-            // down; drop the session and serve the next one.
-            warn("nocd session ended abnormally: ", err.what());
+        reapWorkers(false);
+
+        std::uint64_t active =
+            sessions_active_.load(std::memory_order_relaxed);
+        if (opts_.max_sessions > 0 && active >= opts_.max_sessions) {
+            sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+            try {
+                sendError(conn,
+                          SimError(ErrorKind::Transport,
+                                   "server at capacity (" +
+                                       std::to_string(active) + " of " +
+                                       std::to_string(
+                                           opts_.max_sessions) +
+                                       " sessions active); retry later"));
+            } catch (const SimError &) {
+                // The refused client vanished first; nothing to tell.
+            }
+            continue;
         }
-        if (opts_.max_sessions > 0 && sessions_ >= opts_.max_sessions)
-            break;
+
+        std::uint64_t id =
+            sessions_served_.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::uint64_t now_active =
+            sessions_active_.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::uint64_t peak =
+            sessions_peak_.load(std::memory_order_relaxed);
+        while (peak < now_active &&
+               !sessions_peak_.compare_exchange_weak(
+                   peak, now_active, std::memory_order_relaxed)) {
+        }
+
+        auto owned = std::make_unique<Worker>();
+        Worker *w = owned.get();
+        w->conn = std::move(conn);
+        {
+            std::lock_guard<std::mutex> lk(workers_mu_);
+            workers_.push_back(std::move(owned));
+        }
+        w->thread = std::thread([this, w, id] {
+            try {
+                serveConnection(w->conn, id);
+            } catch (const SimError &err) {
+                // A sick or vanished client must not take the server
+                // down; drop the session and keep serving the rest.
+                if (!stop_.load(std::memory_order_relaxed)) {
+                    warn("nocd session ", id,
+                         " ended abnormally: ", err.what());
+                }
+            }
+            sessions_active_.fetch_sub(1, std::memory_order_relaxed);
+            w->done.store(true, std::memory_order_release);
+        });
+
+        if (opts_.serve_limit > 0 && id >= opts_.serve_limit)
+            break; // --once and friends: drain, then return
+    }
+    reapWorkers(true);
+}
+
+void
+NocServer::serveConnection(const Fd &conn, std::uint64_t id)
+{
+    std::unique_ptr<Session> session;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        // The gap while the client simulates its own quantum is free
+        // compute: run the predicted next quantum now, so a matching
+        // Step is answered with a pre-sealed reply.
+        if (session)
+            maybeSpeculate(conn, *session, id);
+        auto msg = recvMessage(conn, opts_.io_timeout_ms, &stop_);
+        if (!msg)
+            return; // clean EOF: the client is gone
+        frames_.fetch_add(1, std::memory_order_relaxed);
+        if (!dispatch(conn, *msg, session, id))
+            return;
     }
 }
 
 void
-NocServer::serveConnection(const Fd &conn)
+NocServer::rebase(Session &session)
 {
-    std::unique_ptr<Session> session;
-    while (!stop_.load(std::memory_order_relaxed)) {
-        auto msg = recvMessage(conn, opts_.io_timeout_ms, &stop_);
-        if (!msg)
-            return; // clean EOF: the client is gone
-        if (!dispatch(conn, *msg, session))
-            return;
+    spec_rebases_.fetch_add(1, std::memory_order_relaxed);
+    ArchiveReader ar(std::move(session.spec_snapshot));
+    if (!ar.ok()) {
+        throw SimError(ErrorKind::Internal,
+                       "speculation snapshot unreadable: " + ar.error());
+    }
+    session.restore(ar);
+    session.spec_snapshot.clear();
+    session.spec_frame.clear();
+    session.spec_valid = false;
+}
+
+void
+NocServer::maybeSpeculate(const Fd &conn, Session &session,
+                          std::uint64_t id)
+{
+    if (!session.spec_armed || session.spec_valid)
+        return;
+    session.spec_armed = false;
+    // If the next request already arrived, real work beats
+    // speculative work.
+    if (readable(conn))
+        return;
+
+    Tick predicted = session.last_target + session.last_delta;
+    ArchiveWriter snap;
+    session.save(snap);
+    std::string snapshot = snap.finish();
+    try {
+        bool waited = false;
+        {
+            Turn turn(*this, id);
+            session.deliveries.clear();
+            session.net->advanceTo(predicted);
+            waited = turn.waited();
+        }
+        AdvanceReply rep = session.takeReply();
+        std::uint8_t flags = step_flag_spec_hit;
+        if (waited)
+            flags |= step_flag_throttled;
+        ArchiveWriter aw = beginMessage(MsgType::StepReply);
+        encodeStepReply(aw, rep, flags);
+        session.spec_frame = sealFrame(std::move(aw));
+        session.spec_snapshot = std::move(snapshot);
+        session.spec_predicted = predicted;
+        session.spec_valid = true;
+    } catch (const SimError &) {
+        // Speculation must never hurt the session: roll back and let
+        // the real request reproduce (and report) any simulation
+        // error on the committed path.
+        ArchiveReader ar(std::move(snapshot));
+        session.restore(ar);
+        session.spec_valid = false;
     }
 }
 
 bool
 NocServer::dispatch(const Fd &conn, Message &msg,
-                    std::unique_ptr<Session> &session)
+                    std::unique_ptr<Session> &session, std::uint64_t id)
 {
     // Every failure below is reported to the client as a typed
     // ErrorReply; only transport trouble while replying propagates.
@@ -215,11 +544,35 @@ NocServer::dispatch(const Fd &conn, Message &msg,
                            std::string("request ") + toString(msg.type) +
                                " before Hello");
         }
+        // Any non-Step request consumes the committed state: undo a
+        // live speculation before serving it. (A Step resolves its
+        // own hit-or-rebase below; Bye tears the state down anyway.)
+        if (session && session->spec_valid &&
+            msg.type != MsgType::Step && msg.type != MsgType::Bye) {
+            rebase(*session);
+        }
+        auto checkQuota = [&](std::size_t n) {
+            if (opts_.max_batch_packets > 0 &&
+                n > opts_.max_batch_packets) {
+                quota_trips_.fetch_add(1, std::memory_order_relaxed);
+                throw SimError(
+                    ErrorKind::Transport,
+                    "backpressure: inject batch of " +
+                        std::to_string(n) +
+                        " packets exceeds server quota of " +
+                        std::to_string(opts_.max_batch_packets));
+            }
+        };
         switch (msg.type) {
           case MsgType::Hello: {
             HelloRequest req = decodeHello(msg.ar);
             msg.done();
-            session = std::make_unique<Session>(req);
+            {
+                // Construction can fast-forward a reconnecting
+                // session arbitrarily far: that is compute.
+                Turn turn(*this, id);
+                session = std::make_unique<Session>(req);
+            }
             HelloReply rep;
             rep.num_nodes = session->net->numNodes();
             rep.cur_time = session->net->curTime();
@@ -233,6 +586,7 @@ NocServer::dispatch(const Fd &conn, Message &msg,
             // An injection failure surfaces on the next Advance reply.
             auto pkts = decodePackets(msg.ar);
             msg.done();
+            checkQuota(pkts.size());
             for (const auto &pkt : pkts)
                 session->net->inject(pkt);
             return true;
@@ -240,21 +594,64 @@ NocServer::dispatch(const Fd &conn, Message &msg,
           case MsgType::Advance: {
             Tick target = decodeAdvance(msg.ar);
             msg.done();
-            session->deliveries.clear();
-            session->net->advanceTo(target);
-            AdvanceReply rep;
-            rep.cur_time = session->net->curTime();
-            rep.idle = session->net->idle();
-            if (auto acct = session->net->accounting()) {
-                rep.injected = acct->injected;
-                rep.delivered = acct->delivered;
-                rep.in_flight = acct->in_flight;
+            {
+                Turn turn(*this, id);
+                session->deliveries.clear();
+                session->net->advanceTo(target);
             }
-            rep.deliveries = std::move(session->deliveries);
-            session->deliveries.clear();
+            AdvanceReply rep = session->takeReply();
             ArchiveWriter aw = beginMessage(MsgType::DeliveryBatch);
             encodeAdvanceReply(aw, rep);
             sendMessage(conn, std::move(aw));
+            return true;
+          }
+          case MsgType::Step: {
+            StepRequest req = decodeStep(msg.ar);
+            msg.done();
+            std::uint8_t flags = 0;
+            if (session->spec_valid) {
+                if (req.packets.empty() &&
+                    req.target == session->spec_predicted) {
+                    // Spec hit: the state already sits at the target
+                    // and the reply was sealed during the gap.
+                    spec_hits_.fetch_add(1, std::memory_order_relaxed);
+                    sendFrameBytes(conn, session->spec_frame);
+                    session->spec_frame.clear();
+                    session->spec_snapshot.clear();
+                    session->spec_valid = false;
+                    session->noteStep(req);
+                    session->spec_armed = opts_.speculate &&
+                                          req.speculate &&
+                                          !session->net->idle();
+                    return true;
+                }
+                rebase(*session);
+                flags |= step_flag_rebased;
+            }
+            checkQuota(req.packets.size());
+            bool waited = false;
+            {
+                Turn turn(*this, id);
+                session->deliveries.clear();
+                for (const auto &pkt : req.packets)
+                    session->net->inject(pkt);
+                session->net->advanceTo(req.target);
+                waited = turn.waited();
+            }
+            if (waited)
+                flags |= step_flag_throttled;
+            AdvanceReply rep = session->takeReply();
+            ArchiveWriter aw = beginMessage(MsgType::StepReply);
+            encodeStepReply(aw, rep, flags);
+            sendMessage(conn, std::move(aw));
+            session->noteStep(req);
+            // Arm the predictor only for a drain-shaped quantum: no
+            // injections arrived and traffic is still in flight, so
+            // the next Step is very likely "same stride, empty batch".
+            session->spec_armed = opts_.speculate && req.speculate &&
+                                  req.packets.empty() &&
+                                  session->last_delta > 0 &&
+                                  !session->net->idle();
             return true;
           }
           case MsgType::TableGet: {
@@ -276,14 +673,17 @@ NocServer::dispatch(const Fd &conn, Message &msg,
           case MsgType::CkptSave: {
             msg.done();
             ArchiveWriter image;
-            session->save(image);
+            {
+                Turn turn(*this, id);
+                session->save(image);
+            }
             ArchiveWriter aw = beginMessage(MsgType::CkptData);
             aw.putString(image.finish());
             sendMessage(conn, std::move(aw));
             return true;
           }
           case MsgType::CkptLoad: {
-            std::string bytes = msg.ar.getString();
+            std::string bytes = decodeBlob(msg.ar);
             msg.done();
             ArchiveReader image(std::move(bytes));
             if (!image.ok()) {
@@ -291,7 +691,23 @@ NocServer::dispatch(const Fd &conn, Message &msg,
                                "corrupt checkpoint image: " +
                                    image.error());
             }
-            session->restore(image);
+            {
+                Turn turn(*this, id);
+                try {
+                    // A CRC-valid image whose structure is not a
+                    // session checkpoint must be a typed refusal, not
+                    // an archive-misuse panic: it came off the wire.
+                    logging::ThrowOnError guard;
+                    session->restore(image);
+                } catch (const SimError &err) {
+                    if (err.kind() == ErrorKind::Config)
+                        throw;
+                    throw SimError(ErrorKind::Transport,
+                                   std::string(
+                                       "corrupt checkpoint image: ") +
+                                       err.what());
+                }
+            }
             ArchiveWriter aw = beginMessage(MsgType::CkptLoadAck);
             aw.putU64(session->net->curTime());
             sendMessage(conn, std::move(aw));

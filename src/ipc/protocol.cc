@@ -1,9 +1,81 @@
 #include "ipc/protocol.hh"
 
+#include "sim/logging.hh"
+
 namespace rasim
 {
 namespace ipc
 {
+
+namespace
+{
+
+/**
+ * Run a decoder body with archive misuse demoted to typed transport
+ * errors: a CRC-valid payload whose structure disagrees with the
+ * schema (short fields, wrong tags) panics in the reader, which is
+ * right for trusted checkpoints but wrong for wire input. Transport
+ * and Timeout errors pass through untouched.
+ */
+template <typename Fn>
+auto
+guardedDecode(const char *what, Fn &&fn) -> decltype(fn())
+{
+    try {
+        logging::ThrowOnError guard;
+        return fn();
+    } catch (const SimError &err) {
+        if (err.kind() == ErrorKind::Transport ||
+            err.kind() == ErrorKind::Timeout)
+            throw;
+        throw SimError(ErrorKind::Transport,
+                       std::string("malformed ") + what +
+                           " payload: " + err.what());
+    }
+}
+
+/** Reject an element count no legal frame could carry before
+ *  reserving memory for it: a forged count must be a typed error,
+ *  not a multi-gigabyte allocation. */
+void
+checkCount(std::uint64_t count, std::uint64_t min_bytes_each,
+           const char *what)
+{
+    if (count > max_frame_bytes / min_bytes_each) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("implausible ") + what +
+                           " count " + std::to_string(count) +
+                           " (larger than any legal frame)");
+    }
+}
+
+std::vector<noc::PacketPtr>
+decodePacketsRaw(ArchiveReader &ar)
+{
+    std::uint64_t count = ar.getU64();
+    // A serialized packet is ~57 bytes; 32 is a safe lower bound.
+    checkCount(count, 32, "packet");
+    std::vector<noc::PacketPtr> pkts;
+    pkts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        pkts.push_back(noc::restorePacket(ar));
+    return pkts;
+}
+
+AdvanceReply
+decodeAdvanceReplyRaw(ArchiveReader &ar)
+{
+    AdvanceReply rep;
+    rep.cur_time = ar.getU64();
+    rep.idle = ar.getBool();
+    rep.injected = ar.getU64();
+    rep.delivered = ar.getU64();
+    rep.in_flight = ar.getU64();
+    rep.deliveries = decodePacketsRaw(ar);
+    return rep;
+}
+
+} // namespace
 
 void
 encodeHello(ArchiveWriter &aw, const HelloRequest &req)
@@ -30,25 +102,27 @@ encodeHello(ArchiveWriter &aw, const HelloRequest &req)
 HelloRequest
 decodeHello(ArchiveReader &ar)
 {
-    HelloRequest req;
-    req.proto = ar.getU32();
-    req.model = ar.getString();
-    req.params.columns = static_cast<int>(ar.getU32());
-    req.params.rows = static_cast<int>(ar.getU32());
-    req.params.topology = ar.getString();
-    req.params.routing = ar.getString();
-    req.params.vcs_per_vnet = static_cast<int>(ar.getU32());
-    req.params.vc_classes = static_cast<int>(ar.getU32());
-    req.params.buffer_depth = static_cast<int>(ar.getU32());
-    req.params.link_latency = static_cast<int>(ar.getU32());
-    req.params.pipeline_stages = static_cast<int>(ar.getU32());
-    req.params.flit_bytes = ar.getU32();
-    req.engine_workers = static_cast<int>(ar.getU32());
-    req.start_tick = ar.getU64();
-    req.table_alpha = ar.getDouble();
-    req.table_pair_granularity = ar.getBool();
-    req.table_max_hops = static_cast<int>(ar.getU32());
-    return req;
+    return guardedDecode("Hello", [&] {
+        HelloRequest req;
+        req.proto = ar.getU32();
+        req.model = ar.getString();
+        req.params.columns = static_cast<int>(ar.getU32());
+        req.params.rows = static_cast<int>(ar.getU32());
+        req.params.topology = ar.getString();
+        req.params.routing = ar.getString();
+        req.params.vcs_per_vnet = static_cast<int>(ar.getU32());
+        req.params.vc_classes = static_cast<int>(ar.getU32());
+        req.params.buffer_depth = static_cast<int>(ar.getU32());
+        req.params.link_latency = static_cast<int>(ar.getU32());
+        req.params.pipeline_stages = static_cast<int>(ar.getU32());
+        req.params.flit_bytes = ar.getU32();
+        req.engine_workers = static_cast<int>(ar.getU32());
+        req.start_tick = ar.getU64();
+        req.table_alpha = ar.getDouble();
+        req.table_pair_granularity = ar.getBool();
+        req.table_max_hops = static_cast<int>(ar.getU32());
+        return req;
+    });
 }
 
 void
@@ -61,10 +135,12 @@ encodeHelloReply(ArchiveWriter &aw, const HelloReply &rep)
 HelloReply
 decodeHelloReply(ArchiveReader &ar)
 {
-    HelloReply rep;
-    rep.num_nodes = ar.getU64();
-    rep.cur_time = ar.getU64();
-    return rep;
+    return guardedDecode("HelloAck", [&] {
+        HelloReply rep;
+        rep.num_nodes = ar.getU64();
+        rep.cur_time = ar.getU64();
+        return rep;
+    });
 }
 
 void
@@ -78,12 +154,8 @@ encodePackets(ArchiveWriter &aw, const std::vector<noc::PacketPtr> &pkts)
 std::vector<noc::PacketPtr>
 decodePackets(ArchiveReader &ar)
 {
-    std::uint64_t count = ar.getU64();
-    std::vector<noc::PacketPtr> pkts;
-    pkts.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i)
-        pkts.push_back(noc::restorePacket(ar));
-    return pkts;
+    return guardedDecode("packet batch",
+                         [&] { return decodePacketsRaw(ar); });
 }
 
 void
@@ -95,7 +167,7 @@ encodeAdvance(ArchiveWriter &aw, Tick target)
 Tick
 decodeAdvance(ArchiveReader &ar)
 {
-    return ar.getU64();
+    return guardedDecode("Advance", [&] { return ar.getU64(); });
 }
 
 void
@@ -112,14 +184,45 @@ encodeAdvanceReply(ArchiveWriter &aw, const AdvanceReply &rep)
 AdvanceReply
 decodeAdvanceReply(ArchiveReader &ar)
 {
-    AdvanceReply rep;
-    rep.cur_time = ar.getU64();
-    rep.idle = ar.getBool();
-    rep.injected = ar.getU64();
-    rep.delivered = ar.getU64();
-    rep.in_flight = ar.getU64();
-    rep.deliveries = decodePackets(ar);
-    return rep;
+    return guardedDecode("DeliveryBatch",
+                         [&] { return decodeAdvanceReplyRaw(ar); });
+}
+
+void
+encodeStep(ArchiveWriter &aw, const StepRequest &req)
+{
+    aw.putU64(req.target);
+    aw.putBool(req.speculate);
+    encodePackets(aw, req.packets);
+}
+
+StepRequest
+decodeStep(ArchiveReader &ar)
+{
+    return guardedDecode("Step", [&] {
+        StepRequest req;
+        req.target = ar.getU64();
+        req.speculate = ar.getBool();
+        req.packets = decodePacketsRaw(ar);
+        return req;
+    });
+}
+
+void
+encodeStepReply(ArchiveWriter &aw, const AdvanceReply &rep,
+                std::uint8_t flags)
+{
+    aw.putU8(flags);
+    encodeAdvanceReply(aw, rep);
+}
+
+AdvanceReply
+decodeStepReply(ArchiveReader &ar, std::uint8_t &flags)
+{
+    return guardedDecode("StepReply", [&] {
+        flags = ar.getU8();
+        return decodeAdvanceReplyRaw(ar);
+    });
 }
 
 void
@@ -136,17 +239,33 @@ encodeStatsReply(ArchiveWriter &aw, const std::vector<StatRow> &rows)
 std::vector<StatRow>
 decodeStatsReply(ArchiveReader &ar)
 {
-    std::uint64_t count = ar.getU64();
-    std::vector<StatRow> rows;
-    rows.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        StatRow row;
-        row.path = ar.getString();
-        row.sub = ar.getString();
-        row.value = ar.getDouble();
-        rows.push_back(std::move(row));
-    }
-    return rows;
+    return guardedDecode("StatsData", [&] {
+        std::uint64_t count = ar.getU64();
+        // Two length-prefixed strings + a double: >= 16 bytes a row.
+        checkCount(count, 16, "stat row");
+        std::vector<StatRow> rows;
+        rows.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            StatRow row;
+            row.path = ar.getString();
+            row.sub = ar.getString();
+            row.value = ar.getDouble();
+            rows.push_back(std::move(row));
+        }
+        return rows;
+    });
+}
+
+std::string
+decodeBlob(ArchiveReader &ar)
+{
+    return guardedDecode("blob", [&] { return ar.getString(); });
+}
+
+Tick
+decodeTick(ArchiveReader &ar)
+{
+    return guardedDecode("tick", [&] { return ar.getU64(); });
 }
 
 void
@@ -159,10 +278,20 @@ encodeError(ArchiveWriter &aw, ErrorKind kind, const std::string &what)
 void
 throwDecodedError(ArchiveReader &ar)
 {
-    auto kind = static_cast<ErrorKind>(ar.getU32());
-    std::string what = ar.getString();
-    ar.endSection();
-    throw SimError(kind, "remote peer reported: " + what);
+    auto decoded = guardedDecode("ErrorReply", [&] {
+        // An out-of-range kind off the wire folds to Transport: the
+        // peer is broken in a way this build cannot name.
+        std::uint32_t raw = ar.getU32();
+        auto kind =
+            raw <= static_cast<std::uint32_t>(ErrorKind::Transport)
+                ? static_cast<ErrorKind>(raw)
+                : ErrorKind::Transport;
+        std::string what = ar.getString();
+        ar.endSection();
+        return std::make_pair(kind, std::move(what));
+    });
+    throw SimError(decoded.first,
+                   "remote peer reported: " + decoded.second);
 }
 
 } // namespace ipc

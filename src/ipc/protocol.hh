@@ -9,7 +9,12 @@
  * Session lifecycle:
  *
  *   Hello -> HelloAck                 build the hosted network
- *   { InjectBatch* Advance -> DeliveryBatch }   once per quantum
+ *   { Step -> StepReply }             once per quantum (pipelined v2:
+ *                                     inject batch + advance coalesced
+ *                                     into one frame each way)
+ *   { InjectBatch* Advance -> DeliveryBatch }   v1 blocking form,
+ *                                     still spoken (network.pipeline
+ *                                     .enabled=false and old tools)
  *   TableGet -> TableData             tuned-table readback (optional)
  *   StatsGet -> StatsData             stats pull (optional)
  *   CkptSave -> CkptData              paired checkpoint (optional)
@@ -18,6 +23,19 @@
  *
  * Any request can instead be answered with ErrorReply carrying an
  * ErrorKind + message, which the client re-raises as a SimError.
+ *
+ * After replying to a Step whose inject batch was empty, the server
+ * may speculatively execute the predicted next quantum; the flags
+ * byte of the following StepReply records whether that speculation
+ * hit (the reply was pre-computed) or was rebased (state rolled back
+ * and re-executed) — either way the reply bytes are bit-identical to
+ * an unspeculated server, see DESIGN.md section 11.
+ *
+ * Decoder hardening: every decode* function below converts archive
+ * reader misuse on CRC-valid-but-malformed payloads into typed
+ * SimError{Transport} (never a panic), and rejects implausible
+ * element counts before allocating for them — wire input is never
+ * trusted, even after its checksum passes.
  */
 
 #ifndef RASIM_IPC_PROTOCOL_HH
@@ -39,8 +57,10 @@ namespace ipc
 {
 
 /** Protocol revision, checked in Hello independently of the archive
- *  format version (the archive guards encoding, this guards meaning). */
-constexpr std::uint32_t protocol_version = 1;
+ *  format version (the archive guards encoding, this guards meaning).
+ *  v2 added the coalesced Step/StepReply exchange and server-side
+ *  speculation. */
+constexpr std::uint32_t protocol_version = 2;
 
 /** Session-opening handshake: everything the server needs to build a
  *  deterministic twin of the in-process backend. */
@@ -80,6 +100,24 @@ struct AdvanceReply
     std::vector<noc::PacketPtr> deliveries;
 };
 
+/** Coalesced quantum request (v2): the inject batch and the advance
+ *  target travel in one frame, halving the frames per busy quantum. */
+struct StepRequest
+{
+    Tick target = 0;
+    /** Client permits the server to speculate the next quantum. */
+    bool speculate = false;
+    std::vector<noc::PacketPtr> packets;
+};
+
+/** @name StepReply flag bits (observability only — the reply payload
+ *  is bit-identical whether or not speculation was involved). */
+/// @{
+constexpr std::uint8_t step_flag_spec_hit = 1; ///< reply pre-computed
+constexpr std::uint8_t step_flag_rebased = 2;  ///< speculation undone
+constexpr std::uint8_t step_flag_throttled = 4; ///< fair-sched wait
+/// @}
+
 /** One flattened statistics row of the hosted network's subtree. */
 struct StatRow
 {
@@ -98,6 +136,9 @@ void encodePackets(ArchiveWriter &aw,
                    const std::vector<noc::PacketPtr> &pkts);
 void encodeAdvance(ArchiveWriter &aw, Tick target);
 void encodeAdvanceReply(ArchiveWriter &aw, const AdvanceReply &rep);
+void encodeStep(ArchiveWriter &aw, const StepRequest &req);
+void encodeStepReply(ArchiveWriter &aw, const AdvanceReply &rep,
+                     std::uint8_t flags);
 void encodeStatsReply(ArchiveWriter &aw,
                       const std::vector<StatRow> &rows);
 void encodeError(ArchiveWriter &aw, ErrorKind kind,
@@ -111,7 +152,14 @@ HelloReply decodeHelloReply(ArchiveReader &ar);
 std::vector<noc::PacketPtr> decodePackets(ArchiveReader &ar);
 Tick decodeAdvance(ArchiveReader &ar);
 AdvanceReply decodeAdvanceReply(ArchiveReader &ar);
+StepRequest decodeStep(ArchiveReader &ar);
+/** @p flags receives the step_flag_* bits. */
+AdvanceReply decodeStepReply(ArchiveReader &ar, std::uint8_t &flags);
 std::vector<StatRow> decodeStatsReply(ArchiveReader &ar);
+/** Guarded opaque-blob payload (CkptData / CkptLoad image). */
+std::string decodeBlob(ArchiveReader &ar);
+/** Guarded single-tick payload (CkptLoadAck). */
+Tick decodeTick(ArchiveReader &ar);
 /** Re-raise a decoded ErrorReply as the SimError it describes. */
 [[noreturn]] void throwDecodedError(ArchiveReader &ar);
 /// @}

@@ -162,6 +162,18 @@ Fd::reset()
     }
 }
 
+void
+unlinkAddress(const std::string &addr)
+{
+    try {
+        ParsedAddr p = parseAddress(addr);
+        if (p.is_unix)
+            ::unlink(p.path.c_str());
+    } catch (const SimError &) {
+        // An unparseable address has no socket file to clean up.
+    }
+}
+
 bool
 validAddress(const std::string &addr)
 {
@@ -184,7 +196,25 @@ listenOn(const std::string &addr)
                            "': " + errnoString());
     }
     if (p.is_unix) {
-        ::unlink(p.path.c_str()); // stale socket from a dead server
+        // A pre-existing socket file is only removed when it is
+        // *stale* (no server answers a probe connect): a dead server
+        // must not block a restart, but a live one must not be
+        // silently evicted from its own address.
+        if (::access(p.path.c_str(), F_OK) == 0) {
+            Fd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+            sockaddr_storage pss;
+            socklen_t plen = fillSockaddr(p, pss);
+            if (probe.valid() &&
+                ::connect(probe.get(),
+                          reinterpret_cast<sockaddr *>(&pss),
+                          plen) == 0) {
+                throw SimError(ErrorKind::Transport,
+                               "cannot listen on '" + addr +
+                                   "': a live server already answers "
+                                   "there");
+            }
+            ::unlink(p.path.c_str());
+        }
     } else {
         int one = 1;
         ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
@@ -222,6 +252,13 @@ acceptOn(const Fd &listener, double timeout_ms,
                        std::string("accept failed: ") + errnoString());
     }
     return conn;
+}
+
+bool
+readable(const Fd &fd)
+{
+    pollfd pfd{fd.get(), POLLIN, 0};
+    return ::poll(&pfd, 1, 0) > 0;
 }
 
 Fd

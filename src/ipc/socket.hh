@@ -74,12 +74,18 @@ class Fd
 bool validAddress(const std::string &addr);
 
 /**
- * Bind and listen on @p addr. A pre-existing Unix socket file is
- * unlinked first (a previous server that died without cleanup).
+ * Bind and listen on @p addr. A *stale* pre-existing Unix socket file
+ * (a previous server that died without cleanup; probed with a test
+ * connect) is unlinked first; a live server on the path is an error.
  * @throws SimError{Config} on an unusable address,
- *         SimError{Transport} on bind/listen failure.
+ *         SimError{Transport} on bind/listen failure or when a live
+ *         server already answers on the address.
  */
 Fd listenOn(const std::string &addr);
+
+/** Remove the Unix socket file behind @p addr, if any (clean server
+ *  shutdown; no-op for TCP or unparseable addresses). */
+void unlinkAddress(const std::string &addr);
 
 /**
  * Accept one connection, waiting up to @p timeout_ms (0 = forever).
@@ -88,6 +94,11 @@ Fd listenOn(const std::string &addr);
  */
 Fd acceptOn(const Fd &listener, double timeout_ms,
             const std::atomic<bool> *stop = nullptr);
+
+/** True when a read on @p fd would not block right now (payload bytes
+ *  or an EOF already pending). Never blocks: the server uses it to
+ *  skip speculative work when the next request has already arrived. */
+bool readable(const Fd &fd);
 
 /**
  * Connect to @p addr, retrying until @p timeout_ms expires (a server

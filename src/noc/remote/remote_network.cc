@@ -26,6 +26,9 @@ RemoteOptions::fromConfig(const Config &cfg)
     o.model = cfg.getString("remote.model", o.model);
     o.engine_workers =
         static_cast<int>(cfg.getUInt("remote.engine_workers", 0));
+    o.pipeline = cfg.getBool("network.pipeline.enabled", o.pipeline);
+    o.speculate =
+        cfg.getBool("network.pipeline.speculate", o.speculate);
     if (!ipc::validAddress(o.socket))
         fatal("remote.socket: unusable address '", o.socket, "'");
     if (o.connect_timeout_ms <= 0.0)
@@ -59,6 +62,14 @@ RemoteNetwork::RemoteNetwork(Simulation &sim, const std::string &name,
                     "quantum RPC round-trips completed"),
       reconnects(this, "reconnects",
                  "sessions re-opened after a connection loss"),
+      elidedQuanta(this, "elided_quanta",
+                   "idle quanta served without touching the wire"),
+      specHits(this, "spec_hits",
+               "quantum replies the server had pre-computed"),
+      specRebases(this, "spec_rebases",
+                  "server speculations rolled back before serving"),
+      schedThrottles(this, "sched_throttles",
+                     "replies delayed by the server's fair scheduler"),
       params_(params), options_(std::move(options)),
       // Identical geometry to the bridge's reciprocal table, so the
       // server's shadow table and the bridge's table are comparable
@@ -131,6 +142,23 @@ RemoteNetwork::markDisconnected()
     pending_.clear();
 }
 
+void
+RemoteNetwork::rethrowPartingError(const SimError &send_err)
+{
+    // An AF_UNIX peer's close does not discard data it already wrote,
+    // so an admission refusal sent just before the close is still
+    // readable even though our own send got EPIPE.
+    std::optional<ipc::Message> parting;
+    try {
+        parting = ipc::recvMessage(fd_, 200.0, &abort_);
+    } catch (const SimError &) {
+        throw send_err;
+    }
+    if (parting && parting->type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(parting->ar);
+    throw send_err;
+}
+
 ipc::Message
 RemoteNetwork::expectReply(double timeout_ms)
 {
@@ -163,7 +191,13 @@ RemoteNetwork::ensureSession()
         req.table_max_hops = table_proto_.maxHops();
         ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Hello);
         ipc::encodeHello(aw, req);
-        ipc::sendMessage(fd_, std::move(aw));
+        try {
+            ipc::sendMessage(fd_, std::move(aw));
+        } catch (const SimError &e) {
+            // The server can refuse admission and close before our
+            // Hello lands; surface its typed refusal, not the EPIPE.
+            rethrowPartingError(e);
+        }
 
         ipc::Message msg = expectReply(options_.connect_timeout_ms);
         if (msg.type == ipc::MsgType::ErrorReply)
@@ -177,6 +211,7 @@ RemoteNetwork::ensureSession()
         msg.done();
         num_nodes_ = rep.num_nodes;
         cur_time_ = rep.cur_time;
+        server_time_ = rep.cur_time;
         if (ever_connected_)
             ++reconnects;
         ever_connected_ = true;
@@ -187,12 +222,91 @@ RemoteNetwork::ensureSession()
 }
 
 void
+RemoteNetwork::applyReply(const ipc::AdvanceReply &rep)
+{
+    cur_time_ = rep.cur_time;
+    server_time_ = rep.cur_time;
+    idle_ = rep.idle;
+    acct_.injected = rep.injected;
+    acct_.delivered = rep.delivered;
+    acct_.in_flight = rep.in_flight;
+    ++rpcRoundTrips;
+
+    // Replay in delivery order: the handler (and the mirrored
+    // aggregates) see exactly what an in-process backend would
+    // have produced, in the same order.
+    for (const PacketPtr &pkt : rep.deliveries) {
+        ++packetsDelivered;
+        totalLatency.sample(static_cast<double>(pkt->latency()));
+        networkLatency.sample(
+            static_cast<double>(pkt->networkLatency()));
+        queueLatency.sample(static_cast<double>(pkt->queueLatency()));
+        hopCount.sample(static_cast<double>(pkt->hops));
+        vnetLatency[static_cast<int>(pkt->cls)]->sample(
+            static_cast<double>(pkt->latency()));
+        if (handler_)
+            handler_(pkt);
+    }
+}
+
+void
 RemoteNetwork::advanceTo(Tick t)
 {
     // The abort request is sticky until the next advanceTo() call.
     abort_.store(false, std::memory_order_relaxed);
+
+    // Idle elision: an idle fabric with nothing buffered cannot
+    // produce a delivery, so the quantum needs no RPC at all — the
+    // clock advances locally and the server's own idle fast-forward
+    // catches its copy up on the next real exchange. This is where
+    // most of the amortized per-quantum overhead goes: long idle
+    // stretches (warmup, drain tails, disengaged phases) cost zero
+    // syscalls.
+    if (options_.pipeline && idle_ && pending_.empty()) {
+        if (t > cur_time_) {
+            cur_time_ = t;
+            ++elidedQuanta;
+        }
+        return;
+    }
+
     try {
         ensureSession();
+        if (options_.pipeline) {
+            // Coalesced v2 exchange: inject batch + advance target in
+            // one frame, reply in one frame — two syscalls a quantum.
+            ipc::StepRequest req;
+            req.target = t;
+            req.speculate = options_.speculate;
+            req.packets = std::move(pending_);
+            pending_.clear();
+            ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
+            ipc::encodeStep(aw, req);
+            ipc::sendMessage(fd_, std::move(aw));
+
+            ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+            if (msg.type == ipc::MsgType::ErrorReply)
+                ipc::throwDecodedError(msg.ar);
+            if (msg.type != ipc::MsgType::StepReply) {
+                throw SimError(ErrorKind::Transport,
+                               std::string("expected StepReply, got ") +
+                                   ipc::toString(msg.type));
+            }
+            std::uint8_t flags = 0;
+            ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
+            msg.done();
+            if (flags & ipc::step_flag_spec_hit)
+                ++specHits;
+            if (flags & ipc::step_flag_rebased)
+                ++specRebases;
+            if (flags & ipc::step_flag_throttled)
+                ++schedThrottles;
+            applyReply(rep);
+            return;
+        }
+
+        // v1 blocking exchange, kept for old servers and as the
+        // differential baseline (network.pipeline.enabled=false).
         if (!pending_.empty()) {
             ArchiveWriter aw =
                 ipc::beginMessage(ipc::MsgType::InjectBatch);
@@ -214,33 +328,47 @@ RemoteNetwork::advanceTo(Tick t)
         }
         ipc::AdvanceReply rep = ipc::decodeAdvanceReply(msg.ar);
         msg.done();
-
-        cur_time_ = rep.cur_time;
-        idle_ = rep.idle;
-        acct_.injected = rep.injected;
-        acct_.delivered = rep.delivered;
-        acct_.in_flight = rep.in_flight;
-        ++rpcRoundTrips;
-
-        // Replay in delivery order: the handler (and the mirrored
-        // aggregates) see exactly what an in-process backend would
-        // have produced, in the same order.
-        for (const PacketPtr &pkt : rep.deliveries) {
-            ++packetsDelivered;
-            totalLatency.sample(static_cast<double>(pkt->latency()));
-            networkLatency.sample(
-                static_cast<double>(pkt->networkLatency()));
-            queueLatency.sample(
-                static_cast<double>(pkt->queueLatency()));
-            hopCount.sample(static_cast<double>(pkt->hops));
-            vnetLatency[static_cast<int>(pkt->cls)]->sample(
-                static_cast<double>(pkt->latency()));
-            if (handler_)
-                handler_(pkt);
-        }
+        applyReply(rep);
     } catch (const SimError &) {
         // Whatever went wrong (torn frame, timeout, server-side trip),
         // the stream can no longer be trusted to be in sync; drop the
+        // session so a re-engagement starts clean.
+        markDisconnected();
+        throw;
+    }
+}
+
+void
+RemoteNetwork::syncServer()
+{
+    ensureSession();
+    if (server_time_ >= cur_time_)
+        return;
+    // Idle elision left the server's clock behind; an empty,
+    // unspeculated Step brings it to the client's tick so paired
+    // state (tables, stats, checkpoints) is read at the same time on
+    // both sides. The fabric was idle throughout, so the reply cannot
+    // carry deliveries.
+    try {
+        ipc::StepRequest req;
+        req.target = cur_time_;
+        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
+        ipc::encodeStep(aw, req);
+        ipc::sendMessage(fd_, std::move(aw));
+        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::StepReply) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected StepReply, got ") +
+                               ipc::toString(msg.type));
+        }
+        std::uint8_t flags = 0;
+        ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
+        msg.done();
+        applyReply(rep);
+    } catch (const SimError &) {
+        // A torn sync leaves the stream unsynchronized; drop the
         // session so a re-engagement starts clean.
         markDisconnected();
         throw;
@@ -256,7 +384,7 @@ RemoteNetwork::setDeliveryHandler(DeliveryHandler handler)
 abstractnet::LatencyTable
 RemoteNetwork::fetchTunedTable()
 {
-    ensureSession();
+    syncServer();
     ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::TableGet));
     ipc::Message msg = expectReply(options_.quantum_timeout_ms);
     if (msg.type == ipc::MsgType::ErrorReply)
@@ -267,7 +395,19 @@ RemoteNetwork::fetchTunedTable()
                            ipc::toString(msg.type));
     }
     abstractnet::LatencyTable table = table_proto_;
-    table.restoreBinary(msg.ar);
+    try {
+        // Table bytes come off the wire: archive misuse on a
+        // CRC-valid-but-malformed payload must be a typed error.
+        logging::ThrowOnError guard;
+        table.restoreBinary(msg.ar);
+    } catch (const SimError &err) {
+        if (err.kind() == ErrorKind::Transport ||
+            err.kind() == ErrorKind::Timeout)
+            throw;
+        throw SimError(ErrorKind::Transport,
+                       std::string("malformed TableData payload: ") +
+                           err.what());
+    }
     msg.done();
     return table;
 }
@@ -275,7 +415,7 @@ RemoteNetwork::fetchTunedTable()
 std::vector<ipc::StatRow>
 RemoteNetwork::fetchRemoteStats()
 {
-    ensureSession();
+    syncServer();
     ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::StatsGet));
     ipc::Message msg = expectReply(options_.quantum_timeout_ms);
     if (msg.type == ipc::MsgType::ErrorReply)
@@ -311,7 +451,9 @@ RemoteNetwork::save(ArchiveWriter &aw)
     // loss the outage itself caused).
     std::string image;
     try {
-        ensureSession();
+        // The paired image must be taken at the client's tick, not
+        // wherever idle elision left the server's clock.
+        syncServer();
         ipc::sendMessage(fd_,
                          ipc::beginMessage(ipc::MsgType::CkptSave));
         ipc::Message msg = expectReply(options_.quantum_timeout_ms);
@@ -322,7 +464,7 @@ RemoteNetwork::save(ArchiveWriter &aw)
                            std::string("expected CkptData, got ") +
                                ipc::toString(msg.type));
         }
-        image = msg.ar.getString();
+        image = ipc::decodeBlob(msg.ar);
         msg.done();
     } catch (const SimError &err) {
         markDisconnected();
@@ -370,8 +512,9 @@ RemoteNetwork::restore(ArchiveReader &ar)
                            std::string("expected CkptLoadAck, got ") +
                                ipc::toString(msg.type));
         }
-        Tick server_tick = msg.ar.getU64();
+        Tick server_tick = ipc::decodeTick(msg.ar);
         msg.done();
+        server_time_ = server_tick;
         if (server_tick != cur_time_) {
             throw SimError(ErrorKind::Transport,
                            "restored server is at tick " +

@@ -5,12 +5,27 @@
  * protocol. Selected with network.backend=remote.
  *
  * Determinism: injections buffer locally (inject() never performs IO)
- * and flush as one InjectBatch at advanceTo(); the server simulates
- * the quantum and replies with the deliveries in delivery order, which
+ * and flush at advanceTo() — as one coalesced Step frame when
+ * network.pipeline.enabled (the default), or as the v1
+ * InjectBatch + Advance pair otherwise; the server simulates the
+ * quantum and replies with the deliveries in delivery order, which
  * this client replays through the delivery handler in that exact
  * order. Every value the rest of the system reads between quanta
  * (curTime, idle, accounting) is mirrored from the last reply, so a
  * remote run is bit-identical to hosting the same network in-process.
+ *
+ * Pipelining: under reciprocal coupling quantum N's deliveries re-tune
+ * the latency table before quantum N+1's injections sample it, so the
+ * client cannot overlap its own RPCs without breaking bit-identity.
+ * The amortized cost per quantum drops instead by (a) coalescing
+ * inject+advance into one Step frame, (b) eliding the RPC entirely
+ * while the fabric is idle and nothing is buffered (the server's own
+ * idle fast-forward catches its clock up on the next real exchange),
+ * and (c) letting the server speculatively execute the predicted next
+ * quantum during the client's compute gap (network.pipeline.speculate)
+ * so a matching Step is answered from a pre-sealed reply. All three
+ * preserve the delivery stream, stats tree and tuned table bit for
+ * bit.
  *
  * Failure: every transport fault or quantum timeout surfaces inside
  * advanceTo() as a typed SimError — precisely where the co-simulation
@@ -59,8 +74,14 @@ struct RemoteOptions
     std::string model = "cycle";
     /** Server-side ParallelEngine workers (0 = serial). */
     int engine_workers = 0;
+    /** Speak the coalesced Step exchange and elide idle quanta
+     *  (network.pipeline.enabled). Off = v1 blocking exchange. */
+    bool pipeline = true;
+    /** Permit server-side speculation of the predicted next quantum
+     *  (network.pipeline.speculate; only meaningful with pipeline). */
+    bool speculate = true;
 
-    /** Read the "remote.*" keys. */
+    /** Read the "remote.*" and "network.pipeline.*" keys. */
     static RemoteOptions fromConfig(const Config &cfg);
 };
 
@@ -126,8 +147,12 @@ class RemoteNetwork : public SimObject, public NetworkModel
 
     /** @name Transport statistics */
     /// @{
-    stats::Scalar rpcRoundTrips; ///< Advance round-trips completed
-    stats::Scalar reconnects;    ///< sessions re-opened after a loss
+    stats::Scalar rpcRoundTrips;  ///< quantum round-trips completed
+    stats::Scalar reconnects;     ///< sessions re-opened after a loss
+    stats::Scalar elidedQuanta;   ///< idle quanta served without IO
+    stats::Scalar specHits;       ///< replies the server pre-computed
+    stats::Scalar specRebases;    ///< server speculations rolled back
+    stats::Scalar schedThrottles; ///< replies delayed by fair-sched
     /// @}
 
   private:
@@ -138,6 +163,17 @@ class RemoteNetwork : public SimObject, public NetworkModel
     void markDisconnected();
     /** Receive one reply, mapping EOF to a Transport SimError. */
     ipc::Message expectReply(double timeout_ms);
+    /** A send failed mid-handshake: the server may have refused the
+     *  session and closed, leaving a typed parting error buffered on
+     *  our side of the socket. Re-raise that in preference to the
+     *  less informative send failure. */
+    [[noreturn]] void rethrowPartingError(const SimError &send_err);
+    /** Mirror a quantum reply and replay its deliveries in order. */
+    void applyReply(const ipc::AdvanceReply &rep);
+    /** Catch the server's clock up after idle elision, so paired
+     *  state (tables, stats, checkpoints) is read at the same tick on
+     *  both sides. */
+    void syncServer();
 
     NocParams params_;
     RemoteOptions options_;
@@ -149,7 +185,10 @@ class RemoteNetwork : public SimObject, public NetworkModel
     DeliveryHandler handler_;
     std::vector<PacketPtr> pending_; ///< injections since last quantum
 
-    // Mirrored from the last DeliveryBatch (or HelloAck).
+    // Mirrored from the last quantum reply (or HelloAck).
+    /** Where the server's clock actually is; trails cur_time_ while
+     *  idle quanta are elided. */
+    Tick server_time_ = 0;
     Tick cur_time_ = 0;
     bool idle_ = true;
     Accounting acct_;

@@ -272,9 +272,13 @@ class Pool : public PoolBase
         ++total_allocated_;
         if (live_ > peak_live_)
             peak_live_ = live_;
+        // Resolve the slot address before unlocking: a concurrent
+        // allocate() on another thread may grow() and reallocate the
+        // slab vector, so slabs_ must only be indexed under the lock
+        // (slot addresses themselves never move).
+        detail::PoolSlot<T> &slot = slotAt(index);
         lock_.unlock();
 
-        detail::PoolSlot<T> &slot = slotAt(index);
         if (slot.live)
             panic("pool '", name(), "': allocating live slot ", index);
         new (slot.storage) T(std::forward<Args>(args)...);

@@ -9,6 +9,8 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -86,6 +88,35 @@ class ServerFixture : public ::testing::Test
         AdvanceReply ar = decodeAdvanceReply(rep.ar);
         rep.done();
         return ar;
+    }
+
+    /** Coalesced v2 quantum exchange; returns the reply + flag bits. */
+    std::pair<AdvanceReply, std::uint8_t>
+    step(const Fd &fd, Tick target, bool speculate,
+         std::vector<noc::PacketPtr> pkts = {})
+    {
+        StepRequest req;
+        req.target = target;
+        req.speculate = speculate;
+        req.packets = std::move(pkts);
+        ArchiveWriter aw = beginMessage(MsgType::Step);
+        encodeStep(aw, req);
+        Message rep = call(fd, std::move(aw));
+        EXPECT_EQ(rep.type, MsgType::StepReply);
+        std::uint8_t flags = 0;
+        AdvanceReply ar = decodeStepReply(rep.ar, flags);
+        rep.done();
+        return {ar, flags};
+    }
+
+    std::vector<StatRow>
+    statsRows(const Fd &fd)
+    {
+        Message rep = call(fd, beginMessage(MsgType::StatsGet));
+        EXPECT_EQ(rep.type, MsgType::StatsData);
+        std::vector<StatRow> rows = decodeStatsReply(rep.ar);
+        rep.done();
+        return rows;
     }
 
     std::string addr_;
@@ -273,6 +304,98 @@ TEST_F(ServerFixture, ServerSurvivesAVanishedClient)
     EXPECT_EQ(hr.num_nodes, 16u);
     AdvanceReply rep = advance(fd, 100);
     EXPECT_EQ(rep.cur_time, 100u);
+}
+
+// The differential tests drive speculation through RemoteNetwork, but
+// their workloads drain within a quantum, so the predictor rarely
+// arms. This test forces both speculation outcomes deterministically:
+// the client sleeps between quanta, guaranteeing the server's
+// readable() poll sees an empty socket and the predicted quantum
+// actually executes. A matching Step must then be answered from the
+// pre-sealed frame (spec_hit), a mismatched one must roll the session
+// back first (rebased) — and in both cases every reply and the final
+// stats tree must be bit-identical to a session that declined
+// speculation entirely.
+TEST_F(ServerFixture, SpeculationHitAndRebaseAreBitIdentical)
+{
+    auto burst = [] {
+        // Enough traffic that a 4x4 mesh stays busy well past tick
+        // 100 with 20-tick quanta (same shape as the mid-speculation
+        // kill test in remote_equivalence_test).
+        std::vector<noc::PacketPtr> pkts;
+        for (int i = 0; i < 256; ++i)
+            pkts.push_back(noc::makePacket(
+                static_cast<PacketId>(i + 1), i % 16, (i * 7 + 3) % 16,
+                noc::MsgClass::Request, 64, 5));
+        return pkts;
+    };
+    auto summarize = [](const AdvanceReply &r) {
+        std::ostringstream os;
+        os << r.cur_time << '/' << r.idle << '/' << r.injected << '/'
+           << r.delivered << '/' << r.in_flight;
+        for (const auto &p : r.deliveries)
+            os << ' ' << p->id << ':' << p->deliver_tick << ':'
+               << p->hops;
+        return os.str();
+    };
+    HelloRequest hreq;
+    hreq.params.columns = 4;
+    hreq.params.rows = 4;
+    // Quantum schedule: inject burst -> three drain quanta -> one
+    // off-stride quantum (90, where the predictor will expect 100).
+    const std::vector<Tick> targets = {20, 40, 60, 80, 90};
+
+    // Reference session: identical requests, speculation declined.
+    std::vector<std::string> ref;
+    std::vector<StatRow> ref_stats;
+    {
+        Fd fd = connect();
+        hello(fd, hreq);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            auto [rep, flags] = step(
+                fd, targets[i], false,
+                i == 0 ? burst() : std::vector<noc::PacketPtr>{});
+            EXPECT_EQ(flags & (step_flag_spec_hit | step_flag_rebased),
+                      0)
+                << "server speculated against the client's wishes";
+            ref.push_back(summarize(rep));
+            EXPECT_FALSE(rep.idle) << "workload drained too early at "
+                                   << targets[i];
+        }
+        ref_stats = statsRows(fd);
+    }
+    const std::uint64_t hits_before = server_->counters().spec_hits;
+    const std::uint64_t rebases_before =
+        server_->counters().spec_rebases;
+
+    // Speculative session: the sleep before each Step guarantees the
+    // server's gap, so after the first drain-shaped quantum (40) the
+    // predicted quantum provably runs.
+    Fd fd = connect();
+    hello(fd, hreq);
+    std::vector<std::uint8_t> flags_seen;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        auto [rep, flags] = step(
+            fd, targets[i], true,
+            i == 0 ? burst() : std::vector<noc::PacketPtr>{});
+        flags_seen.push_back(flags);
+        EXPECT_EQ(summarize(rep), ref[i])
+            << "speculative reply diverged at target " << targets[i];
+    }
+    // Steps 60 and 80 match the prediction armed by the preceding
+    // drain quantum; 90 breaks the stride while a speculation to 100
+    // sits completed, forcing the rebase path.
+    EXPECT_TRUE(flags_seen[2] & step_flag_spec_hit);
+    EXPECT_TRUE(flags_seen[3] & step_flag_spec_hit);
+    EXPECT_TRUE(flags_seen[4] & step_flag_rebased);
+    EXPECT_FALSE(flags_seen[4] & step_flag_spec_hit);
+
+    // The rebased session's statistics — including per-router flit
+    // counts — must match the unspeculated reference exactly.
+    EXPECT_EQ(statsRows(fd), ref_stats);
+    EXPECT_GE(server_->counters().spec_hits, hits_before + 2);
+    EXPECT_GE(server_->counters().spec_rebases, rebases_before + 1);
 }
 
 } // namespace

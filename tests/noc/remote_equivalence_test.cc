@@ -123,16 +123,23 @@ runDirect(const NocParams &p)
     return r;
 }
 
-/** The same run, with the network living in a rasim-nocd server. */
+/** The same run, with the network living in a rasim-nocd server.
+ *  @p pipeline / @p speculate select the transport flavour: the v2
+ *  coalesced Step exchange with or without server speculation, or the
+ *  v1 blocking InjectBatch+Advance pair — all three must be
+ *  bit-identical to each other and to the direct run. */
 RunResult
 runRemote(const NocParams &p, const std::string &addr,
-          const std::string &model, int server_workers)
+          const std::string &model, int server_workers,
+          bool pipeline = true, bool speculate = true)
 {
     Simulation sim;
     remote::RemoteOptions ro;
     ro.socket = addr;
     ro.model = model;
     ro.engine_workers = server_workers;
+    ro.pipeline = pipeline;
+    ro.speculate = speculate;
     remote::RemoteNetwork net(sim, "rnet", p, ro);
     RunResult r;
     net.setDeliveryHandler([&](const PacketPtr &pkt) {
@@ -244,6 +251,40 @@ TEST_F(RemoteEquivalence, DeflectionNetworkBitIdentical)
     expectRemoteMatchesDirect<DeflectionNetwork>("deflection");
 }
 
+TEST_F(RemoteEquivalence, PipelineFlavoursAllBitIdentical)
+{
+    // The three transport flavours — blocking v1, coalesced Step
+    // without speculation, coalesced Step with server speculation —
+    // must produce the same deliveries, stats and tuned table as the
+    // direct run and therefore as each other. This is the proof that
+    // coalescing, idle elision and speculative execution are pure
+    // transport optimisations.
+    NocParams p;
+    p.columns = 8;
+    p.rows = 8;
+    RunResult direct = runDirect<CycleNetwork>(p);
+
+    struct Flavour
+    {
+        const char *name;
+        bool pipeline;
+        bool speculate;
+    };
+    for (const Flavour f : {Flavour{"blocking", false, false},
+                            Flavour{"coalesced", true, false},
+                            Flavour{"speculative", true, true}}) {
+        RunResult remote =
+            runRemote(p, addr_, "cycle", 0, f.pipeline, f.speculate);
+        ASSERT_EQ(remote.deliveries.size(), direct.deliveries.size())
+            << f.name;
+        for (std::size_t k = 0; k < direct.deliveries.size(); ++k)
+            ASSERT_TRUE(remote.deliveries[k] == direct.deliveries[k])
+                << f.name << " delivery #" << k;
+        ASSERT_EQ(remote.stats, direct.stats) << f.name;
+        EXPECT_TRUE(remote.table->identicalTo(*direct.table)) << f.name;
+    }
+}
+
 TEST_F(RemoteEquivalence, ServerLossSurfacesAsSimErrorThenReconnects)
 {
     NocParams p;
@@ -285,6 +326,59 @@ TEST_F(RemoteEquivalence, ServerLossSurfacesAsSimErrorThenReconnects)
     EXPECT_TRUE(net.connected());
     EXPECT_EQ(net.curTime(), 4000u);
     EXPECT_EQ(net.deliveredCount(), 1u); // fresh server accounting
+}
+
+TEST_F(RemoteEquivalence, ServerKilledMidSpeculationTearsDownAndResumes)
+{
+    // Drive the server into its speculative regime — drain-shaped
+    // quanta (empty inject batch, fabric busy) arm speculative
+    // execution of the predicted next quantum — then kill it there.
+    // Teardown must join a worker that may be mid-speculation without
+    // deadlock or crash, the client must surface a typed error (not a
+    // hang), and a restarted server must pick the session back up.
+    NocParams p;
+    p.columns = 4;
+    p.rows = 4;
+    Simulation sim;
+    remote::RemoteOptions ro;
+    ro.socket = addr_;
+    ro.connect_timeout_ms = 2000.0;
+    ro.pipeline = true;
+    ro.speculate = true;
+    remote::RemoteNetwork net(sim, "rnet", p, ro);
+
+    // A burst big enough that the fabric stays busy across several
+    // short quanta; every advance after the first is drain-shaped.
+    for (int i = 0; i < 256; ++i)
+        net.inject(makePacket(static_cast<PacketId>(i + 1),
+                              static_cast<NodeId>(i % 16),
+                              static_cast<NodeId>((i * 7 + 3) % 16),
+                              MsgClass::Request, 64, 5));
+    for (Tick t = 20; t <= 100; t += 20)
+        net.advanceTo(t);
+    ASSERT_FALSE(net.idle()); // still draining: speculation armed
+
+    // stop() + join while the session worker may be speculating.
+    stopServer();
+
+    bool threw = false;
+    try {
+        net.advanceTo(120);
+    } catch (const SimError &e) {
+        threw = true;
+        EXPECT_TRUE(e.kind() == ErrorKind::Transport ||
+                    e.kind() == ErrorKind::Timeout)
+            << e.what();
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_FALSE(net.connected());
+
+    startServer();
+    net.inject(makePacket(1000, 0, 15, MsgClass::Request, 8, 300));
+    net.advanceTo(2000);
+    EXPECT_TRUE(net.connected());
+    EXPECT_EQ(net.curTime(), 2000u);
+    EXPECT_TRUE(net.idle());
 }
 
 } // namespace
