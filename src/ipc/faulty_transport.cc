@@ -1,0 +1,149 @@
+#include "ipc/faulty_transport.hh"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sim/sim_error.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+namespace
+{
+
+void
+sleepMs(double ms)
+{
+    if (ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+    }
+}
+
+} // namespace
+
+FaultyTransport::FaultyTransport(std::unique_ptr<ByteChannel> inner,
+                                 TransportFaultSchedule *schedule)
+    : inner_(std::move(inner)), sched_(schedule)
+{
+}
+
+FaultyTransport::FaultyTransport(std::unique_ptr<ByteChannel> inner,
+                                 const TransportFaultOptions &opts,
+                                 std::uint64_t stream)
+    : inner_(std::move(inner)), owned_sched_(opts, stream),
+      sched_(&owned_sched_)
+{
+}
+
+void
+FaultyTransport::die(TransportFaultKind kind, const char *detail)
+{
+    // An injected failure leaves the stream out of frame sync, the
+    // same way the real fault would; recovery needs a fresh
+    // connection, so kill this one.
+    inner_->close();
+    throw SimError(kind == TransportFaultKind::Stall
+                       ? ErrorKind::Timeout
+                       : ErrorKind::Transport,
+                   std::string("injected transport fault (") +
+                       toString(kind) + "): " + detail);
+}
+
+void
+FaultyTransport::send(const void *data, std::size_t len)
+{
+    TransportFaultKind kind = forced_send_;
+    forced_send_ = TransportFaultKind::None;
+    if (kind == TransportFaultKind::None)
+        kind = sched_->nextSend();
+    else
+        sched_->noteForced(kind);
+
+    const char *bytes = static_cast<const char *>(data);
+    switch (kind) {
+      case TransportFaultKind::Disconnect:
+        die(kind, "connection dropped before the send");
+      case TransportFaultKind::ShortRead: {
+        // Part of the frame header, then death: the peer reads a
+        // short header.
+        std::size_t cut = len < 12 ? len / 2 : 6;
+        if (cut > 0)
+            inner_->send(bytes, cut);
+        die(kind, "connection dropped inside the frame header");
+      }
+      case TransportFaultKind::TornFrame: {
+        // The header and part of the payload, then death: the peer
+        // reads a torn frame.
+        std::size_t cut = len < 12 ? len / 2 : 12 + (len - 12) / 2;
+        if (cut > 0)
+            inner_->send(bytes, cut);
+        die(kind, "connection dropped inside the payload");
+      }
+      case TransportFaultKind::Corrupt: {
+        // Flip one payload byte; the frame arrives whole but the
+        // archive CRC32 trips on the receiving side.
+        std::string mangled(bytes, len);
+        mangled[len > 12 ? len - 1 : len / 2] ^= 0x40;
+        inner_->send(mangled.data(), mangled.size());
+        return;
+      }
+      case TransportFaultKind::Delay:
+        sleepMs(sched_->options().delay_ms);
+        break;
+      default:
+        break;
+    }
+    inner_->send(data, len);
+}
+
+std::size_t
+FaultyTransport::recv(void *data, std::size_t len, double timeout_ms,
+                      const std::atomic<bool> *abort)
+{
+    // The framing layer reads a frame in two pieces; the 12-byte read
+    // is the header, anything else the payload.
+    bool header = len == 12;
+    TransportFaultKind kind = forced_recv_;
+    forced_recv_ = TransportFaultKind::None;
+    if (kind == TransportFaultKind::None)
+        kind = sched_->nextRecv(header);
+    else
+        sched_->noteForced(kind);
+
+    if (kind == TransportFaultKind::Stall) {
+        sleepMs(sched_->options().stall_ms);
+        die(kind, "read stalled past its deadline");
+    }
+
+    std::size_t got = inner_->recv(data, len, timeout_ms, abort);
+    switch (kind) {
+      case TransportFaultKind::ShortRead:
+      case TransportFaultKind::TornFrame: {
+        // Deliver a truncated read and kill the stream: the caller
+        // sees the peer close mid-header / mid-payload.
+        std::size_t cut = got / 2;
+        inner_->close();
+        return cut;
+      }
+      case TransportFaultKind::Corrupt:
+        if (got > 0)
+            static_cast<char *>(data)[got - 1] ^= 0x40;
+        return got;
+      case TransportFaultKind::Oversize:
+        // Forge the header's length field past max_frame_bytes.
+        if (header && got == len)
+            std::memset(static_cast<char *>(data) + 4, 0x7f, 8);
+        return got;
+      default:
+        return got;
+    }
+}
+
+} // namespace ipc
+} // namespace rasim

@@ -115,9 +115,21 @@ sealFrame(ArchiveWriter &&aw)
 }
 
 void
+sendFrameBytes(ByteChannel &ch, const std::string &frame)
+{
+    ch.send(frame.data(), frame.size());
+}
+
+void
 sendFrameBytes(const Fd &fd, const std::string &frame)
 {
     sendAll(fd, frame.data(), frame.size());
+}
+
+void
+sendMessage(ByteChannel &ch, ArchiveWriter &&aw)
+{
+    sendFrameBytes(ch, sealFrame(std::move(aw)));
 }
 
 void
@@ -129,12 +141,12 @@ sendMessage(const Fd &fd, ArchiveWriter &&aw)
 }
 
 std::optional<Message>
-recvMessage(const Fd &fd, double timeout_ms,
+recvMessage(ByteChannel &ch, double timeout_ms,
             const std::atomic<bool> *abort)
 {
     char header[12];
     std::size_t got =
-        recvUpTo(fd, header, sizeof(header), timeout_ms, abort);
+        ch.recv(header, sizeof(header), timeout_ms, abort);
     if (got == 0)
         return std::nullopt; // clean EOF at a frame boundary
     if (got < sizeof(header)) {
@@ -158,8 +170,7 @@ recvMessage(const Fd &fd, double timeout_ms,
     }
     std::string payload(len, '\0');
     got = len == 0 ? 0
-                   : recvUpTo(fd, payload.data(), len, timeout_ms,
-                              abort);
+                   : ch.recv(payload.data(), len, timeout_ms, abort);
     if (got < len) {
         throw SimError(ErrorKind::Transport,
                        "torn frame: peer closed after " +
@@ -196,6 +207,14 @@ recvMessage(const Fd &fd, double timeout_ms,
     }
     msg.type = static_cast<MsgType>(raw_type);
     return msg;
+}
+
+std::optional<Message>
+recvMessage(const Fd &fd, double timeout_ms,
+            const std::atomic<bool> *abort)
+{
+    FdChannel ch(&fd);
+    return recvMessage(ch, timeout_ms, abort);
 }
 
 } // namespace ipc

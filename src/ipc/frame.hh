@@ -90,6 +90,8 @@ ArchiveWriter beginMessage(MsgType type);
  *  header and payload go out in a single send, so a frame costs one
  *  syscall on the happy path. */
 void sendMessage(const Fd &fd, ArchiveWriter &&aw);
+/** Same, over a ByteChannel (plain or fault-injecting). */
+void sendMessage(ByteChannel &ch, ArchiveWriter &&aw);
 
 /**
  * Seal @p aw (from beginMessage) into complete wire bytes — frame
@@ -101,6 +103,7 @@ std::string sealFrame(ArchiveWriter &&aw);
 
 /** Transmit bytes produced by sealFrame(). */
 void sendFrameBytes(const Fd &fd, const std::string &frame);
+void sendFrameBytes(ByteChannel &ch, const std::string &frame);
 
 /**
  * A received message: the reader is positioned after the type field,
@@ -132,6 +135,10 @@ struct Message
  *         SimError{Timeout} on deadline expiry or abort.
  */
 std::optional<Message> recvMessage(const Fd &fd, double timeout_ms,
+                                   const std::atomic<bool> *abort =
+                                       nullptr);
+/** Same, over a ByteChannel (plain or fault-injecting). */
+std::optional<Message> recvMessage(ByteChannel &ch, double timeout_ms,
                                    const std::atomic<bool> *abort =
                                        nullptr);
 

@@ -10,6 +10,8 @@
  *                   [--max-sessions N] [--max-active N]
  *                   [--quota-frames N] [--max-batch-packets N]
  *                   [--no-speculate] [--io-timeout-ms MS]
+ *                   [--drain-timeout MS] [--session-timeout-ms MS]
+ *                   [key=value ...]
  *
  *   --once / --serve-limit   exit after serving N sessions (tooling)
  *   --max-sessions           concurrent-session admission cap
@@ -17,6 +19,18 @@
  *   --quota-frames           consecutive grants before a forced yield
  *   --max-batch-packets      per-batch quota (refused as backpressure)
  *   --no-speculate           disable server-side speculation
+ *   --drain-timeout          SIGTERM grace period for live sessions
+ *   --session-timeout-ms     watchdog: reap frame-less sessions
+ *
+ * Any key=value argument is parsed as a config setting and folded in
+ * through NocServerOptions::fromConfig — the hook for the shared
+ * "fault.transport.*" chaos keys (and any "server.*" key) without a
+ * dedicated flag each. Flags win over key=value settings.
+ *
+ * Signals: SIGTERM drains — the daemon stops accepting, lets every
+ * live session finish its in-flight request and close at a frame
+ * boundary (no torn frames on the wire), and hard-stops stragglers
+ * after the drain timeout. SIGINT stops immediately.
  *
  * The default address is unix:/tmp/rasim-nocd.sock. The server prints
  * "rasim-nocd listening on <address>" once it is connectable, so
@@ -29,6 +43,7 @@
 #include <cstring>
 
 #include "ipc/nocd_server.hh"
+#include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/sim_error.hh"
 
@@ -38,10 +53,17 @@ namespace
 rasim::ipc::NocServer *running_server = nullptr;
 
 void
-onSignal(int)
+onTerm(int)
 {
     if (running_server)
-        running_server->stop(); // one relaxed atomic store: safe here
+        running_server->drain(); // plain atomic stores: safe here
+}
+
+void
+onInt(int)
+{
+    if (running_server)
+        running_server->stop(); // plain atomic stores: safe here
 }
 
 int
@@ -51,9 +73,13 @@ usage(const char *argv0)
                  "usage: %s [address] [--once] [--serve-limit N] "
                  "[--max-sessions N] [--max-active N] "
                  "[--quota-frames N] [--max-batch-packets N] "
-                 "[--no-speculate] [--io-timeout-ms MS]\n"
-                 "  address   unix:/path, tcp:host:port, or a bare "
-                 "path (default unix:/tmp/rasim-nocd.sock)\n",
+                 "[--no-speculate] [--io-timeout-ms MS] "
+                 "[--drain-timeout MS] [--session-timeout-ms MS] "
+                 "[key=value ...]\n"
+                 "  address    unix:/path, tcp:host:port, or a bare "
+                 "path (default unix:/tmp/rasim-nocd.sock)\n"
+                 "  key=value  any server.* or fault.transport.* "
+                 "config setting\n",
                  argv0);
     return 2;
 }
@@ -63,10 +89,22 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    // key=value settings first (parseArgs skips everything else), so
+    // explicit flags below override them.
+    rasim::Config cfg;
+    cfg.parseArgs(argc - 1, argv + 1);
     rasim::ipc::NocServerOptions opts;
+    try {
+        opts = rasim::ipc::NocServerOptions::fromConfig(cfg);
+    } catch (const rasim::SimError &err) {
+        std::fprintf(stderr, "rasim-nocd: %s\n", err.what());
+        return 2;
+    }
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--once") == 0) {
+        if (std::strchr(arg, '=') != nullptr) {
+            continue; // consumed by the Config pass above
+        } else if (std::strcmp(arg, "--once") == 0) {
             opts.serve_limit = 1;
         } else if (std::strcmp(arg, "--serve-limit") == 0 &&
                    i + 1 < argc) {
@@ -92,12 +130,21 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--io-timeout-ms") == 0 &&
                    i + 1 < argc) {
             opts.io_timeout_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(arg, "--drain-timeout") == 0 &&
+                   i + 1 < argc) {
+            opts.drain_timeout_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(arg, "--session-timeout-ms") == 0 &&
+                   i + 1 < argc) {
+            opts.session_timeout_ms = std::atof(argv[++i]);
         } else if (arg[0] == '-') {
             return usage(argv[0]);
         } else {
             opts.address = arg;
         }
     }
+    // Hygiene: a misspelled fault.transport.* / server.* key should
+    // not silently configure nothing.
+    cfg.warnUnread({"server.", "fault."});
 
     // A client that dies mid-reply must not kill the server (sendAll
     // also passes MSG_NOSIGNAL; this covers platforms without it).
@@ -106,8 +153,8 @@ main(int argc, char **argv)
     try {
         rasim::ipc::NocServer server(std::move(opts));
         running_server = &server;
-        std::signal(SIGINT, onSignal);
-        std::signal(SIGTERM, onSignal);
+        std::signal(SIGINT, onInt);
+        std::signal(SIGTERM, onTerm);
         std::printf("rasim-nocd listening on %s\n",
                     server.address().c_str());
         std::fflush(stdout);

@@ -1,10 +1,12 @@
 #include "ipc/nocd_server.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 #include <vector>
 
 #include "abstractnet/latency_table.hh"
+#include "ipc/faulty_transport.hh"
 #include "ipc/protocol.hh"
 #include "noc/cycle_network.hh"
 #include "noc/deflection_network.hh"
@@ -183,12 +185,19 @@ struct NocServer::Session
 };
 
 /** One session thread. The Fd lives here so its lifetime matches the
- *  thread that reads from it. */
+ *  thread that reads from it — which is also what lets the watchdog
+ *  reap a hung session from the accept thread: shutdownFd() on the
+ *  shared Fd makes the blocked session thread see EOF without racing
+ *  on descriptor ownership. */
 struct NocServer::Worker
 {
     Fd conn;
     std::thread thread;
     std::atomic<bool> done{false};
+    /** steady-clock ms of the last completed frame (recv or reply);
+     *  the watchdog reaps the session when this goes stale. */
+    std::atomic<std::uint64_t> last_active_ms{0};
+    std::atomic<bool> reaped{false};
 };
 
 /** RAII compute grant: waits for a FairScheduler slot on entry,
@@ -239,6 +248,23 @@ sendError(const Fd &conn, const SimError &err)
     sendMessage(conn, std::move(aw));
 }
 
+void
+sendError(ByteChannel &conn, const SimError &err)
+{
+    ArchiveWriter aw = beginMessage(MsgType::ErrorReply);
+    encodeError(aw, err.kind(), err.what());
+    sendMessage(conn, std::move(aw));
+}
+
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
 
 NocServerOptions
@@ -257,6 +283,13 @@ NocServerOptions::fromConfig(const Config &cfg)
     o.max_batch_packets =
         cfg.getUInt("server.max_batch_packets", o.max_batch_packets);
     o.speculate = cfg.getBool("server.speculate", o.speculate);
+    o.drain_timeout_ms =
+        cfg.getDouble("server.drain_timeout_ms", o.drain_timeout_ms);
+    o.session_timeout_ms =
+        cfg.getDouble("server.session_timeout_ms", o.session_timeout_ms);
+    if (o.drain_timeout_ms < 0.0 || o.session_timeout_ms < 0.0)
+        fatal("server.*_timeout_ms must be non-negative");
+    o.fault = TransportFaultOptions::fromConfig(cfg);
     return o;
 }
 
@@ -347,10 +380,18 @@ NocServer::~NocServer()
 void
 NocServer::stop()
 {
-    // Only the store: stop() is called from signal handlers, so it
+    // Only the stores: stop() is called from signal handlers, so it
     // must stay async-signal-safe (no locks, no notifies). Waiters
-    // poll the flag in timed slices.
+    // poll the flags in timed slices.
     stop_.store(true, std::memory_order_relaxed);
+    wake_.store(true, std::memory_order_relaxed);
+}
+
+void
+NocServer::drain()
+{
+    drain_.store(true, std::memory_order_relaxed);
+    wake_.store(true, std::memory_order_relaxed);
 }
 
 NocServerCounters
@@ -368,6 +409,8 @@ NocServer::counters() const
     c.sched_waits = sched_waits_.load(std::memory_order_relaxed);
     c.quota_yields = quota_yields_.load(std::memory_order_relaxed);
     c.quota_trips = quota_trips_.load(std::memory_order_relaxed);
+    c.sessions_reaped =
+        sessions_reaped_.load(std::memory_order_relaxed);
     return c;
 }
 
@@ -390,10 +433,23 @@ NocServer::reapWorkers(bool all)
 void
 NocServer::run()
 {
+    // With the watchdog on, the accept wait must tick: a hung session
+    // is reaped by the *accept* thread, which otherwise blocks
+    // indefinitely when no new client ever connects.
+    double slice = 0.0;
+    if (opts_.session_timeout_ms > 0.0) {
+        slice = std::min(500.0,
+                         std::max(10.0, opts_.session_timeout_ms / 4.0));
+    }
     while (!stop_.load(std::memory_order_relaxed)) {
-        Fd conn = acceptOn(listener_, 0.0, &stop_);
-        if (!conn.valid())
-            continue; // stop requested (or spurious wakeup)
+        Fd conn = acceptOn(listener_, slice, &wake_);
+        if (drain_.load(std::memory_order_relaxed))
+            break; // an accepted-but-unserved conn just closes
+        if (!conn.valid()) {
+            // Stop requested, watchdog tick, or spurious wakeup.
+            reapHung();
+            continue;
+        }
         reapWorkers(false);
 
         std::uint64_t active =
@@ -432,17 +488,26 @@ NocServer::run()
             std::lock_guard<std::mutex> lk(workers_mu_);
             workers_.push_back(std::move(owned));
         }
+        w->last_active_ms.store(nowMs(), std::memory_order_relaxed);
         w->thread = std::thread([this, w, id] {
             try {
-                serveConnection(w->conn, id);
+                serveConnection(*w, id);
             } catch (const SimError &err) {
                 // A sick or vanished client must not take the server
                 // down; drop the session and keep serving the rest.
-                if (!stop_.load(std::memory_order_relaxed)) {
+                // (A reaped session's error is the watchdog's doing,
+                // already counted; shutdown noise is not news either.)
+                if (!stop_.load(std::memory_order_relaxed) &&
+                    !drain_.load(std::memory_order_relaxed) &&
+                    !w->reaped.load(std::memory_order_relaxed)) {
                     warn("nocd session ", id,
                          " ended abnormally: ", err.what());
                 }
             }
+            // The Fd itself is reclaimed later (reapWorkers); shut it
+            // down now so the peer sees EOF the moment the session
+            // ends instead of when the accept loop next turns over.
+            shutdownFd(w->conn);
             sessions_active_.fetch_sub(1, std::memory_order_relaxed);
             w->done.store(true, std::memory_order_release);
         });
@@ -450,25 +515,134 @@ NocServer::run()
         if (opts_.serve_limit > 0 && id >= opts_.serve_limit)
             break; // --once and friends: drain, then return
     }
+    if (drain_.load(std::memory_order_relaxed) &&
+        !stop_.load(std::memory_order_relaxed)) {
+        drainSessions();
+    }
     reapWorkers(true);
 }
 
 void
-NocServer::serveConnection(const Fd &conn, std::uint64_t id)
+NocServer::reapHung()
 {
+    if (opts_.session_timeout_ms <= 0.0)
+        return;
+    const std::uint64_t now = nowMs();
+    const auto budget =
+        static_cast<std::uint64_t>(opts_.session_timeout_ms);
+    std::lock_guard<std::mutex> lk(workers_mu_);
+    for (const auto &w : workers_) {
+        if (w->done.load(std::memory_order_acquire) ||
+            w->reaped.load(std::memory_order_relaxed)) {
+            continue;
+        }
+        std::uint64_t last =
+            w->last_active_ms.load(std::memory_order_relaxed);
+        if (last == 0 || now < last || now - last < budget)
+            continue;
+        w->reaped.store(true, std::memory_order_relaxed);
+        sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
+        // Shut down, don't close: the session thread owns the Fd and
+        // is (at worst) blocked reading it — it sees EOF and unwinds.
+        shutdownFd(w->conn);
+    }
+}
+
+void
+NocServer::drainSessions()
+{
+    const auto start = std::chrono::steady_clock::now();
+    while (sessions_active_.load(std::memory_order_relaxed) > 0) {
+        if (opts_.drain_timeout_ms > 0.0) {
+            double waited = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+            if (waited >= opts_.drain_timeout_ms)
+                break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Whatever is still alive gets the hard stop it would have gotten
+    // without the grace period.
+    stop_.store(true, std::memory_order_relaxed);
+}
+
+void
+NocServer::serveConnection(Worker &w, std::uint64_t id)
+{
+    // The session's view of its socket: a FaultyTransport when the
+    // daemon itself runs chaos (stream = session id, so concurrent
+    // sessions draw independent, individually deterministic fault
+    // sequences), a plain FdChannel otherwise.
+    std::unique_ptr<ByteChannel> owned =
+        std::make_unique<FdChannel>(&w.conn);
+    if (opts_.fault.enabled) {
+        owned = std::make_unique<FaultyTransport>(std::move(owned),
+                                                  opts_.fault, id);
+    }
+    ByteChannel &conn = *owned;
+
     std::unique_ptr<Session> session;
     while (!stop_.load(std::memory_order_relaxed)) {
+        // Drain is only honoured here, between frames: the previous
+        // reply went out whole, nothing has been read of the next
+        // request, so closing now leaves no torn frame on the wire.
+        if (drain_.load(std::memory_order_relaxed)) {
+            drainTail(conn, session, id);
+            return;
+        }
         // The gap while the client simulates its own quantum is free
         // compute: run the predicted next quantum now, so a matching
         // Step is answered with a pre-sealed reply.
         if (session)
             maybeSpeculate(conn, *session, id);
-        auto msg = recvMessage(conn, opts_.io_timeout_ms, &stop_);
+        std::optional<Message> msg;
+        try {
+            msg = recvMessage(conn, opts_.io_timeout_ms, &wake_);
+        } catch (const SimError &) {
+            // A read cut short by shutdown is the wind-down working,
+            // not a session failure. On drain the wake may have
+            // interrupted the wait with a request already buffered on
+            // the socket — that request still deserves its reply.
+            if (stop_.load(std::memory_order_relaxed))
+                return;
+            if (drain_.load(std::memory_order_relaxed)) {
+                drainTail(conn, session, id);
+                return;
+            }
+            throw;
+        }
         if (!msg)
             return; // clean EOF: the client is gone
+        w.last_active_ms.store(nowMs(), std::memory_order_relaxed);
         frames_.fetch_add(1, std::memory_order_relaxed);
         if (!dispatch(conn, *msg, session, id))
             return;
+        w.last_active_ms.store(nowMs(), std::memory_order_relaxed);
+    }
+}
+
+void
+NocServer::drainTail(ByteChannel &conn,
+                     std::unique_ptr<Session> &session, std::uint64_t id)
+{
+    // A request that was already on the wire when the drain landed
+    // gets its reply before the frame-boundary close; a client racing
+    // further requests past this point loses them, exactly as if the
+    // daemon had gone away an instant earlier.
+    try {
+        while (conn.valid() && conn.readable()) {
+            std::optional<Message> msg =
+                recvMessage(conn, opts_.io_timeout_ms);
+            if (!msg)
+                return;
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            if (!dispatch(conn, *msg, session, id))
+                return;
+        }
+    } catch (const SimError &) {
+        // Best effort only: the wind-down must not turn an interrupted
+        // read into a crash.
     }
 }
 
@@ -488,7 +662,7 @@ NocServer::rebase(Session &session)
 }
 
 void
-NocServer::maybeSpeculate(const Fd &conn, Session &session,
+NocServer::maybeSpeculate(ByteChannel &conn, Session &session,
                           std::uint64_t id)
 {
     if (!session.spec_armed || session.spec_valid)
@@ -496,7 +670,7 @@ NocServer::maybeSpeculate(const Fd &conn, Session &session,
     session.spec_armed = false;
     // If the next request already arrived, real work beats
     // speculative work.
-    if (readable(conn))
+    if (conn.readable())
         return;
 
     Tick predicted = session.last_target + session.last_delta;
@@ -532,7 +706,7 @@ NocServer::maybeSpeculate(const Fd &conn, Session &session,
 }
 
 bool
-NocServer::dispatch(const Fd &conn, Message &msg,
+NocServer::dispatch(ByteChannel &conn, Message &msg,
                     std::unique_ptr<Session> &session, std::uint64_t id)
 {
     // Every failure below is reported to the client as a typed

@@ -60,6 +60,7 @@
 
 #include "ipc/frame.hh"
 #include "ipc/socket.hh"
+#include "sim/fault_injector.hh"
 
 namespace rasim
 {
@@ -96,8 +97,22 @@ struct NocServerOptions
     /** Honour client speculation hints (speculative execution of the
      *  predicted next quantum during the client's compute gap). */
     bool speculate = true;
+    /** drain(): how long to wait for live sessions to finish their
+     *  in-flight work before hard-stopping, in ms (0 = forever). */
+    double drain_timeout_ms = 5000.0;
+    /** Session watchdog: a session that completes no frame for this
+     *  long is reaped — its socket is shut down, so a client hung
+     *  mid-frame (or vanished without closing) frees its seat and
+     *  thread. 0 = watchdog off. Must exceed the client's longest
+     *  compute gap between quanta. */
+    double session_timeout_ms = 0.0;
+    /** Server-side transport chaos (fault.transport.*): every session
+     *  connection is wrapped in a FaultyTransport drawing from its own
+     *  schedule stream (the session id), so multi-session chaos stays
+     *  per-session deterministic. */
+    TransportFaultOptions fault;
 
-    /** Read the "server.*" keys. */
+    /** Read the "server.*" and "fault.transport.*" keys. */
     static NocServerOptions fromConfig(const Config &cfg);
 };
 
@@ -115,6 +130,7 @@ struct NocServerCounters
     std::uint64_t sched_waits = 0;       ///< grants that had to queue
     std::uint64_t quota_yields = 0;      ///< forced round-robin yields
     std::uint64_t quota_trips = 0;       ///< batches refused (quota)
+    std::uint64_t sessions_reaped = 0;   ///< hung sessions watchdogged
 };
 
 class NocServer
@@ -142,6 +158,14 @@ class NocServer
     /** Ask run() to return at the next safe point (thread-safe).
      *  In-flight sessions are woken and wound down. */
     void stop();
+
+    /** Graceful shutdown (SIGTERM): stop accepting, let every live
+     *  session finish its in-flight request and close at a frame
+     *  boundary — no torn frames on the wire — then return from
+     *  run(). Sessions still running after drain_timeout_ms are cut
+     *  loose as by stop(). Async-signal-safe (plain atomic stores),
+     *  like stop(). */
+    void drain();
 
     const std::string &address() const { return opts_.address; }
 
@@ -194,16 +218,24 @@ class NocServer
     /** RAII compute grant, bumping the wait/yield counters. */
     class Turn;
 
-    /** Serve one connection until Bye/EOF/stop (worker thread). */
-    void serveConnection(const Fd &conn, std::uint64_t id);
+    /** Serve one connection until Bye/EOF/stop/drain (worker
+     *  thread). The channel view of the Fd is wrapped in a
+     *  FaultyTransport when server-side chaos is on. */
+    void serveConnection(Worker &w, std::uint64_t id);
 
     /** Handle one request; false ends the session. */
-    bool dispatch(const Fd &conn, Message &msg,
+    bool dispatch(ByteChannel &conn, Message &msg,
                   std::unique_ptr<Session> &session, std::uint64_t id);
+
+    /** Serve whatever requests were already buffered on the socket
+     *  when the drain landed, then let the session close at its frame
+     *  boundary. Best-effort: never throws. */
+    void drainTail(ByteChannel &conn, std::unique_ptr<Session> &session,
+                   std::uint64_t id);
 
     /** Speculatively execute the predicted next quantum if the
      *  session armed it and no request is already waiting. */
-    void maybeSpeculate(const Fd &conn, Session &session,
+    void maybeSpeculate(ByteChannel &conn, Session &session,
                         std::uint64_t id);
 
     /** Roll a live speculation back to its snapshot. */
@@ -212,9 +244,21 @@ class NocServer
     /** Join finished workers; with @p all also join the live ones. */
     void reapWorkers(bool all);
 
+    /** Watchdog sweep: shut down the socket of every session that
+     *  has not completed a frame for session_timeout_ms. */
+    void reapHung();
+
+    /** Wait (up to drain_timeout_ms) for live sessions to wind down
+     *  at their frame boundaries, then hard-stop the rest. */
+    void drainSessions();
+
     NocServerOptions opts_;
     Fd listener_;
     std::atomic<bool> stop_{false};
+    std::atomic<bool> drain_{false};
+    /** Set with either stop_ or drain_: wakes blocking accepts and
+     *  session reads promptly (they poll it in timed slices). */
+    std::atomic<bool> wake_{false};
     FairScheduler sched_;
 
     std::mutex workers_mu_;
@@ -230,6 +274,7 @@ class NocServer
     std::atomic<std::uint64_t> sched_waits_{0};
     std::atomic<std::uint64_t> quota_yields_{0};
     std::atomic<std::uint64_t> quota_trips_{0};
+    std::atomic<std::uint64_t> sessions_reaped_{0};
 };
 
 } // namespace ipc

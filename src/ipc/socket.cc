@@ -357,5 +357,40 @@ recvUpTo(const Fd &fd, void *data, std::size_t len, double timeout_ms,
     return got;
 }
 
+void
+shutdownFd(const Fd &fd)
+{
+    if (fd.valid())
+        ::shutdown(fd.get(), SHUT_RDWR);
+}
+
+void
+FdChannel::send(const void *data, std::size_t len)
+{
+    sendAll(*fd_, data, len);
+}
+
+std::size_t
+FdChannel::recv(void *data, std::size_t len, double timeout_ms,
+                const std::atomic<bool> *abort)
+{
+    return recvUpTo(*fd_, data, len, timeout_ms, abort);
+}
+
+bool
+FdChannel::readable() const
+{
+    return ipc::readable(*fd_);
+}
+
+void
+FdChannel::close()
+{
+    if (fd_ == &owned_)
+        owned_.reset();
+    else
+        shutdownFd(*fd_);
+}
+
 } // namespace ipc
 } // namespace rasim

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 
 namespace rasim
@@ -128,6 +129,62 @@ void sendAll(const Fd &fd, const void *data, std::size_t len);
 std::size_t recvUpTo(const Fd &fd, void *data, std::size_t len,
                      double timeout_ms,
                      const std::atomic<bool> *abort = nullptr);
+
+/** Shut both directions of @p fd down without closing the descriptor:
+ *  the peer (and any thread blocked reading it) sees EOF immediately.
+ *  Used by the daemon's session watchdog to reap a hung session whose
+ *  Fd is owned by another thread. No-op on an invalid Fd. */
+void shutdownFd(const Fd &fd);
+
+/**
+ * A byte stream the framing layer reads and writes through. The plain
+ * implementation (FdChannel) forwards to the socket primitives above;
+ * decorators (ipc::FaultyTransport) interpose to inject transport
+ * faults deterministically. Semantics mirror sendAll/recvUpTo: send()
+ * writes everything or throws; recv() returns the bytes read before a
+ * clean EOF and throws on IO errors, deadline expiry or abort.
+ */
+class ByteChannel
+{
+  public:
+    virtual ~ByteChannel() = default;
+
+    virtual void send(const void *data, std::size_t len) = 0;
+    virtual std::size_t recv(void *data, std::size_t len,
+                             double timeout_ms,
+                             const std::atomic<bool> *abort) = 0;
+    /** True when a recv would not block right now. */
+    virtual bool readable() const = 0;
+    /** True while the underlying connection is usable. */
+    virtual bool valid() const = 0;
+    /** Tear the connection down (idempotent). */
+    virtual void close() = 0;
+};
+
+/** ByteChannel over an Fd: owning (client connections) or borrowing
+ *  (server connections, whose Fd lives with the worker thread). */
+class FdChannel final : public ByteChannel
+{
+  public:
+    /** Own @p fd; close() resets it. */
+    explicit FdChannel(Fd fd) : owned_(std::move(fd)), fd_(&owned_) {}
+    /** Borrow @p fd; close() shuts it down but the owner still
+     *  closes the descriptor. */
+    explicit FdChannel(const Fd *borrowed) : fd_(borrowed) {}
+
+    void send(const void *data, std::size_t len) override;
+    std::size_t recv(void *data, std::size_t len, double timeout_ms,
+                     const std::atomic<bool> *abort) override;
+    bool readable() const override;
+    bool valid() const override { return fd_->valid(); }
+    void close() override;
+
+    const Fd &fd() const { return *fd_; }
+
+  private:
+    Fd owned_;
+    const Fd *fd_;
+};
 
 } // namespace ipc
 } // namespace rasim

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ipc/faulty_transport.hh"
 #include "ipc/frame.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
@@ -13,6 +14,14 @@ namespace noc
 {
 namespace remote
 {
+
+namespace
+{
+
+/** Rng stream of the retry policy's jitter draws. */
+constexpr std::uint64_t rng_stream_retry = 0x7274;
+
+} // namespace
 
 RemoteOptions
 RemoteOptions::fromConfig(const Config &cfg)
@@ -29,8 +38,46 @@ RemoteOptions::fromConfig(const Config &cfg)
     o.pipeline = cfg.getBool("network.pipeline.enabled", o.pipeline);
     o.speculate =
         cfg.getBool("network.pipeline.speculate", o.speculate);
+
+    // Failover set: a comma-separated endpoint list overrides the
+    // single remote.socket address (and becomes the primary).
+    std::string eps = cfg.getString("network.remote.endpoints", "");
+    if (!eps.empty()) {
+        o.endpoints.clear();
+        std::size_t pos = 0;
+        while (pos <= eps.size()) {
+            std::size_t comma = eps.find(',', pos);
+            std::string ep =
+                comma == std::string::npos
+                    ? eps.substr(pos)
+                    : eps.substr(pos, comma - pos);
+            while (!ep.empty() && (ep.front() == ' ' || ep.front() == '\t'))
+                ep.erase(ep.begin());
+            while (!ep.empty() && (ep.back() == ' ' || ep.back() == '\t'))
+                ep.pop_back();
+            if (!ep.empty())
+                o.endpoints.push_back(ep);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (o.endpoints.empty())
+            fatal("network.remote.endpoints: no usable address in '",
+                  eps, "'");
+        o.socket = o.endpoints.front();
+    }
+    o.ckpt_quanta =
+        cfg.getUInt("network.remote.ckpt_quanta", o.ckpt_quanta);
+    o.retry = ipc::RetryOptions::fromConfig(cfg);
+    o.fault = TransportFaultOptions::fromConfig(cfg);
+
     if (!ipc::validAddress(o.socket))
         fatal("remote.socket: unusable address '", o.socket, "'");
+    for (const std::string &ep : o.endpoints) {
+        if (!ipc::validAddress(ep))
+            fatal("network.remote.endpoints: unusable address '", ep,
+                  "'");
+    }
     if (o.connect_timeout_ms <= 0.0)
         fatal("remote.connect_timeout_ms must be positive");
     if (o.quantum_timeout_ms < 0.0)
@@ -60,8 +107,6 @@ RemoteNetwork::RemoteNetwork(Simulation &sim, const std::string &name,
       hopCount(this, "hop_count", "router-to-router hops per packet"),
       rpcRoundTrips(this, "rpc_round_trips",
                     "quantum RPC round-trips completed"),
-      reconnects(this, "reconnects",
-                 "sessions re-opened after a connection loss"),
       elidedQuanta(this, "elided_quanta",
                    "idle quanta served without touching the wire"),
       specHits(this, "spec_hits",
@@ -70,6 +115,17 @@ RemoteNetwork::RemoteNetwork(Simulation &sim, const std::string &name,
                   "server speculations rolled back before serving"),
       schedThrottles(this, "sched_throttles",
                      "replies delayed by the server's fair scheduler"),
+      health(this, "health"),
+      reconnects(&health, "reconnects",
+                 "sessions re-opened after a connection loss"),
+      retries(&health, "retries",
+              "transport attempts re-run after a backoff"),
+      failovers(&health, "failovers",
+                "sessions moved to a different endpoint"),
+      backoffMsTotal(&health, "backoff_ms_total",
+                     "wall-clock milliseconds slept in retry backoffs"),
+      breakerTrips(&health, "breaker_trips",
+                   "circuit breaker openings (exhausted retry rounds)"),
       params_(params), options_(std::move(options)),
       // Identical geometry to the bridge's reciprocal table, so the
       // server's shadow table and the bridge's table are comparable
@@ -83,24 +139,36 @@ RemoteNetwork::RemoteNetwork(Simulation &sim, const std::string &name,
                    params.numNodes())
 {
     params_.validate();
+    if (options_.endpoints.empty())
+        options_.endpoints = {options_.socket};
+    // One fault schedule and one retry policy for the object's whole
+    // life: the draw sequences run across reconnects and failovers,
+    // which is what makes a chaos run reproducible end to end.
+    fault_sched_ = TransportFaultSchedule(options_.fault);
+    retry_ = ipc::RetryPolicy(options_.retry,
+                              sim.makeRng(rng_stream_retry));
     for (int v = 0; v < num_vnets; ++v) {
         vnetLatency.push_back(std::make_unique<stats::Distribution>(
             this, std::string("latency_vnet") + std::to_string(v),
             "total latency on vnet " + std::to_string(v)));
     }
     num_nodes_ = static_cast<std::uint64_t>(params_.numNodes());
-    ensureSession();
+    runWithRetry([] { return 0; });
 }
 
 RemoteNetwork::~RemoteNetwork()
 {
-    if (!fd_.valid())
-        return;
-    try {
-        ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::Bye));
-    } catch (const SimError &) {
-        // Best-effort goodbye; the server treats EOF the same way.
-    }
+    auto bye = [](ipc::ByteChannel *ch) {
+        if (!ch || !ch->valid())
+            return;
+        try {
+            ipc::sendMessage(*ch, ipc::beginMessage(ipc::MsgType::Bye));
+        } catch (const SimError &) {
+            // Best-effort goodbye; the server treats EOF the same way.
+        }
+    };
+    bye(standby_chan_.get());
+    bye(chan_.get());
 }
 
 std::size_t
@@ -121,6 +189,12 @@ RemoteNetwork::requestAbort()
     abort_.store(true, std::memory_order_relaxed);
 }
 
+ipc::FaultyTransport *
+RemoteNetwork::faultyChannel()
+{
+    return dynamic_cast<ipc::FaultyTransport *>(chan_.get());
+}
+
 void
 RemoteNetwork::inject(const PacketPtr &pkt)
 {
@@ -132,25 +206,60 @@ RemoteNetwork::inject(const PacketPtr &pkt)
     pending_.push_back(pkt);
 }
 
-void
-RemoteNetwork::markDisconnected()
+bool
+RemoteNetwork::retryable(const SimError &err) const
 {
-    fd_.reset();
-    // Injections buffered for the dead server die with it — the same
-    // information loss the quarantine itself represents. A fresh
-    // session starts from an empty network at the current tick.
-    pending_.clear();
+    // An abort is the caller cancelling the operation; honouring it
+    // beats masking it.
+    if (abort_.load(std::memory_order_relaxed))
+        return false;
+    return err.kind() == ErrorKind::Transport ||
+           err.kind() == ErrorKind::Timeout;
 }
 
 void
-RemoteNetwork::rethrowPartingError(const SimError &send_err)
+RemoteNetwork::syncHealthStats()
+{
+    retries.set(static_cast<double>(retry_.retries()));
+    breakerTrips.set(static_cast<double>(retry_.breakerTrips()));
+    backoffMsTotal.set(retry_.backoffMsTotal());
+}
+
+void
+RemoteNetwork::markDisconnected()
+{
+    // Only the connection dies; the recovery lineage (base image +
+    // journal) stays, so a retry can rebuild the server state.
+    chan_.reset();
+}
+
+void
+RemoteNetwork::giveUp()
+{
+    // The retry round is exhausted: drop the whole lineage, reverting
+    // to the pre-retry lossy semantics the bridge's quarantine is built
+    // around. Buffered injections die with the server that would have
+    // simulated them; a later re-engagement opens a fresh session from
+    // an empty fabric at the current tick.
+    journal_.clear();
+    base_image_.clear();
+    journal_base_ = cur_time_;
+    quanta_since_base_ = 0;
+    pending_.clear();
+    standby_chan_.reset();
+    standby_valid_ = false;
+}
+
+void
+RemoteNetwork::rethrowPartingError(ipc::ByteChannel &ch,
+                                   const SimError &send_err)
 {
     // An AF_UNIX peer's close does not discard data it already wrote,
     // so an admission refusal sent just before the close is still
     // readable even though our own send got EPIPE.
     std::optional<ipc::Message> parting;
     try {
-        parting = ipc::recvMessage(fd_, 200.0, &abort_);
+        parting = ipc::recvMessage(ch, 200.0, &abort_);
     } catch (const SimError &) {
         throw send_err;
     }
@@ -160,65 +269,205 @@ RemoteNetwork::rethrowPartingError(const SimError &send_err)
 }
 
 ipc::Message
-RemoteNetwork::expectReply(double timeout_ms)
+RemoteNetwork::expectReplyOn(ipc::ByteChannel &ch,
+                             const std::string &addr, double timeout_ms)
 {
-    auto msg = ipc::recvMessage(fd_, timeout_ms, &abort_);
+    auto msg = ipc::recvMessage(ch, timeout_ms, &abort_);
     if (!msg) {
         throw SimError(ErrorKind::Transport,
-                       "server '" + options_.socket +
+                       "server '" + addr +
                            "' closed the connection mid-request");
     }
     return std::move(*msg);
 }
 
+ipc::Message
+RemoteNetwork::expectReply(double timeout_ms)
+{
+    return expectReplyOn(*chan_, activeEndpoint(), timeout_ms);
+}
+
+std::unique_ptr<ipc::ByteChannel>
+RemoteNetwork::openChannelTo(std::size_t ep, double timeout_ms)
+{
+    ipc::Fd fd = ipc::connectTo(options_.endpoints[ep], timeout_ms);
+    std::unique_ptr<ipc::ByteChannel> ch =
+        std::make_unique<ipc::FdChannel>(std::move(fd));
+    if (options_.fault.enabled) {
+        ch = std::make_unique<ipc::FaultyTransport>(std::move(ch),
+                                                    &fault_sched_);
+    }
+    return ch;
+}
+
+ipc::HelloReply
+RemoteNetwork::helloOn(ipc::ByteChannel &ch, const std::string &addr,
+                       Tick start_tick)
+{
+    ipc::HelloRequest req;
+    req.model = options_.model;
+    req.params = params_;
+    req.engine_workers = options_.engine_workers;
+    req.start_tick = start_tick;
+    req.table_alpha = table_proto_.alpha();
+    req.table_pair_granularity =
+        table_proto_.granularity() ==
+        abstractnet::LatencyTable::Granularity::Pair;
+    req.table_max_hops = table_proto_.maxHops();
+    ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Hello);
+    ipc::encodeHello(aw, req);
+    try {
+        ipc::sendMessage(ch, std::move(aw));
+    } catch (const SimError &e) {
+        // The server can refuse admission and close before our Hello
+        // lands; surface its typed refusal, not the EPIPE.
+        rethrowPartingError(ch, e);
+    }
+
+    ipc::Message msg =
+        expectReplyOn(ch, addr, options_.connect_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::HelloAck) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected HelloAck, got ") +
+                           ipc::toString(msg.type));
+    }
+    ipc::HelloReply rep = ipc::decodeHelloReply(msg.ar);
+    msg.done();
+    return rep;
+}
+
+Tick
+RemoteNetwork::ckptLoadOn(ipc::ByteChannel &ch, const std::string &addr,
+                          const std::string &image)
+{
+    ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::CkptLoad);
+    aw.putString(image);
+    ipc::sendMessage(ch, std::move(aw));
+    ipc::Message msg =
+        expectReplyOn(ch, addr, options_.quantum_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::CkptLoadAck) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected CkptLoadAck, got ") +
+                           ipc::toString(msg.type));
+    }
+    Tick tick = ipc::decodeTick(msg.ar);
+    msg.done();
+    return tick;
+}
+
+bool
+RemoteNetwork::promoteStandby()
+{
+    if (!standby_valid_ || !standby_chan_ || !standby_chan_->valid() ||
+        standby_tick_ != journal_base_ || base_image_.empty())
+        return false;
+    // Hot failover: the standby session already holds the base image,
+    // so recovery is the journal replay alone — no state transfer on
+    // the critical path.
+    chan_ = std::move(standby_chan_);
+    standby_valid_ = false;
+    active_ep_ = (active_ep_ + 1) % options_.endpoints.size();
+    ++failovers;
+    server_time_ = standby_tick_;
+    return true;
+}
+
+void
+RemoteNetwork::coldOpen()
+{
+    const std::size_t n = options_.endpoints.size();
+    std::optional<SimError> last;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t ep = (active_ep_ + i) % n;
+        const std::string &addr = options_.endpoints[ep];
+        try {
+            // Cap the connect wait to the retry round's remaining
+            // deadline, so a dead endpoint cannot eat the budget of
+            // the live ones behind it.
+            double budget =
+                retry_.capToDeadline(options_.connect_timeout_ms);
+            std::unique_ptr<ipc::ByteChannel> ch =
+                openChannelTo(ep, budget);
+            // With a base image the fresh fabric starts at tick 0 and
+            // the image rewinds it to the base; without one the
+            // lineage is empty and the session starts cold at the
+            // base tick.
+            Tick start = base_image_.empty() ? journal_base_ : 0;
+            ipc::HelloReply rep = helloOn(*ch, addr, start);
+            Tick server_tick = journal_base_;
+            if (!base_image_.empty()) {
+                server_tick = ckptLoadOn(*ch, addr, base_image_);
+                if (server_tick != journal_base_) {
+                    throw SimError(
+                        ErrorKind::Transport,
+                        "restored server is at tick " +
+                            std::to_string(server_tick) +
+                            " but the base image was taken at tick " +
+                            std::to_string(journal_base_));
+                }
+            }
+            num_nodes_ = rep.num_nodes;
+            if (ep != active_ep_)
+                ++failovers;
+            active_ep_ = ep;
+            chan_ = std::move(ch);
+            server_time_ = server_tick;
+            return;
+        } catch (const SimError &e) {
+            last = e;
+        }
+    }
+    throw *last; // endpoints is never empty
+}
+
+void
+RemoteNetwork::replayJournal()
+{
+    for (const QuantumRecord &rec : journal_) {
+        ipc::StepRequest req;
+        req.target = rec.target;
+        req.speculate = false;
+        req.packets = rec.packets;
+        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
+        ipc::encodeStep(aw, req);
+        ipc::sendMessage(*chan_, std::move(aw));
+        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::StepReply) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected StepReply, got ") +
+                               ipc::toString(msg.type));
+        }
+        std::uint8_t flags = 0;
+        ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
+        msg.done();
+        // The replies' deliveries (and spec flags) were already
+        // applied in the original run; only the clock mirror moves.
+        server_time_ = rep.cur_time;
+    }
+}
+
 void
 RemoteNetwork::ensureSession()
 {
-    if (fd_.valid())
+    if (chan_ && chan_->valid())
         return;
-    try {
-        fd_ = ipc::connectTo(options_.socket,
-                             options_.connect_timeout_ms);
-        ipc::HelloRequest req;
-        req.model = options_.model;
-        req.params = params_;
-        req.engine_workers = options_.engine_workers;
-        req.start_tick = cur_time_;
-        req.table_alpha = table_proto_.alpha();
-        req.table_pair_granularity =
-            table_proto_.granularity() ==
-            abstractnet::LatencyTable::Granularity::Pair;
-        req.table_max_hops = table_proto_.maxHops();
-        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Hello);
-        ipc::encodeHello(aw, req);
-        try {
-            ipc::sendMessage(fd_, std::move(aw));
-        } catch (const SimError &e) {
-            // The server can refuse admission and close before our
-            // Hello lands; surface its typed refusal, not the EPIPE.
-            rethrowPartingError(e);
-        }
-
-        ipc::Message msg = expectReply(options_.connect_timeout_ms);
-        if (msg.type == ipc::MsgType::ErrorReply)
-            ipc::throwDecodedError(msg.ar);
-        if (msg.type != ipc::MsgType::HelloAck) {
-            throw SimError(ErrorKind::Transport,
-                           std::string("expected HelloAck, got ") +
-                               ipc::toString(msg.type));
-        }
-        ipc::HelloReply rep = ipc::decodeHelloReply(msg.ar);
-        msg.done();
-        num_nodes_ = rep.num_nodes;
-        cur_time_ = rep.cur_time;
-        server_time_ = rep.cur_time;
-        if (ever_connected_)
-            ++reconnects;
-        ever_connected_ = true;
-    } catch (const SimError &) {
-        markDisconnected();
-        throw;
-    }
+    chan_.reset();
+    const bool recon = ever_connected_;
+    if (!promoteStandby())
+        coldOpen();
+    ever_connected_ = true;
+    if (recon)
+        ++reconnects;
+    // By the server's determinism, re-issuing the journaled quanta
+    // against the restored base reproduces the pre-failure state —
+    // deliveries, stats and tuned table — bit for bit.
+    replayJournal();
 }
 
 void
@@ -250,6 +499,62 @@ RemoteNetwork::applyReply(const ipc::AdvanceReply &rep)
 }
 
 void
+RemoteNetwork::stepOnce(const ipc::StepRequest &req, bool count_flags)
+{
+    ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
+    ipc::encodeStep(aw, req);
+    ipc::sendMessage(*chan_, std::move(aw));
+
+    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::StepReply) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected StepReply, got ") +
+                           ipc::toString(msg.type));
+    }
+    std::uint8_t flags = 0;
+    ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
+    msg.done();
+    if (count_flags) {
+        if (flags & ipc::step_flag_spec_hit)
+            ++specHits;
+        if (flags & ipc::step_flag_rebased)
+            ++specRebases;
+        if (flags & ipc::step_flag_throttled)
+            ++schedThrottles;
+    }
+    applyReply(rep);
+}
+
+void
+RemoteNetwork::advanceOnce(Tick t, const std::vector<PacketPtr> &packets)
+{
+    // v1 blocking exchange, kept for old servers and as the
+    // differential baseline (network.pipeline.enabled=false).
+    if (!packets.empty()) {
+        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::InjectBatch);
+        ipc::encodePackets(aw, packets);
+        ipc::sendMessage(*chan_, std::move(aw));
+    }
+    ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Advance);
+    ipc::encodeAdvance(aw, t);
+    ipc::sendMessage(*chan_, std::move(aw));
+
+    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::DeliveryBatch) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected DeliveryBatch, got ") +
+                           ipc::toString(msg.type));
+    }
+    ipc::AdvanceReply rep = ipc::decodeAdvanceReply(msg.ar);
+    msg.done();
+    applyReply(rep);
+}
+
+void
 RemoteNetwork::advanceTo(Tick t)
 {
     // The abort request is sticky until the next advanceTo() call.
@@ -270,108 +575,123 @@ RemoteNetwork::advanceTo(Tick t)
         return;
     }
 
-    try {
-        ensureSession();
-        if (options_.pipeline) {
-            // Coalesced v2 exchange: inject batch + advance target in
-            // one frame, reply in one frame — two syscalls a quantum.
-            ipc::StepRequest req;
-            req.target = t;
-            req.speculate = options_.speculate;
-            req.packets = std::move(pending_);
-            pending_.clear();
-            ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
-            ipc::encodeStep(aw, req);
-            ipc::sendMessage(fd_, std::move(aw));
-
-            ipc::Message msg = expectReply(options_.quantum_timeout_ms);
-            if (msg.type == ipc::MsgType::ErrorReply)
-                ipc::throwDecodedError(msg.ar);
-            if (msg.type != ipc::MsgType::StepReply) {
-                throw SimError(ErrorKind::Transport,
-                               std::string("expected StepReply, got ") +
-                                   ipc::toString(msg.type));
-            }
-            std::uint8_t flags = 0;
-            ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
-            msg.done();
-            if (flags & ipc::step_flag_spec_hit)
-                ++specHits;
-            if (flags & ipc::step_flag_rebased)
-                ++specRebases;
-            if (flags & ipc::step_flag_throttled)
-                ++schedThrottles;
-            applyReply(rep);
-            return;
-        }
-
-        // v1 blocking exchange, kept for old servers and as the
-        // differential baseline (network.pipeline.enabled=false).
-        if (!pending_.empty()) {
-            ArchiveWriter aw =
-                ipc::beginMessage(ipc::MsgType::InjectBatch);
-            ipc::encodePackets(aw, pending_);
-            ipc::sendMessage(fd_, std::move(aw));
-            pending_.clear();
-        }
-        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Advance);
-        ipc::encodeAdvance(aw, t);
-        ipc::sendMessage(fd_, std::move(aw));
-
-        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
-        if (msg.type == ipc::MsgType::ErrorReply)
-            ipc::throwDecodedError(msg.ar);
-        if (msg.type != ipc::MsgType::DeliveryBatch) {
-            throw SimError(ErrorKind::Transport,
-                           std::string("expected DeliveryBatch, got ") +
-                               ipc::toString(msg.type));
-        }
-        ipc::AdvanceReply rep = ipc::decodeAdvanceReply(msg.ar);
-        msg.done();
-        applyReply(rep);
-    } catch (const SimError &) {
-        // Whatever went wrong (torn frame, timeout, server-side trip),
-        // the stream can no longer be trusted to be in sync; drop the
-        // session so a re-engagement starts clean.
-        markDisconnected();
-        throw;
+    // Build the quantum request once; every retry attempt re-sends
+    // identical bytes against a recovered session, and the request
+    // joins the journal on success so later recoveries replay it.
+    std::vector<PacketPtr> packets = std::move(pending_);
+    pending_.clear();
+    if (options_.pipeline) {
+        // Coalesced v2 exchange: inject batch + advance target in
+        // one frame, reply in one frame — two syscalls a quantum.
+        ipc::StepRequest req;
+        req.target = t;
+        req.speculate = options_.speculate;
+        req.packets = std::move(packets);
+        runWithRetry([&] {
+            stepOnce(req, true);
+            return 0;
+        });
+        journal_.push_back({t, std::move(req.packets)});
+    } else {
+        runWithRetry([&] {
+            advanceOnce(t, packets);
+            return 0;
+        });
+        journal_.push_back({t, std::move(packets)});
     }
+    ++quanta_since_base_;
+    if (options_.ckpt_quanta != 0 &&
+        quanta_since_base_ >= options_.ckpt_quanta)
+        refreshBase();
 }
 
 void
-RemoteNetwork::syncServer()
+RemoteNetwork::syncNow()
 {
-    ensureSession();
     if (server_time_ >= cur_time_)
         return;
     // Idle elision left the server's clock behind; an empty,
     // unspeculated Step brings it to the client's tick so paired
     // state (tables, stats, checkpoints) is read at the same time on
     // both sides. The fabric was idle throughout, so the reply cannot
-    // carry deliveries.
+    // carry deliveries. Not journaled: a recovery replay ends at the
+    // last journaled quantum and the next syncNow() repeats the
+    // catch-up, deterministically.
+    ipc::StepRequest req;
+    req.target = cur_time_;
+    ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
+    ipc::encodeStep(aw, req);
+    ipc::sendMessage(*chan_, std::move(aw));
+    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::StepReply) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected StepReply, got ") +
+                           ipc::toString(msg.type));
+    }
+    std::uint8_t flags = 0;
+    ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
+    msg.done();
+    applyReply(rep);
+}
+
+std::string
+RemoteNetwork::ckptSaveNow()
+{
+    ipc::sendMessage(*chan_, ipc::beginMessage(ipc::MsgType::CkptSave));
+    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+    if (msg.type == ipc::MsgType::ErrorReply)
+        ipc::throwDecodedError(msg.ar);
+    if (msg.type != ipc::MsgType::CkptData) {
+        throw SimError(ErrorKind::Transport,
+                       std::string("expected CkptData, got ") +
+                           ipc::toString(msg.type));
+    }
+    std::string image = ipc::decodeBlob(msg.ar);
+    msg.done();
+    return image;
+}
+
+void
+RemoteNetwork::refreshBase()
+{
     try {
-        ipc::StepRequest req;
-        req.target = cur_time_;
-        ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
-        ipc::encodeStep(aw, req);
-        ipc::sendMessage(fd_, std::move(aw));
-        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
-        if (msg.type == ipc::MsgType::ErrorReply)
-            ipc::throwDecodedError(msg.ar);
-        if (msg.type != ipc::MsgType::StepReply) {
-            throw SimError(ErrorKind::Transport,
-                           std::string("expected StepReply, got ") +
-                               ipc::toString(msg.type));
-        }
-        std::uint8_t flags = 0;
-        ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
-        msg.done();
-        applyReply(rep);
+        syncNow();
+        std::string image = ckptSaveNow();
+        base_image_ = std::move(image);
+        journal_base_ = cur_time_;
+        journal_.clear();
+        quanta_since_base_ = 0;
+        replicateToStandby();
     } catch (const SimError &) {
-        // A torn sync leaves the stream unsynchronized; drop the
-        // session so a re-engagement starts clean.
+        // Single attempt, failure swallowed: the old lineage (longer
+        // journal) is still valid, and the next operation's retry
+        // round recovers the dropped connection.
         markDisconnected();
-        throw;
+    }
+}
+
+void
+RemoteNetwork::replicateToStandby()
+{
+    if (options_.endpoints.size() < 2 || base_image_.empty())
+        return;
+    const std::size_t ep = (active_ep_ + 1) % options_.endpoints.size();
+    const std::string &addr = options_.endpoints[ep];
+    try {
+        if (!standby_chan_ || !standby_chan_->valid()) {
+            standby_chan_ =
+                openChannelTo(ep, options_.connect_timeout_ms);
+            helloOn(*standby_chan_, addr, 0);
+        }
+        standby_tick_ = ckptLoadOn(*standby_chan_, addr, base_image_);
+        standby_valid_ = standby_tick_ == journal_base_;
+    } catch (const SimError &) {
+        // Best-effort: a dead standby costs nothing until the primary
+        // also dies, and the cold-open path covers that.
+        standby_chan_.reset();
+        standby_valid_ = false;
     }
 }
 
@@ -384,50 +704,56 @@ RemoteNetwork::setDeliveryHandler(DeliveryHandler handler)
 abstractnet::LatencyTable
 RemoteNetwork::fetchTunedTable()
 {
-    syncServer();
-    ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::TableGet));
-    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
-    if (msg.type == ipc::MsgType::ErrorReply)
-        ipc::throwDecodedError(msg.ar);
-    if (msg.type != ipc::MsgType::TableData) {
-        throw SimError(ErrorKind::Transport,
-                       std::string("expected TableData, got ") +
-                           ipc::toString(msg.type));
-    }
-    abstractnet::LatencyTable table = table_proto_;
-    try {
-        // Table bytes come off the wire: archive misuse on a
-        // CRC-valid-but-malformed payload must be a typed error.
-        logging::ThrowOnError guard;
-        table.restoreBinary(msg.ar);
-    } catch (const SimError &err) {
-        if (err.kind() == ErrorKind::Transport ||
-            err.kind() == ErrorKind::Timeout)
-            throw;
-        throw SimError(ErrorKind::Transport,
-                       std::string("malformed TableData payload: ") +
-                           err.what());
-    }
-    msg.done();
-    return table;
+    return runWithRetry([&] {
+        syncNow();
+        ipc::sendMessage(*chan_,
+                         ipc::beginMessage(ipc::MsgType::TableGet));
+        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::TableData) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected TableData, got ") +
+                               ipc::toString(msg.type));
+        }
+        abstractnet::LatencyTable table = table_proto_;
+        try {
+            // Table bytes come off the wire: archive misuse on a
+            // CRC-valid-but-malformed payload must be a typed error.
+            logging::ThrowOnError guard;
+            table.restoreBinary(msg.ar);
+        } catch (const SimError &err) {
+            if (err.kind() == ErrorKind::Transport ||
+                err.kind() == ErrorKind::Timeout)
+                throw;
+            throw SimError(ErrorKind::Transport,
+                           std::string("malformed TableData payload: ") +
+                               err.what());
+        }
+        msg.done();
+        return table;
+    });
 }
 
 std::vector<ipc::StatRow>
 RemoteNetwork::fetchRemoteStats()
 {
-    syncServer();
-    ipc::sendMessage(fd_, ipc::beginMessage(ipc::MsgType::StatsGet));
-    ipc::Message msg = expectReply(options_.quantum_timeout_ms);
-    if (msg.type == ipc::MsgType::ErrorReply)
-        ipc::throwDecodedError(msg.ar);
-    if (msg.type != ipc::MsgType::StatsData) {
-        throw SimError(ErrorKind::Transport,
-                       std::string("expected StatsData, got ") +
-                           ipc::toString(msg.type));
-    }
-    auto rows = ipc::decodeStatsReply(msg.ar);
-    msg.done();
-    return rows;
+    return runWithRetry([&] {
+        syncNow();
+        ipc::sendMessage(*chan_,
+                         ipc::beginMessage(ipc::MsgType::StatsGet));
+        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
+        if (msg.type == ipc::MsgType::ErrorReply)
+            ipc::throwDecodedError(msg.ar);
+        if (msg.type != ipc::MsgType::StatsData) {
+            throw SimError(ErrorKind::Transport,
+                           std::string("expected StatsData, got ") +
+                               ipc::toString(msg.type));
+        }
+        auto rows = ipc::decodeStatsReply(msg.ar);
+        msg.done();
+        return rows;
+    });
 }
 
 void
@@ -451,25 +777,23 @@ RemoteNetwork::save(ArchiveWriter &aw)
     // loss the outage itself caused).
     std::string image;
     try {
-        // The paired image must be taken at the client's tick, not
-        // wherever idle elision left the server's clock.
-        syncServer();
-        ipc::sendMessage(fd_,
-                         ipc::beginMessage(ipc::MsgType::CkptSave));
-        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
-        if (msg.type == ipc::MsgType::ErrorReply)
-            ipc::throwDecodedError(msg.ar);
-        if (msg.type != ipc::MsgType::CkptData) {
-            throw SimError(ErrorKind::Transport,
-                           std::string("expected CkptData, got ") +
-                               ipc::toString(msg.type));
-        }
-        image = ipc::decodeBlob(msg.ar);
-        msg.done();
+        image = runWithRetry([&] {
+            // The paired image must be taken at the client's tick, not
+            // wherever idle elision left the server's clock.
+            syncNow();
+            return ckptSaveNow();
+        });
     } catch (const SimError &err) {
-        markDisconnected();
         warn("remote checkpoint unavailable (", err.what(),
              "); saving the client half only");
+    }
+    if (!image.empty()) {
+        // An explicit checkpoint is also a fresh recovery base.
+        base_image_ = image;
+        journal_base_ = cur_time_;
+        journal_.clear();
+        quanta_since_base_ = 0;
+        replicateToStandby();
     }
     aw.putBool(!image.empty());
     if (!image.empty())
@@ -496,38 +820,20 @@ RemoteNetwork::restore(ArchiveReader &ar)
     std::string image = has_image ? ar.getString() : std::string();
     ar.endSection();
 
-    if (has_image) {
-        // Push the paired image into the (possibly brand-new) server
-        // session; the hosted network resumes mid-flight state and all.
-        ensureSession();
-        ArchiveWriter aw =
-            ipc::beginMessage(ipc::MsgType::CkptLoad);
-        aw.putString(image);
-        ipc::sendMessage(fd_, std::move(aw));
-        ipc::Message msg = expectReply(options_.quantum_timeout_ms);
-        if (msg.type == ipc::MsgType::ErrorReply)
-            ipc::throwDecodedError(msg.ar);
-        if (msg.type != ipc::MsgType::CkptLoadAck) {
-            throw SimError(ErrorKind::Transport,
-                           std::string("expected CkptLoadAck, got ") +
-                               ipc::toString(msg.type));
-        }
-        Tick server_tick = ipc::decodeTick(msg.ar);
-        msg.done();
-        server_time_ = server_tick;
-        if (server_tick != cur_time_) {
-            throw SimError(ErrorKind::Transport,
-                           "restored server is at tick " +
-                               std::to_string(server_tick) +
-                               " but the client checkpoint was taken "
-                               "at tick " +
-                               std::to_string(cur_time_));
-        }
-    } else {
-        // No paired image: rebuild an empty fabric at the saved tick.
-        markDisconnected();
-        ensureSession();
-    }
+    // Whatever session is live belongs to the pre-restore timeline;
+    // the restored image becomes the new recovery base (empty image =
+    // cold Hello at the saved tick, rebuilding an empty fabric).
+    markDisconnected();
+    standby_chan_.reset();
+    standby_valid_ = false;
+    journal_.clear();
+    quanta_since_base_ = 0;
+    journal_base_ = cur_time_;
+    base_image_ = std::move(image);
+
+    runWithRetry([] { return 0; });
+    if (has_image)
+        replicateToStandby();
     pending_ = std::move(pending);
 }
 

@@ -27,12 +27,31 @@
  * preserve the delivery stream, stats tree and tuned table bit for
  * bit.
  *
- * Failure: every transport fault or quantum timeout surfaces inside
- * advanceTo() as a typed SimError — precisely where the co-simulation
- * bridge's health machinery catches backend failures — so a killed
- * server degrades the run to the tuned-abstract fallback instead of
- * hanging it. On re-engagement the client transparently reconnects,
- * opening a fresh session fast-forwarded to the current tick.
+ * Failure: every transport fault or quantum timeout is first fought
+ * locally. The deterministic retry policy (network.remote.retry.*)
+ * reconnects with seeded jittered backoff and rebuilds the server's
+ * state from the client's *recovery lineage*: the last base checkpoint
+ * image (refreshed every network.remote.ckpt_quanta quanta) plus a
+ * journal of every quantum request issued since. Replaying the journal
+ * into a fresh session reproduces, by the server's own determinism,
+ * the exact pre-failure state — so the retried quantum proceeds as if
+ * nothing happened, bit for bit. With network.remote.endpoints listing
+ * standby servers the client also keeps a warm standby session primed
+ * with each base image refresh and promotes it on a primary loss (hot
+ * failover). Only when the retry budget or circuit breaker is
+ * exhausted does the failure surface inside advanceTo() as a typed
+ * SimError — precisely where the co-simulation bridge's health
+ * machinery catches backend failures and degrades the run to the
+ * tuned-abstract fallback; the lineage is dropped at that point, so a
+ * later re-engagement opens a fresh session fast-forwarded to the
+ * current tick (the pre-retry lossy semantics).
+ *
+ * Chaos: with fault.transport.* enabled every connection is wrapped in
+ * an ipc::FaultyTransport drawing from one TransportFaultSchedule
+ * shared across all of the client's connections, so a faulty run is
+ * exactly reproducible — and, while every fault stays within the retry
+ * budget, bit-identical to the fault-free run (the chaos differential
+ * proof; see tests/noc/chaos_differential_test.cc).
  */
 
 #ifndef RASIM_NOC_REMOTE_REMOTE_NETWORK_HH
@@ -44,10 +63,14 @@
 #include <vector>
 
 #include "abstractnet/latency_table.hh"
+#include "ipc/frame.hh"
 #include "ipc/protocol.hh"
+#include "ipc/retry.hh"
 #include "ipc/socket.hh"
 #include "noc/network_model.hh"
 #include "noc/params.hh"
+#include "sim/fault_injector.hh"
+#include "sim/sim_error.hh"
 #include "sim/sim_object.hh"
 #include "stats/distribution.hh"
 #include "stats/stat.hh"
@@ -56,6 +79,11 @@ namespace rasim
 {
 
 class Config;
+
+namespace ipc
+{
+class FaultyTransport;
+} // namespace ipc
 
 namespace noc
 {
@@ -66,6 +94,10 @@ struct RemoteOptions
 {
     /** Server address (unix:/path, tcp:host:port, or a bare path). */
     std::string socket = "unix:/tmp/rasim-nocd.sock";
+    /** Failover set, in preference order (network.remote.endpoints,
+     *  comma-separated). Empty = just @ref socket. The first entry is
+     *  the primary; the next one hosts the warm standby session. */
+    std::vector<std::string> endpoints;
     /** Budget for connect + Hello handshake, in ms. */
     double connect_timeout_ms = 5000.0;
     /** Budget for one quantum's DeliveryBatch, in ms (0 = forever). */
@@ -80,8 +112,19 @@ struct RemoteOptions
     /** Permit server-side speculation of the predicted next quantum
      *  (network.pipeline.speculate; only meaningful with pipeline). */
     bool speculate = true;
+    /** Refresh the recovery base image (and replicate it to the
+     *  standby) every this many successful quanta; 0 = only explicit
+     *  checkpoints refresh the base, so the journal spans the whole
+     *  lineage (network.remote.ckpt_quanta). */
+    std::uint64_t ckpt_quanta = 256;
+    /** Deterministic retry/backoff/breaker budgets
+     *  (network.remote.retry.*). */
+    ipc::RetryOptions retry;
+    /** Client-side transport chaos (fault.transport.*). */
+    TransportFaultOptions fault;
 
-    /** Read the "remote.*" and "network.pipeline.*" keys. */
+    /** Read the "remote.*", "network.remote.*", "network.pipeline.*"
+     *  and "fault.transport.*" keys. */
     static RemoteOptions fromConfig(const Config &cfg);
 };
 
@@ -113,10 +156,20 @@ class RemoteNetwork : public SimObject, public NetworkModel
     std::vector<ipc::StatRow> fetchRemoteStats();
 
     /** True while a session is open (observability / tests). */
-    bool connected() const { return fd_.valid(); }
+    bool connected() const { return chan_ && chan_->valid(); }
 
     const NocParams &params() const { return params_; }
     const RemoteOptions &options() const { return options_; }
+
+    /** Endpoint of the live (or last live) session. */
+    const std::string &
+    activeEndpoint() const
+    {
+        return options_.endpoints[active_ep_];
+    }
+
+    /** True while a primed standby session could be promoted. */
+    bool standbyReady() const { return standby_valid_; }
 
     /** Packets reported delivered by the server so far. */
     std::uint64_t deliveredCount() const { return acct_.delivered; }
@@ -130,6 +183,21 @@ class RemoteNetwork : public SimObject, public NetworkModel
      */
     void save(ArchiveWriter &aw);
     void restore(ArchiveReader &ar);
+
+    /** @name Test hooks */
+    /// @{
+    /** The retry policy driving every transport round. */
+    const ipc::RetryPolicy &retryPolicy() const { return retry_; }
+    /** The fault schedule shared by every client connection. */
+    const TransportFaultSchedule &
+    faultSchedule() const
+    {
+        return fault_sched_;
+    }
+    /** The live channel as a FaultyTransport (to force one specific
+     *  fault), or nullptr when chaos is off / disconnected. */
+    ipc::FaultyTransport *faultyChannel();
+    /// @}
 
     /** @name Mirrored delivery statistics
      * Sampled from the replayed deliveries in delivery order, so they
@@ -148,42 +216,160 @@ class RemoteNetwork : public SimObject, public NetworkModel
     /** @name Transport statistics */
     /// @{
     stats::Scalar rpcRoundTrips;  ///< quantum round-trips completed
-    stats::Scalar reconnects;     ///< sessions re-opened after a loss
     stats::Scalar elidedQuanta;   ///< idle quanta served without IO
     stats::Scalar specHits;       ///< replies the server pre-computed
     stats::Scalar specRebases;    ///< server speculations rolled back
     stats::Scalar schedThrottles; ///< replies delayed by fair-sched
     /// @}
 
+    /** @name Failure-handling statistics (the "health" group) */
+    /// @{
+    stats::Group health;          ///< …dumps under <name>.health.*
+    stats::Scalar reconnects;     ///< sessions re-opened after a loss
+    stats::Scalar retries;        ///< attempts re-run after a backoff
+    stats::Scalar failovers;      ///< sessions moved to a new endpoint
+    stats::Scalar backoffMsTotal; ///< wall-clock slept in backoffs
+    stats::Scalar breakerTrips;   ///< circuit breaker openings
+    /// @}
+
   private:
-    /** Open a session if none is live (connect + Hello/HelloAck). */
+    /** One quantum of the recovery journal: replaying these Step
+     *  requests against a session restored to journal_base_
+     *  reproduces the pre-failure server state exactly. */
+    struct QuantumRecord
+    {
+        Tick target;
+        std::vector<PacketPtr> packets;
+    };
+
+    /** Run @p fn as one retry round: any retryable SimError drops the
+     *  connection, backs off deterministically, recovers the session
+     *  (failover or reconnect + journal replay) and re-runs @p fn.
+     *  An exhausted round drops the recovery lineage (giveUp()) and
+     *  rethrows, surfacing to the bridge's health machinery. */
+    template <typename Fn>
+    auto
+    runWithRetry(Fn &&fn) -> decltype(fn())
+    {
+        retry_.beginRound();
+        for (;;) {
+            try {
+                ensureSession();
+                auto result = fn();
+                retry_.noteSuccess();
+                syncHealthStats();
+                return result;
+            } catch (const SimError &err) {
+                markDisconnected();
+                retry_.noteFailure();
+                if (!retryable(err) || !retry_.shouldRetry()) {
+                    retry_.noteRoundFailed();
+                    giveUp();
+                    syncHealthStats();
+                    throw;
+                }
+                retry_.backoff();
+                syncHealthStats();
+            }
+        }
+    }
+
+    /** Worth another attempt? Transport/Timeout errors are, unless
+     *  the caller requested an abort. */
+    bool retryable(const SimError &err) const;
+
+    /** Mirror the retry policy's counters into the health stats. */
+    void syncHealthStats();
+
+    /** Open a session if none is live: promote the standby or cold-
+     *  open an endpoint, then replay the journal. */
     void ensureSession();
-    /** Drop a broken connection; buffered injections are lost with
-     *  the server that would have simulated them. */
+    /** Connect to @p ep and wrap the channel in the shared fault
+     *  schedule when chaos is enabled. */
+    std::unique_ptr<ipc::ByteChannel> openChannelTo(std::size_t ep,
+                                                    double timeout_ms);
+    /** Hello/HelloAck handshake on @p ch at @p start_tick. */
+    ipc::HelloReply helloOn(ipc::ByteChannel &ch,
+                            const std::string &addr, Tick start_tick);
+    /** Push @p image into the session on @p ch; returns the restored
+     *  server tick. */
+    Tick ckptLoadOn(ipc::ByteChannel &ch, const std::string &addr,
+                    const std::string &image);
+    /** Promote the primed standby session to active, if it is valid
+     *  and at the journal base. */
+    bool promoteStandby();
+    /** Open a fresh session on the first reachable endpoint (trying
+     *  from the active one onward) and restore the base image. */
+    void coldOpen();
+    /** Re-issue every journaled quantum against the fresh session,
+     *  discarding the replies (their deliveries were already applied
+     *  in the original run). */
+    void replayJournal();
+    /** Capture a fresh base image at the current tick, truncate the
+     *  journal and prime the standby. Failure is swallowed (the old
+     *  lineage stays valid); the broken connection is dropped. */
+    void refreshBase();
+    /** Best-effort: push the base image into a warm session on the
+     *  next endpoint so failover needs no state transfer. */
+    void replicateToStandby();
+    /** Drop the whole recovery lineage (exhausted round): buffered
+     *  injections die with it and the next session starts from an
+     *  empty fabric at the current tick. */
+    void giveUp();
+
+    /** Drop a broken connection (the lineage survives for replay). */
     void markDisconnected();
-    /** Receive one reply, mapping EOF to a Transport SimError. */
+    /** Receive one reply on the live channel, mapping EOF to a
+     *  Transport SimError. */
     ipc::Message expectReply(double timeout_ms);
+    /** Ditto on an explicit channel (handshakes, standby priming). */
+    ipc::Message expectReplyOn(ipc::ByteChannel &ch,
+                               const std::string &addr,
+                               double timeout_ms);
     /** A send failed mid-handshake: the server may have refused the
      *  session and closed, leaving a typed parting error buffered on
      *  our side of the socket. Re-raise that in preference to the
      *  less informative send failure. */
-    [[noreturn]] void rethrowPartingError(const SimError &send_err);
+    [[noreturn]] void rethrowPartingError(ipc::ByteChannel &ch,
+                                          const SimError &send_err);
     /** Mirror a quantum reply and replay its deliveries in order. */
     void applyReply(const ipc::AdvanceReply &rep);
-    /** Catch the server's clock up after idle elision, so paired
-     *  state (tables, stats, checkpoints) is read at the same tick on
-     *  both sides. */
-    void syncServer();
+    /** One raw quantum exchange (no retry): send @p req, apply the
+     *  reply. @p flags_out: count spec/sched flags. */
+    void stepOnce(const ipc::StepRequest &req, bool count_flags);
+    /** One raw v1 exchange (no retry): InjectBatch + Advance. */
+    void advanceOnce(Tick t, const std::vector<PacketPtr> &packets);
+    /** Raw idle catch-up of the server clock (no retry): an empty,
+     *  unspeculated Step to cur_time_, so paired state (tables,
+     *  stats, checkpoints) is read at the same tick on both sides. */
+    void syncNow();
+    /** Raw CkptSave exchange (no retry): the server's image at its
+     *  current tick. */
+    std::string ckptSaveNow();
 
     NocParams params_;
     RemoteOptions options_;
 
-    ipc::Fd fd_;
+    std::unique_ptr<ipc::ByteChannel> chan_;
+    std::unique_ptr<ipc::ByteChannel> standby_chan_;
+    /** One schedule across every connection (primary, standby,
+     *  reconnects), so a chaos run is reproducible end to end. */
+    TransportFaultSchedule fault_sched_;
+    ipc::RetryPolicy retry_;
+    std::size_t active_ep_ = 0;
     bool ever_connected_ = false;
     std::atomic<bool> abort_{false};
 
     DeliveryHandler handler_;
     std::vector<PacketPtr> pending_; ///< injections since last quantum
+
+    // Recovery lineage: base image + journal of quanta since.
+    std::string base_image_;  ///< empty = cold Hello at journal_base_
+    Tick journal_base_ = 0;   ///< tick the base image was taken at
+    std::vector<QuantumRecord> journal_;
+    std::uint64_t quanta_since_base_ = 0;
+    Tick standby_tick_ = 0;   ///< tick the standby was primed to
+    bool standby_valid_ = false;
 
     // Mirrored from the last quantum reply (or HelloAck).
     /** Where the server's clock actually is; trails cur_time_ while
