@@ -5,16 +5,19 @@
 # uninterrupted reference bit-for-bit (final tick, packet counts and
 # the full statistics dump).
 #
-# With --remote the same check runs against the out-of-process NoC
-# backend, and the SIGKILL lands on the *server* instead: the client
-# (run with health.degrade=false so a lost backend is fatal rather
-# than degraded) dies on the transport error, the server is restarted,
-# and the resumed client restores both halves from the paired
-# client+server checkpoint image. The client speaks the pipelined v2
-# transport (coalesced Step frames, idle elision, server speculation —
-# all default-on), so the SIGKILL routinely lands while the server is
-# mid-speculation; the bit-identical resume proves speculative state
-# never leaks into a checkpoint.
+# With --remote the detailed network lives in a rasim-nocd worker
+# managed by rasim-supervisor, and the drill has two phases. Phase A
+# SIGKILLs the *worker* mid-run: the supervisor respawns it on its old
+# endpoint and the client survives in place, rebuilding the server
+# from its recovery lineage (base image + journal replay) — the run
+# finishes and must match the reference. Phase B SIGKILLs the *client*
+# mid-run and resumes it from the newest paired client+server
+# checkpoint image against the still-supervised fleet. The client
+# speaks the pipelined v2 transport (coalesced Step frames, idle
+# elision, server speculation — all default-on), so the kills
+# routinely land while the server is mid-speculation; the bit-identical
+# outcomes prove speculative state never leaks into a checkpoint or a
+# recovery replay.
 #
 # Usage: scripts/kill_and_resume.sh [build-dir] [--remote]
 set -euo pipefail
@@ -31,14 +34,16 @@ done
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j "$jobs" --target quickstart rasim-nocd
+cmake --build "$build" -j "$jobs" \
+    --target quickstart rasim-nocd rasim-supervisor
 
 quickstart="$build/examples/quickstart"
 nocd="$build/src/ipc/rasim-nocd"
+supervisor="$build/src/ipc/rasim-supervisor"
 work="$(mktemp -d)"
-server_pid=""
+sup_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2> /dev/null || true
+    [ -n "$sup_pid" ] && kill "$sup_pid" 2> /dev/null || true
     rm -rf "$work"
 }
 trap cleanup EXIT
@@ -47,30 +52,93 @@ trap cleanup EXIT
 # after the first periodic image hits the disk.
 args=(system.ops_per_core=20000 checkpoint.interval_quanta=4)
 
-start_server() {
-    local log="$1"
-    "$nocd" "unix:$work/nocd.sock" > "$log" 2>&1 &
-    server_pid=$!
-    for _ in $(seq 1 100); do
-        grep -q "listening on" "$log" 2> /dev/null && return 0
+registry="$work/registry"
+
+start_fleet() {
+    "$supervisor" --endpoints "unix:$work/nocd.sock" --worker "$nocd" \
+        --registry "$registry" --backoff-base-ms 20 \
+        --backoff-max-ms 200 > "$work/supervisor.log" 2>&1 &
+    sup_pid=$!
+    for _ in $(seq 1 200); do
+        grep -q "listening on" "$work/supervisor.log" 2> /dev/null \
+            && return 0
         sleep 0.05
     done
-    echo "error: rasim-nocd did not come up" >&2
-    cat "$log" >&2
+    echo "error: the supervised worker did not come up" >&2
+    cat "$work/supervisor.log" >&2
     exit 1
 }
 
+kill_worker() {
+    local pid
+    pid="$(awk '$1 == "worker" && $2 == 0 {print $6}' "$registry")"
+    [ -n "$pid" ] && [ "$pid" -gt 0 ] && kill -9 "$pid" 2> /dev/null \
+        || true
+}
+
 if [ "$remote" = 1 ]; then
-    # The detailed network lives in rasim-nocd; a lost server must
-    # abort the client (not degrade it) for this crash drill.
+    # The worker fleet outlives any single worker: the supervisor
+    # respawns a SIGKILLed rasim-nocd on the same endpoint, and the
+    # client's retry budget is sized to outlast that respawn window.
+    # health.degrade=false keeps a genuinely lost backend fatal, so
+    # phase A really proves recovery, not degradation.
     args+=(network.backend=remote "remote.socket=unix:$work/nocd.sock"
+           "network.remote.registry=$registry"
+           network.remote.ckpt_quanta=16
+           network.remote.retry.max_attempts=30
+           network.remote.retry.base_ms=2
+           network.remote.retry.max_ms=50
+           network.remote.retry.deadline_ms=0
+           network.remote.retry.breaker_failures=0
            health.degrade=false remote.connect_timeout_ms=500
            remote.quantum_timeout_ms=2000)
-    start_server "$work/nocd-ref.log"
+    start_fleet
 fi
 
 echo "== reference run (uninterrupted) =="
 "$quickstart" "${args[@]}" > "$work/reference.log"
+
+# Everything from the finish line onward — final tick, packet counts,
+# latencies and the full statistics dump — must match the reference
+# exactly; wall-clock quantities are deliberately kept out of stats.
+# The health.* counters are transport weather, not simulation results:
+# a recovered client legitimately records the reconnects, failovers,
+# re-primes and registry-mirrored restarts its drill needed, which the
+# uninterrupted reference never did.
+extract() {
+    sed -n '/^finished at tick/,$p' "$1" |
+        grep -Ev '\.health\.(reconnects|retries|failovers|backoff_ms_total|breaker_trips|standby_prime_failures|reprimes|heartbeat_misses|attestation_mismatches|worker_restarts)'
+}
+
+if [ "$remote" = 1 ]; then
+    echo "== phase A: worker killed mid-run, client survives in place =="
+    "$quickstart" "${args[@]}" > "$work/survived.log" 2>&1 &
+    pid=$!
+    sleep 2
+    kill -0 "$pid" 2> /dev/null || {
+        echo "error: run completed before the worker could be killed" >&2
+        exit 1
+    }
+    kill_worker
+    wait "$pid" || {
+        echo "error: client did not survive the worker SIGKILL" >&2
+        tail -20 "$work/survived.log" >&2
+        exit 1
+    }
+    if ! diff <(extract "$work/reference.log") \
+              <(extract "$work/survived.log"); then
+        echo "error: survived run diverged from the reference" >&2
+        exit 1
+    fi
+    reconnects="$(awk '$1 ~ /\.health\.reconnects$/ {sum += $2} END {print sum + 0}' \
+        "$work/survived.log")"
+    if [ "${reconnects%.*}" -lt 1 ]; then
+        echo "error: the worker kill landed after the run ended;" \
+             "phase A proved nothing" >&2
+        exit 1
+    fi
+    echo "client survived the worker kill and matches the reference"
+fi
 
 echo "== checkpointing run, killed mid-flight =="
 "$quickstart" "${args[@]}" checkpoint.dir="$work/ckpt" \
@@ -88,20 +156,8 @@ compgen -G "$work/ckpt/ckpt-*.ckpt" > /dev/null || {
     cat "$work/killed.log" >&2
     exit 1
 }
-if [ "$remote" = 1 ]; then
-    # SIGKILL the *server*: the client's next quantum RPC fails with a
-    # transport error, which health.degrade=false turns fatal — the
-    # client dies too, leaving only the paired images on disk.
-    kill -9 "$server_pid" 2> /dev/null || true
-    server_pid=""
-    wait "$pid" 2> /dev/null && {
-        echo "error: client survived the server SIGKILL" >&2
-        exit 1
-    } || true
-else
-    kill -9 "$pid" 2> /dev/null || true
-    wait "$pid" 2> /dev/null || true
-fi
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
 if grep -q "finished at tick" "$work/killed.log"; then
     echo "error: run completed before it could be killed" >&2
     exit 1
@@ -109,24 +165,12 @@ fi
 echo "killed pid $pid with $(ls "$work/ckpt" | wc -l) image(s) on disk"
 
 echo "== resumed run =="
-if [ "$remote" = 1 ]; then
-    # A fresh server process: the resumed client pushes the paired
-    # server-side image into it over CkptLoad.
-    start_server "$work/nocd-resume.log"
-fi
+# Under --remote the supervised fleet is still up: the resumed client
+# opens a fresh session and pushes the paired server-side image into
+# it over CkptLoad.
 "$quickstart" "${args[@]}" checkpoint.dir="$work/ckpt" \
     --restore="$work/ckpt" > "$work/resumed.log"
 
-# Everything from the finish line onward — final tick, packet counts,
-# latencies and the full statistics dump — must match the reference
-# exactly; wall-clock quantities are deliberately kept out of stats.
-# The health.* counters are transport weather, not simulation results:
-# the resumed client legitimately records the reconnect that resumed
-# it, which the uninterrupted reference never needed.
-extract() {
-    sed -n '/^finished at tick/,$p' "$1" |
-        grep -Ev '\.health\.(reconnects|retries|failovers|backoff_ms_total|breaker_trips)'
-}
 if ! diff <(extract "$work/reference.log") <(extract "$work/resumed.log"); then
     echo "error: resumed run diverged from the uninterrupted reference" >&2
     exit 1

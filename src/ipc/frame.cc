@@ -32,6 +32,8 @@ toString(MsgType type)
         return "Bye";
       case MsgType::Step:
         return "Step";
+      case MsgType::Ping:
+        return "Ping";
       case MsgType::HelloAck:
         return "HelloAck";
       case MsgType::DeliveryBatch:
@@ -46,6 +48,8 @@ toString(MsgType type)
         return "CkptLoadAck";
       case MsgType::StepReply:
         return "StepReply";
+      case MsgType::Pong:
+        return "Pong";
       case MsgType::ErrorReply:
         return "ErrorReply";
     }
@@ -65,6 +69,7 @@ knownMsgType(std::uint32_t raw)
       case MsgType::CkptLoad:
       case MsgType::Bye:
       case MsgType::Step:
+      case MsgType::Ping:
       case MsgType::HelloAck:
       case MsgType::DeliveryBatch:
       case MsgType::TableData:
@@ -72,6 +77,7 @@ knownMsgType(std::uint32_t raw)
       case MsgType::CkptData:
       case MsgType::CkptLoadAck:
       case MsgType::StepReply:
+      case MsgType::Pong:
       case MsgType::ErrorReply:
         return true;
     }

@@ -60,6 +60,7 @@ enum class MsgType : std::uint32_t
     CkptLoad = 7,    ///< push a checkpoint image into the session
     Bye = 8,         ///< close the session cleanly
     Step = 9,        ///< coalesced inject batch + advance (pipelined)
+    Ping = 10,       ///< liveness probe; legal before Hello too
 
     // server -> client
     HelloAck = 101,
@@ -69,6 +70,7 @@ enum class MsgType : std::uint32_t
     CkptData = 106,
     CkptLoadAck = 107,
     StepReply = 108, ///< DeliveryBatch payload + speculation flags
+    Pong = 109,      ///< Ping echo: nonce + session/load state
     ErrorReply = 199, ///< request failed server-side: kind + message
 };
 

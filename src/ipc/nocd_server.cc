@@ -13,6 +13,7 @@
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/parallel_engine.hh"
+#include "sim/serialize.hh"
 #include "sim/simulation.hh"
 #include "stats/group.hh"
 #include "stats/stat.hh"
@@ -134,6 +135,21 @@ struct NocServer::Session
         table->restoreBinary(ar);
         deliveries.clear();
     }
+
+    /** Serialize the whole session state to archive bytes — the
+     *  CkptSave image, and the byte string the CRC64 attestation
+     *  digest is taken over. Deterministic: two replicas holding the
+     *  same state produce identical bytes, hence identical digests. */
+    std::string
+    serializedState() const
+    {
+        ArchiveWriter aw;
+        save(aw);
+        return aw.finish();
+    }
+
+    /** CRC64 replica-attestation digest of the current state. */
+    std::uint64_t stateDigest() const { return crc64(serializedState()); }
 
     /** Package the state a quantum reply mirrors to the client,
      *  consuming the deliveries gathered since the last reply. */
@@ -712,6 +728,27 @@ NocServer::dispatch(ByteChannel &conn, Message &msg,
     // Every failure below is reported to the client as a typed
     // ErrorReply; only transport trouble while replying propagates.
     try {
+        // Liveness probes are legal on any connection, session or not:
+        // the supervisor's heartbeat and the client's standby prober
+        // must be able to ask "are you alive?" without opening (or
+        // disturbing) a session — in particular a Ping never costs a
+        // speculation rebase.
+        if (msg.type == MsgType::Ping) {
+            PingRequest req = decodePing(msg.ar);
+            msg.done();
+            PongReply rep;
+            rep.nonce = req.nonce;
+            rep.in_session = session != nullptr;
+            rep.cur_time = session ? session->net->curTime() : 0;
+            rep.sessions_active =
+                sessions_active_.load(std::memory_order_relaxed);
+            rep.sessions_served =
+                sessions_served_.load(std::memory_order_relaxed);
+            ArchiveWriter aw = beginMessage(MsgType::Pong);
+            encodePong(aw, rep);
+            sendMessage(conn, std::move(aw));
+            return true;
+        }
         if (!session && msg.type != MsgType::Hello &&
             msg.type != MsgType::Bye) {
             throw SimError(ErrorKind::Transport,
@@ -784,7 +821,10 @@ NocServer::dispatch(ByteChannel &conn, Message &msg,
             msg.done();
             std::uint8_t flags = 0;
             if (session->spec_valid) {
-                if (req.packets.empty() &&
+                // An attested Step cannot take the pre-sealed frame:
+                // the digest was not computed when the reply was
+                // sealed, so fall through to the rebase+execute path.
+                if (!req.attest && req.packets.empty() &&
                     req.target == session->spec_predicted) {
                     // Spec hit: the state already sits at the target
                     // and the reply was sealed during the gap.
@@ -815,8 +855,13 @@ NocServer::dispatch(ByteChannel &conn, Message &msg,
             if (waited)
                 flags |= step_flag_throttled;
             AdvanceReply rep = session->takeReply();
+            std::uint64_t digest = 0;
+            if (req.attest) {
+                flags |= step_flag_attested;
+                digest = session->stateDigest();
+            }
             ArchiveWriter aw = beginMessage(MsgType::StepReply);
-            encodeStepReply(aw, rep, flags);
+            encodeStepReply(aw, rep, flags, digest);
             sendMessage(conn, std::move(aw));
             session->noteStep(req);
             // Arm the predictor only for a drain-shaped quantum: no
@@ -851,8 +896,14 @@ NocServer::dispatch(ByteChannel &conn, Message &msg,
                 Turn turn(*this, id);
                 session->save(image);
             }
+            CkptReply rep;
+            rep.image = image.finish();
+            // Attest the image bytes themselves: a standby restored
+            // from them re-serializes to the same bytes, so its
+            // CkptLoadAck digest must equal this one.
+            rep.digest = crc64(rep.image);
             ArchiveWriter aw = beginMessage(MsgType::CkptData);
-            aw.putString(image.finish());
+            encodeCkptReply(aw, rep);
             sendMessage(conn, std::move(aw));
             return true;
           }
@@ -882,8 +933,14 @@ NocServer::dispatch(ByteChannel &conn, Message &msg,
                                        err.what());
                 }
             }
+            CkptLoadReply rep;
+            rep.cur_time = session->net->curTime();
+            // Re-serialize what was just restored: this is the
+            // replica's own proof that its state is bit-identical to
+            // the image it was primed from.
+            rep.digest = crc64(session->serializedState());
             ArchiveWriter aw = beginMessage(MsgType::CkptLoadAck);
-            aw.putU64(session->net->curTime());
+            encodeCkptLoadReply(aw, rep);
             sendMessage(conn, std::move(aw));
             return true;
           }

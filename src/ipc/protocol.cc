@@ -193,6 +193,7 @@ encodeStep(ArchiveWriter &aw, const StepRequest &req)
 {
     aw.putU64(req.target);
     aw.putBool(req.speculate);
+    aw.putBool(req.attest);
     encodePackets(aw, req.packets);
 }
 
@@ -203,6 +204,7 @@ decodeStep(ArchiveReader &ar)
         StepRequest req;
         req.target = ar.getU64();
         req.speculate = ar.getBool();
+        req.attest = ar.getBool();
         req.packets = decodePacketsRaw(ar);
         return req;
     });
@@ -210,18 +212,102 @@ decodeStep(ArchiveReader &ar)
 
 void
 encodeStepReply(ArchiveWriter &aw, const AdvanceReply &rep,
-                std::uint8_t flags)
+                std::uint8_t flags, std::uint64_t digest)
 {
     aw.putU8(flags);
     encodeAdvanceReply(aw, rep);
+    if (flags & step_flag_attested)
+        aw.putU64(digest);
 }
 
 AdvanceReply
-decodeStepReply(ArchiveReader &ar, std::uint8_t &flags)
+decodeStepReply(ArchiveReader &ar, std::uint8_t &flags,
+                std::uint64_t *digest)
 {
     return guardedDecode("StepReply", [&] {
         flags = ar.getU8();
-        return decodeAdvanceReplyRaw(ar);
+        AdvanceReply rep = decodeAdvanceReplyRaw(ar);
+        std::uint64_t d =
+            (flags & step_flag_attested) ? ar.getU64() : 0;
+        if (digest)
+            *digest = d;
+        return rep;
+    });
+}
+
+void
+encodePing(ArchiveWriter &aw, const PingRequest &req)
+{
+    aw.putU64(req.nonce);
+}
+
+PingRequest
+decodePing(ArchiveReader &ar)
+{
+    return guardedDecode("Ping", [&] {
+        PingRequest req;
+        req.nonce = ar.getU64();
+        return req;
+    });
+}
+
+void
+encodePong(ArchiveWriter &aw, const PongReply &rep)
+{
+    aw.putU64(rep.nonce);
+    aw.putBool(rep.in_session);
+    aw.putU64(rep.cur_time);
+    aw.putU64(rep.sessions_active);
+    aw.putU64(rep.sessions_served);
+}
+
+PongReply
+decodePong(ArchiveReader &ar)
+{
+    return guardedDecode("Pong", [&] {
+        PongReply rep;
+        rep.nonce = ar.getU64();
+        rep.in_session = ar.getBool();
+        rep.cur_time = ar.getU64();
+        rep.sessions_active = ar.getU64();
+        rep.sessions_served = ar.getU64();
+        return rep;
+    });
+}
+
+void
+encodeCkptReply(ArchiveWriter &aw, const CkptReply &rep)
+{
+    aw.putString(rep.image);
+    aw.putU64(rep.digest);
+}
+
+CkptReply
+decodeCkptReply(ArchiveReader &ar)
+{
+    return guardedDecode("CkptData", [&] {
+        CkptReply rep;
+        rep.image = ar.getString();
+        rep.digest = ar.getU64();
+        return rep;
+    });
+}
+
+void
+encodeCkptLoadReply(ArchiveWriter &aw, const CkptLoadReply &rep)
+{
+    aw.putU64(rep.cur_time);
+    aw.putU64(rep.digest);
+}
+
+CkptLoadReply
+decodeCkptLoadReply(ArchiveReader &ar)
+{
+    return guardedDecode("CkptLoadAck", [&] {
+        CkptLoadReply rep;
+        rep.cur_time = ar.getU64();
+        rep.digest = ar.getU64();
+        return rep;
     });
 }
 

@@ -59,8 +59,10 @@ namespace ipc
 /** Protocol revision, checked in Hello independently of the archive
  *  format version (the archive guards encoding, this guards meaning).
  *  v2 added the coalesced Step/StepReply exchange and server-side
- *  speculation. */
-constexpr std::uint32_t protocol_version = 2;
+ *  speculation; v3 added Ping/Pong liveness frames and the CRC64
+ *  replica-attestation digests carried by CkptData, CkptLoadAck and
+ *  attested StepReplies. */
+constexpr std::uint32_t protocol_version = 3;
 
 /** Session-opening handshake: everything the server needs to build a
  *  deterministic twin of the in-process backend. */
@@ -107,16 +109,46 @@ struct StepRequest
     Tick target = 0;
     /** Client permits the server to speculate the next quantum. */
     bool speculate = false;
+    /** Client wants a CRC64 state digest with the reply (v3): the
+     *  server serializes its post-advance state and attests it, so a
+     *  recovery replay can prove the rebuilt replica reconverged. */
+    bool attest = false;
     std::vector<noc::PacketPtr> packets;
 };
 
 /** @name StepReply flag bits (observability only — the reply payload
- *  is bit-identical whether or not speculation was involved). */
+ *  is bit-identical whether or not speculation was involved; the
+ *  attested bit additionally gates a digest field). */
 /// @{
 constexpr std::uint8_t step_flag_spec_hit = 1; ///< reply pre-computed
 constexpr std::uint8_t step_flag_rebased = 2;  ///< speculation undone
 constexpr std::uint8_t step_flag_throttled = 4; ///< fair-sched wait
+constexpr std::uint8_t step_flag_attested = 8;  ///< digest appended
 /// @}
+
+/** Liveness probe (v3): legal before Hello, so a sessionless
+ *  connection — the supervisor's heartbeat, the client's standby
+ *  prober — can ask "are you alive?" without building a network. */
+struct PingRequest
+{
+    /** Echoed verbatim in the Pong, pairing probe and answer. */
+    std::uint64_t nonce = 0;
+};
+
+/** Ping echo: the prober's nonce plus enough session/load state to
+ *  tell a healthy worker from a wedged one. */
+struct PongReply
+{
+    std::uint64_t nonce = 0;
+    /** True when the answering connection carries a live session. */
+    bool in_session = false;
+    /** The session network's clock (0 when sessionless). */
+    Tick cur_time = 0;
+    /** Live sessions on the whole daemon (load state). */
+    std::uint64_t sessions_active = 0;
+    /** Sessions admitted since the daemon started. */
+    std::uint64_t sessions_served = 0;
+};
 
 /** One flattened statistics row of the hosted network's subtree. */
 struct StatRow
@@ -128,6 +160,24 @@ struct StatRow
     bool operator==(const StatRow &other) const = default;
 };
 
+/** CkptData payload (v3): the checkpoint image plus the server's
+ *  CRC64 attestation of it, so the client can (a) verify the bytes it
+ *  holds and (b) later cross-check a standby restored from them. */
+struct CkptReply
+{
+    std::string image;
+    std::uint64_t digest = 0;
+};
+
+/** CkptLoadAck payload (v3): the restored tick plus the CRC64 of the
+ *  *re-serialized* state — the replica's own attestation that what it
+ *  now holds is bit-identical to what was pushed. */
+struct CkptLoadReply
+{
+    Tick cur_time = 0;
+    std::uint64_t digest = 0;
+};
+
 /** @name Payload encoders (append to a beginMessage() writer) */
 /// @{
 void encodeHello(ArchiveWriter &aw, const HelloRequest &req);
@@ -137,8 +187,13 @@ void encodePackets(ArchiveWriter &aw,
 void encodeAdvance(ArchiveWriter &aw, Tick target);
 void encodeAdvanceReply(ArchiveWriter &aw, const AdvanceReply &rep);
 void encodeStep(ArchiveWriter &aw, const StepRequest &req);
+/** @p digest is written only when @p flags has step_flag_attested. */
 void encodeStepReply(ArchiveWriter &aw, const AdvanceReply &rep,
-                     std::uint8_t flags);
+                     std::uint8_t flags, std::uint64_t digest = 0);
+void encodePing(ArchiveWriter &aw, const PingRequest &req);
+void encodePong(ArchiveWriter &aw, const PongReply &rep);
+void encodeCkptReply(ArchiveWriter &aw, const CkptReply &rep);
+void encodeCkptLoadReply(ArchiveWriter &aw, const CkptLoadReply &rep);
 void encodeStatsReply(ArchiveWriter &aw,
                       const std::vector<StatRow> &rows);
 void encodeError(ArchiveWriter &aw, ErrorKind kind,
@@ -153,8 +208,14 @@ std::vector<noc::PacketPtr> decodePackets(ArchiveReader &ar);
 Tick decodeAdvance(ArchiveReader &ar);
 AdvanceReply decodeAdvanceReply(ArchiveReader &ar);
 StepRequest decodeStep(ArchiveReader &ar);
-/** @p flags receives the step_flag_* bits. */
-AdvanceReply decodeStepReply(ArchiveReader &ar, std::uint8_t &flags);
+/** @p flags receives the step_flag_* bits; @p digest the attestation
+ *  digest (0 unless step_flag_attested is set). */
+AdvanceReply decodeStepReply(ArchiveReader &ar, std::uint8_t &flags,
+                             std::uint64_t *digest = nullptr);
+PingRequest decodePing(ArchiveReader &ar);
+PongReply decodePong(ArchiveReader &ar);
+CkptReply decodeCkptReply(ArchiveReader &ar);
+CkptLoadReply decodeCkptLoadReply(ArchiveReader &ar);
 std::vector<StatRow> decodeStatsReply(ArchiveReader &ar);
 /** Guarded opaque-blob payload (CkptData / CkptLoad image). */
 std::string decodeBlob(ArchiveReader &ar);

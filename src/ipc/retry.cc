@@ -58,14 +58,39 @@ RetryPolicy::beginRound()
 bool
 RetryPolicy::shouldRetry() const
 {
-    // An open breaker allows exactly one probe per round: the first
-    // failure ends the round immediately, no backoff storm.
-    if (breaker_open_)
+    // Open breakers allow exactly one probe per round: once every
+    // endpoint's breaker is open the first failure ends the round
+    // immediately, no backoff storm. One healthy endpoint is enough
+    // to keep the round alive — a dead primary must never delay the
+    // failover to its standby.
+    if (breakerAllOpen())
         return false;
     if (attempt_ >= opts_.max_attempts)
         return false;
     if (opts_.deadline_ms > 0.0 && elapsedMs() >= opts_.deadline_ms)
         return false;
+    return true;
+}
+
+void
+RetryPolicy::setScopes(std::size_t n)
+{
+    breakers_.resize(std::max<std::size_t>(n, 1));
+}
+
+bool
+RetryPolicy::breakerOpen(std::size_t scope) const
+{
+    return scope < breakers_.size() && breakers_[scope].open;
+}
+
+bool
+RetryPolicy::breakerAllOpen() const
+{
+    for (const auto &b : breakers_) {
+        if (!b.open)
+            return false;
+    }
     return true;
 }
 
@@ -92,19 +117,24 @@ RetryPolicy::backoff()
 }
 
 void
-RetryPolicy::noteSuccess()
+RetryPolicy::noteSuccess(std::size_t scope)
 {
-    failed_rounds_ = 0;
-    breaker_open_ = false;
+    if (scope >= breakers_.size())
+        return;
+    breakers_[scope].failed_rounds = 0;
+    breakers_[scope].open = false;
 }
 
 void
-RetryPolicy::noteRoundFailed()
+RetryPolicy::noteRoundFailed(std::size_t scope)
 {
-    ++failed_rounds_;
-    if (!breaker_open_ && opts_.breaker_failures > 0 &&
-        failed_rounds_ >= opts_.breaker_failures) {
-        breaker_open_ = true;
+    if (scope >= breakers_.size())
+        return;
+    Breaker &b = breakers_[scope];
+    ++b.failed_rounds;
+    if (!b.open && opts_.breaker_failures > 0 &&
+        b.failed_rounds >= opts_.breaker_failures) {
+        b.open = true;
         ++breaker_trips_;
     }
 }

@@ -16,6 +16,15 @@
  * backend (HealthMonitor::transportTrips) and falls back to the tuned
  * abstract model. The first probe that succeeds closes the breaker.
  *
+ * The breaker is scoped per endpoint (setScopes): a dead primary
+ * trips only its own breaker, so a failover to a healthy standby is
+ * never denied or slowed by the primary's failure history. A round is
+ * refused outright only when every endpoint's breaker is open; an
+ * endpoint with an open breaker still gets its single probe inside a
+ * round that other endpoints are allowed to run. The legacy
+ * scope-free calls operate on scope 0, which keeps single-endpoint
+ * callers exactly as before.
+ *
  * Note on determinism: retry *counts* and the backoff sequence are a
  * pure function of the failure pattern and the seed, except where the
  * wall-clock deadline binds. Chaos runs that must be bit-reproducible
@@ -27,6 +36,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 #include "sim/rng.hh"
 
@@ -89,13 +99,25 @@ class RetryPolicy
      *  returns the slept milliseconds. */
     double backoff();
 
-    /** The round completed: close the breaker, reset its count. */
-    void noteSuccess();
+    /** Size the breaker array to one bucket per endpoint (min 1).
+     *  Existing buckets keep their state; scope 0 is the default
+     *  bucket the scope-free calls below operate on. */
+    void setScopes(std::size_t n);
 
-    /** The round is being abandoned: feed the breaker. */
-    void noteRoundFailed();
+    std::size_t scopes() const { return breakers_.size(); }
 
-    bool breakerOpen() const { return breaker_open_; }
+    /** The round completed: close @p scope's breaker, reset its
+     *  count. */
+    void noteSuccess(std::size_t scope = 0);
+
+    /** The round is being abandoned: feed @p scope's breaker. */
+    void noteRoundFailed(std::size_t scope = 0);
+
+    bool breakerOpen(std::size_t scope = 0) const;
+
+    /** True when every endpoint's breaker is open — the only state in
+     *  which a round is refused outright. */
+    bool breakerAllOpen() const;
 
     /** Cap @p want_ms to the round's remaining deadline budget (at
      *  least 1 ms so a capped connect can still be attempted); with
@@ -110,14 +132,21 @@ class RetryPolicy
     /// @}
 
   private:
+    /** One endpoint's breaker: open flag + consecutive failed
+     *  rounds. */
+    struct Breaker
+    {
+        bool open = false;
+        std::uint64_t failed_rounds = 0;
+    };
+
     double elapsedMs() const;
 
     RetryOptions opts_;
     Rng rng_{0x6e77, 1};
     std::uint64_t attempt_ = 0; ///< failed attempts this round
     std::chrono::steady_clock::time_point round_start_{};
-    bool breaker_open_ = false;
-    std::uint64_t failed_rounds_ = 0; ///< consecutive
+    std::vector<Breaker> breakers_ = std::vector<Breaker>(1);
     std::uint64_t retries_ = 0;
     std::uint64_t breaker_trips_ = 0;
     double backoff_ms_total_ = 0.0;

@@ -1,0 +1,333 @@
+#include "ipc/supervisor.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <thread>
+
+#include "ipc/frame.hh"
+#include "ipc/protocol.hh"
+#include "ipc/socket.hh"
+#include "sim/sim_error.hh"
+
+namespace rasim
+{
+namespace ipc
+{
+
+Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.worker_cmd.empty())
+        throw SimError(ErrorKind::Config,
+                       "supervisor: empty worker command");
+    if (opts_.endpoints.empty())
+        throw SimError(ErrorKind::Config,
+                       "supervisor: no endpoints to manage");
+    if (opts_.endpoints.size() > 64)
+        throw SimError(ErrorKind::Config,
+                       "supervisor: at most 64 workers");
+    for (const std::string &ep : opts_.endpoints) {
+        if (!validAddress(ep))
+            throw SimError(ErrorKind::Config,
+                           "supervisor: unusable endpoint '" + ep +
+                               "'");
+    }
+    fleet_.resize(opts_.endpoints.size());
+}
+
+Supervisor::~Supervisor()
+{
+    if (started_)
+        terminateFleet();
+}
+
+pid_t
+Supervisor::workerPid(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return i < fleet_.size() ? fleet_[i].pid : -1;
+}
+
+bool
+Supervisor::workerUp(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return i < fleet_.size() && fleet_[i].up;
+}
+
+std::uint64_t
+Supervisor::restartsOf(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return i < fleet_.size() ? fleet_[i].restarts : 0;
+}
+
+std::uint64_t
+Supervisor::restarts() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t total = 0;
+    for (const WorkerProc &w : fleet_)
+        total += w.restarts;
+    return total;
+}
+
+double
+Supervisor::backoffMs(std::uint64_t restarts) const
+{
+    // Pure function of the restart count: a seeded chaos soak gets
+    // the identical respawn schedule on every run.
+    double ms = opts_.restart_backoff_base_ms;
+    for (std::uint64_t i = 1; i < restarts; ++i) {
+        ms *= opts_.restart_backoff_multiplier;
+        if (ms >= opts_.restart_backoff_max_ms)
+            break;
+    }
+    return std::min(ms, opts_.restart_backoff_max_ms);
+}
+
+void
+Supervisor::spawn(std::size_t i)
+{
+    // argv = worker_cmd... + endpoint address (rasim-nocd takes the
+    // address positionally).
+    std::vector<std::string> args = opts_.worker_cmd;
+    args.push_back(opts_.endpoints[i]);
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        throw SimError(ErrorKind::Config,
+                       "supervisor: fork failed for worker " +
+                           std::to_string(i));
+    }
+    if (pid == 0) {
+        // Child: own process group, so a test killing the supervisor's
+        // group does not take the fleet down out from under it.
+        ::setpgid(0, 0);
+        ::execvp(argv[0], argv.data());
+        // exec only returns on failure; _exit keeps the child from
+        // running the parent's atexit machinery.
+        std::fprintf(stderr, "supervisor: exec '%s' failed\n", argv[0]);
+        ::_exit(127);
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    WorkerProc &w = fleet_[i];
+    w.pid = pid;
+    w.up = true;
+    w.missed_beats = 0;
+    w.next_probe = Clock::now();
+}
+
+void
+Supervisor::startFleet()
+{
+    for (std::size_t i = 0; i < fleet_.size(); ++i)
+        spawn(i);
+    started_ = true;
+    writeRegistry();
+}
+
+bool
+Supervisor::reapAndRespawn()
+{
+    bool changed = false;
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+        pid_t pid;
+        bool up, abandoned;
+        std::uint64_t restarts;
+        Clock::time_point respawn_at;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            WorkerProc &w = fleet_[i];
+            pid = w.pid;
+            up = w.up;
+            abandoned = w.abandoned;
+            restarts = w.restarts;
+            respawn_at = w.respawn_at;
+        }
+        if (abandoned)
+            continue;
+        if (up && pid > 0) {
+            int status = 0;
+            pid_t got = ::waitpid(pid, &status, WNOHANG);
+            if (got == pid) {
+                // The worker died: schedule its respawn after the
+                // deterministic backoff.
+                std::lock_guard<std::mutex> lk(mu_);
+                WorkerProc &w = fleet_[i];
+                w.up = false;
+                w.pid = -1;
+                ++w.restarts;
+                if (opts_.max_restarts != 0 &&
+                    w.restarts > opts_.max_restarts) {
+                    w.abandoned = true;
+                } else {
+                    w.respawn_at =
+                        now + std::chrono::duration_cast<
+                                  Clock::duration>(
+                                  std::chrono::duration<double,
+                                                        std::milli>(
+                                      backoffMs(w.restarts)));
+                }
+                changed = true;
+            }
+        } else if (!up && now >= respawn_at) {
+            (void)restarts;
+            spawn(i);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+bool
+Supervisor::probeFleet()
+{
+    if (opts_.heartbeat_ms <= 0.0)
+        return false;
+    bool changed = false;
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+        pid_t pid;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            WorkerProc &w = fleet_[i];
+            if (!w.up || w.pid <= 0 || now < w.next_probe)
+                continue;
+            w.next_probe =
+                now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              opts_.heartbeat_ms));
+            pid = w.pid;
+        }
+        bool alive = false;
+        try {
+            Fd fd = connectTo(opts_.endpoints[i],
+                              opts_.heartbeat_timeout_ms);
+            PingRequest req;
+            req.nonce = static_cast<std::uint64_t>(pid);
+            ArchiveWriter aw = beginMessage(MsgType::Ping);
+            encodePing(aw, req);
+            sendMessage(fd, std::move(aw));
+            auto msg = recvMessage(fd, opts_.heartbeat_timeout_ms);
+            alive = msg && msg->type == MsgType::Pong &&
+                    decodePong(msg->ar).nonce == req.nonce;
+        } catch (const SimError &) {
+            alive = false;
+        }
+        std::lock_guard<std::mutex> lk(mu_);
+        WorkerProc &w = fleet_[i];
+        if (!w.up || w.pid != pid)
+            continue; // reaped/respawned while we probed
+        if (alive) {
+            w.missed_beats = 0;
+            continue;
+        }
+        heartbeat_misses_.fetch_add(1, std::memory_order_relaxed);
+        ++w.missed_beats;
+        if (w.missed_beats >= opts_.heartbeat_miss_limit) {
+            // Alive but wedged: treat like any other crash. waitpid
+            // reaps it on the next sweep and the backoff respawns it.
+            ::kill(pid, SIGKILL);
+            w.missed_beats = 0;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+void
+Supervisor::writeRegistry() const
+{
+    if (opts_.registry_path.empty())
+        return;
+    const std::string tmp = opts_.registry_path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return; // observability only: never kill the fleet over it
+        out << "rasim-registry v1\n";
+        std::lock_guard<std::mutex> lk(mu_);
+        for (std::size_t i = 0; i < fleet_.size(); ++i) {
+            const WorkerProc &w = fleet_[i];
+            out << "worker " << i << ' ' << opts_.endpoints[i] << ' '
+                << (w.up ? "up" : "down") << " pid "
+                << (w.pid > 0 ? w.pid : 0) << " restarts "
+                << w.restarts << '\n';
+        }
+    }
+    // rename() is atomic on POSIX: a client re-resolving mid-write
+    // sees either the old fleet or the new one, never a torn file.
+    std::rename(tmp.c_str(), opts_.registry_path.c_str());
+}
+
+void
+Supervisor::run()
+{
+    if (!started_)
+        startFleet();
+    while (!stop_.load(std::memory_order_relaxed)) {
+        bool changed = reapAndRespawn();
+        changed = probeFleet() || changed;
+        if (changed)
+            writeRegistry();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(opts_.poll_ms));
+    }
+    terminateFleet();
+}
+
+void
+Supervisor::terminateFleet()
+{
+    std::vector<pid_t> pids;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (WorkerProc &w : fleet_) {
+            if (w.up && w.pid > 0)
+                pids.push_back(w.pid);
+            w.up = false;
+        }
+    }
+    for (pid_t pid : pids)
+        ::kill(pid, SIGTERM);
+    for (pid_t pid : pids) {
+        // Bounded wait, then SIGKILL: the supervisor must never hang
+        // on a worker that ignores its drain.
+        const Clock::time_point deadline =
+            Clock::now() + std::chrono::seconds(5);
+        for (;;) {
+            int status = 0;
+            pid_t got = ::waitpid(pid, &status, WNOHANG);
+            if (got == pid)
+                break;
+            if (Clock::now() >= deadline) {
+                ::kill(pid, SIGKILL);
+                ::waitpid(pid, &status, 0);
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (WorkerProc &w : fleet_)
+            w.pid = -1;
+    }
+    writeRegistry();
+    started_ = false;
+}
+
+} // namespace ipc
+} // namespace rasim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * rasim-supervisor: spawns and babysits a fleet of rasim-nocd workers,
+ * one per endpoint, restarting whatever crashes (deterministic
+ * exponential backoff) and republishing a registry file RemoteNetwork
+ * clients re-resolve on every cold open (network.remote.registry).
+ *
+ * Usage: rasim-supervisor --endpoints EP[,EP...] [--worker PATH]
+ *                         [--registry FILE] [--heartbeat-ms MS]
+ *                         [--heartbeat-timeout-ms MS]
+ *                         [--heartbeat-miss-limit N]
+ *                         [--backoff-base-ms MS] [--backoff-max-ms MS]
+ *                         [--backoff-multiplier X] [--max-restarts N]
+ *                         [--worker-arg ARG ...]
+ *
+ *   --endpoints       comma-separated worker addresses (required)
+ *   --worker          worker binary (default: rasim-nocd on PATH)
+ *   --registry        endpoints registry file, atomically rewritten
+ *   --heartbeat-ms    Ping cadence per worker (0 = waitpid only)
+ *   --heartbeat-miss-limit  consecutive misses before a wedged worker
+ *                     is killed and respawned
+ *   --backoff-*       restart delay schedule (base * mult^restarts)
+ *   --max-restarts    abandon a worker after N restarts (0 = never)
+ *   --worker-arg      extra argument passed through to every worker
+ *                     (repeatable; e.g. --worker-arg --max-sessions
+ *                      --worker-arg 8)
+ *
+ * Signals: SIGTERM and SIGINT wind the fleet down (SIGTERM to each
+ * worker, bounded wait, SIGKILL stragglers) and exit. The supervisor
+ * prints "rasim-supervisor managing N worker(s)" once the fleet is
+ * spawned and the registry written, so scripts can wait on that line.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ipc/supervisor.hh"
+#include "sim/sim_error.hh"
+
+namespace
+{
+
+rasim::ipc::Supervisor *running = nullptr;
+
+void
+onSignal(int)
+{
+    if (running)
+        running->stop(); // plain atomic store: safe here
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --endpoints EP[,EP...] [--worker PATH]\n"
+        "          [--registry FILE] [--heartbeat-ms MS]\n"
+        "          [--heartbeat-timeout-ms MS] "
+        "[--heartbeat-miss-limit N]\n"
+        "          [--backoff-base-ms MS] [--backoff-max-ms MS]\n"
+        "          [--backoff-multiplier X] [--max-restarts N]\n"
+        "          [--worker-arg ARG ...]\n",
+        argv0);
+    return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        std::string item = comma == std::string::npos
+                               ? s.substr(pos)
+                               : s.substr(pos, comma - pos);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rasim::ipc::SupervisorOptions opts;
+    std::string worker = "rasim-nocd";
+    std::vector<std::string> worker_args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--endpoints") == 0 && i + 1 < argc) {
+            opts.endpoints = splitCommas(argv[++i]);
+        } else if (std::strcmp(arg, "--worker") == 0 && i + 1 < argc) {
+            worker = argv[++i];
+        } else if (std::strcmp(arg, "--registry") == 0 &&
+                   i + 1 < argc) {
+            opts.registry_path = argv[++i];
+        } else if (std::strcmp(arg, "--heartbeat-ms") == 0 &&
+                   i + 1 < argc) {
+            opts.heartbeat_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(arg, "--heartbeat-timeout-ms") == 0 &&
+                   i + 1 < argc) {
+            opts.heartbeat_timeout_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(arg, "--heartbeat-miss-limit") == 0 &&
+                   i + 1 < argc) {
+            opts.heartbeat_miss_limit =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--backoff-base-ms") == 0 &&
+                   i + 1 < argc) {
+            opts.restart_backoff_base_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(arg, "--backoff-max-ms") == 0 &&
+                   i + 1 < argc) {
+            opts.restart_backoff_max_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(arg, "--backoff-multiplier") == 0 &&
+                   i + 1 < argc) {
+            opts.restart_backoff_multiplier = std::atof(argv[++i]);
+        } else if (std::strcmp(arg, "--max-restarts") == 0 &&
+                   i + 1 < argc) {
+            opts.max_restarts =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(arg, "--worker-arg") == 0 &&
+                   i + 1 < argc) {
+            worker_args.push_back(argv[++i]);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (opts.endpoints.empty())
+        return usage(argv[0]);
+    opts.worker_cmd.push_back(worker);
+    for (std::string &a : worker_args)
+        opts.worker_cmd.push_back(std::move(a));
+
+    // A worker dying mid-probe must not kill the supervisor.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    try {
+        rasim::ipc::Supervisor sup(std::move(opts));
+        running = &sup;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        sup.startFleet();
+        std::printf("rasim-supervisor managing %zu worker(s)\n",
+                    sup.workers());
+        std::fflush(stdout);
+        sup.run();
+        running = nullptr;
+        std::printf("rasim-supervisor exiting after %llu restart(s)\n",
+                    static_cast<unsigned long long>(sup.restarts()));
+        return 0;
+    } catch (const rasim::SimError &err) {
+        std::fprintf(stderr, "rasim-supervisor: %s\n", err.what());
+        return 1;
+    }
+}

@@ -1,11 +1,15 @@
 #include "noc/remote/remote_network.hh"
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "ipc/faulty_transport.hh"
 #include "ipc/frame.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/simulation.hh"
 
 namespace rasim
@@ -68,6 +72,11 @@ RemoteOptions::fromConfig(const Config &cfg)
     }
     o.ckpt_quanta =
         cfg.getUInt("network.remote.ckpt_quanta", o.ckpt_quanta);
+    o.heartbeat_ms =
+        cfg.getDouble("network.remote.heartbeat_ms", o.heartbeat_ms);
+    o.attest_quanta =
+        cfg.getUInt("network.remote.attest_quanta", o.attest_quanta);
+    o.registry = cfg.getString("network.remote.registry", o.registry);
     o.retry = ipc::RetryOptions::fromConfig(cfg);
     o.fault = TransportFaultOptions::fromConfig(cfg);
 
@@ -80,6 +89,8 @@ RemoteOptions::fromConfig(const Config &cfg)
     }
     if (o.connect_timeout_ms <= 0.0)
         fatal("remote.connect_timeout_ms must be positive");
+    if (o.heartbeat_ms < 0.0)
+        fatal("network.remote.heartbeat_ms must be non-negative");
     if (o.quantum_timeout_ms < 0.0)
         fatal("remote.quantum_timeout_ms must be non-negative");
     if (o.model != "cycle" && o.model != "deflection")
@@ -126,6 +137,16 @@ RemoteNetwork::RemoteNetwork(Simulation &sim, const std::string &name,
                      "wall-clock milliseconds slept in retry backoffs"),
       breakerTrips(&health, "breaker_trips",
                    "circuit breaker openings (exhausted retry rounds)"),
+      standbyPrimeFailures(&health, "standby_prime_failures",
+                           "standby priming attempts that failed"),
+      reprimes(&health, "reprimes",
+               "standby sessions re-primed after a loss or promotion"),
+      heartbeatMisses(&health, "heartbeat_misses",
+                      "liveness probes an endpoint failed to answer"),
+      attestationMismatches(&health, "attestation_mismatches",
+                            "replica state digests that diverged"),
+      workerRestarts(&health, "worker_restarts",
+                     "supervised worker restarts (registry mirror)"),
       params_(params), options_(std::move(options)),
       // Identical geometry to the bridge's reciprocal table, so the
       // server's shadow table and the bridge's table are comparable
@@ -153,11 +174,18 @@ RemoteNetwork::RemoteNetwork(Simulation &sim, const std::string &name,
             "total latency on vnet " + std::to_string(v)));
     }
     num_nodes_ = static_cast<std::uint64_t>(params_.numNodes());
+    // A registry written before we started can already widen the
+    // endpoint set; afterwards the breaker gets one scope per
+    // endpoint, so one dead worker cannot trip the others' budgets.
+    refreshRegistry();
+    retry_.setScopes(options_.endpoints.size());
     runWithRetry([] { return 0; });
+    startProber();
 }
 
 RemoteNetwork::~RemoteNetwork()
 {
+    stopProber();
     auto bye = [](ipc::ByteChannel *ch) {
         if (!ch || !ch->valid())
             return;
@@ -223,6 +251,9 @@ RemoteNetwork::syncHealthStats()
     retries.set(static_cast<double>(retry_.retries()));
     breakerTrips.set(static_cast<double>(retry_.breakerTrips()));
     backoffMsTotal.set(retry_.backoffMsTotal());
+    heartbeatMisses.set(static_cast<double>(
+        heartbeat_misses_.load(std::memory_order_relaxed)));
+    workerRestarts.set(static_cast<double>(registry_restarts_));
 }
 
 void
@@ -243,11 +274,16 @@ RemoteNetwork::giveUp()
     // an empty fabric at the current tick.
     journal_.clear();
     base_image_.clear();
+    base_digest_ = 0;
     journal_base_ = cur_time_;
     quanta_since_base_ = 0;
     pending_.clear();
     standby_chan_.reset();
     standby_valid_ = false;
+    // No base image, nothing to prime from: the next refreshBase()
+    // restarts the replication machinery from scratch.
+    reprime_pending_ = false;
+    reprime_backoff_ = 1;
 }
 
 void
@@ -338,7 +374,7 @@ RemoteNetwork::helloOn(ipc::ByteChannel &ch, const std::string &addr,
     return rep;
 }
 
-Tick
+ipc::CkptLoadReply
 RemoteNetwork::ckptLoadOn(ipc::ByteChannel &ch, const std::string &addr,
                           const std::string &image)
 {
@@ -354,9 +390,9 @@ RemoteNetwork::ckptLoadOn(ipc::ByteChannel &ch, const std::string &addr,
                        std::string("expected CkptLoadAck, got ") +
                            ipc::toString(msg.type));
     }
-    Tick tick = ipc::decodeTick(msg.ar);
+    ipc::CkptLoadReply rep = ipc::decodeCkptLoadReply(msg.ar);
     msg.done();
-    return tick;
+    return rep;
 }
 
 bool
@@ -373,52 +409,144 @@ RemoteNetwork::promoteStandby()
     active_ep_ = (active_ep_ + 1) % options_.endpoints.size();
     ++failovers;
     server_time_ = standby_tick_;
+    // The promotion consumed the standby: queue a re-prime so a
+    // second failure is survivable too (countdown runs in successful
+    // quanta, giving the supervisor time to respawn the dead worker).
+    scheduleReprime();
+    if (test_hooks.on_promote)
+        test_hooks.on_promote();
     return true;
+}
+
+std::uint64_t
+RemoteNetwork::refreshRegistry()
+{
+    const std::uint64_t all_up = ~std::uint64_t(0);
+    if (options_.registry.empty())
+        return all_up;
+    std::ifstream in(options_.registry);
+    if (!in)
+        return all_up; // not written yet: trust the static list
+    // Format (one worker per line, written atomically by
+    // rasim-supervisor):
+    //   rasim-registry v1
+    //   worker <idx> <addr> <up|down> pid <pid> restarts <n>
+    std::vector<std::string> addrs;
+    std::uint64_t up_mask = 0;
+    std::uint64_t restarts_total = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag != "worker")
+            continue;
+        std::uint64_t idx = 0;
+        std::string addr, state, pid_tag, restarts_tag;
+        std::uint64_t pid = 0, restarts = 0;
+        ls >> idx >> addr >> state >> pid_tag >> pid >> restarts_tag >>
+            restarts;
+        if (!ls || addr.empty() || !ipc::validAddress(addr))
+            continue;
+        if (idx >= 64 || idx != addrs.size())
+            continue; // torn or out-of-order line: keep what parses
+        addrs.push_back(addr);
+        if (state == "up")
+            up_mask |= std::uint64_t(1) << idx;
+        restarts_total += restarts;
+    }
+    if (addrs.empty())
+        return all_up;
+    registry_restarts_ = restarts_total;
+    {
+        // The heartbeat prober snapshots this list from its own
+        // thread.
+        std::lock_guard<std::mutex> lk(prober_mu_);
+        options_.endpoints = std::move(addrs);
+    }
+    if (active_ep_ >= options_.endpoints.size())
+        active_ep_ = 0;
+    retry_.setScopes(options_.endpoints.size());
+    syncHealthStats();
+    return up_mask;
 }
 
 void
 RemoteNetwork::coldOpen()
 {
+    // Under a supervisor the fleet may have moved since the failure:
+    // re-resolve it, and learn which workers the supervisor believes
+    // are up.
+    const std::uint64_t up_mask = refreshRegistry();
     const std::size_t n = options_.endpoints.size();
     std::optional<SimError> last;
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t ep = (active_ep_ + i) % n;
-        const std::string &addr = options_.endpoints[ep];
-        try {
-            // Cap the connect wait to the retry round's remaining
-            // deadline, so a dead endpoint cannot eat the budget of
-            // the live ones behind it.
-            double budget =
-                retry_.capToDeadline(options_.connect_timeout_ms);
-            std::unique_ptr<ipc::ByteChannel> ch =
-                openChannelTo(ep, budget);
-            // With a base image the fresh fabric starts at tick 0 and
-            // the image rewinds it to the base; without one the
-            // lineage is empty and the session starts cold at the
-            // base tick.
-            Tick start = base_image_.empty() ? journal_base_ : 0;
-            ipc::HelloReply rep = helloOn(*ch, addr, start);
-            Tick server_tick = journal_base_;
-            if (!base_image_.empty()) {
-                server_tick = ckptLoadOn(*ch, addr, base_image_);
-                if (server_tick != journal_base_) {
-                    throw SimError(
-                        ErrorKind::Transport,
-                        "restored server is at tick " +
-                            std::to_string(server_tick) +
-                            " but the base image was taken at tick " +
-                            std::to_string(journal_base_));
+    // Two passes over the ring starting at the active endpoint: the
+    // likely-healthy endpoints (registry says up, breaker closed)
+    // first, then the suspect ones as last-resort probes. A dead
+    // primary with an open breaker therefore costs the failover to a
+    // healthy standby nothing at all.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t ep = (active_ep_ + i) % n;
+            const bool healthy = (ep >= 64 ||
+                                  (up_mask & (std::uint64_t(1) << ep))) &&
+                                 !retry_.breakerOpen(ep);
+            if ((pass == 0) != healthy)
+                continue;
+            const std::string &addr = options_.endpoints[ep];
+            try {
+                // Cap the connect wait to the retry round's remaining
+                // deadline, so a dead endpoint cannot eat the budget
+                // of the live ones behind it.
+                double budget =
+                    retry_.capToDeadline(options_.connect_timeout_ms);
+                std::unique_ptr<ipc::ByteChannel> ch =
+                    openChannelTo(ep, budget);
+                // With a base image the fresh fabric starts at tick 0
+                // and the image rewinds it to the base; without one
+                // the lineage is empty and the session starts cold at
+                // the base tick.
+                Tick start = base_image_.empty() ? journal_base_ : 0;
+                ipc::HelloReply rep = helloOn(*ch, addr, start);
+                Tick server_tick = journal_base_;
+                if (!base_image_.empty()) {
+                    ipc::CkptLoadReply ack =
+                        ckptLoadOn(*ch, addr, base_image_);
+                    server_tick = ack.cur_time;
+                    if (server_tick != journal_base_) {
+                        throw SimError(
+                            ErrorKind::Transport,
+                            "restored server is at tick " +
+                                std::to_string(server_tick) +
+                                " but the base image was taken at "
+                                "tick " +
+                                std::to_string(journal_base_));
+                    }
+                    if (ack.digest != base_digest_) {
+                        // The replica's own re-serialization disagrees
+                        // with the attested base: its state diverged
+                        // and nothing it computes can be trusted.
+                        ++attestationMismatches;
+                        throw SimError(
+                            ErrorKind::Transport,
+                            "replica attestation mismatch on '" +
+                                addr + "': restored state digest " +
+                                std::to_string(ack.digest) +
+                                " != base digest " +
+                                std::to_string(base_digest_));
+                    }
                 }
+                num_nodes_ = rep.num_nodes;
+                if (ep != active_ep_)
+                    ++failovers;
+                active_ep_ = ep;
+                retry_.noteSuccess(ep);
+                chan_ = std::move(ch);
+                server_time_ = server_tick;
+                return;
+            } catch (const SimError &e) {
+                last = e;
             }
-            num_nodes_ = rep.num_nodes;
-            if (ep != active_ep_)
-                ++failovers;
-            active_ep_ = ep;
-            chan_ = std::move(ch);
-            server_time_ = server_tick;
-            return;
-        } catch (const SimError &e) {
-            last = e;
         }
     }
     throw *last; // endpoints is never empty
@@ -427,10 +555,14 @@ RemoteNetwork::coldOpen()
 void
 RemoteNetwork::replayJournal()
 {
-    for (const QuantumRecord &rec : journal_) {
+    for (std::size_t i = 0; i < journal_.size(); ++i) {
+        const QuantumRecord &rec = journal_[i];
+        if (test_hooks.on_replay)
+            test_hooks.on_replay(i);
         ipc::StepRequest req;
         req.target = rec.target;
         req.speculate = false;
+        req.attest = rec.attested;
         req.packets = rec.packets;
         ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
         ipc::encodeStep(aw, req);
@@ -444,8 +576,28 @@ RemoteNetwork::replayJournal()
                                ipc::toString(msg.type));
         }
         std::uint8_t flags = 0;
-        ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
+        std::uint64_t digest = 0;
+        ipc::AdvanceReply rep =
+            ipc::decodeStepReply(msg.ar, flags, &digest);
         msg.done();
+        // The original exchange attested this quantum: the rebuilt
+        // replica must reproduce that digest exactly, or its state
+        // has diverged from the run the journal records — quarantine
+        // it (feed its breaker, shift the endpoint preference) and
+        // let the retry round recover on another replica.
+        if (rec.attested && digest != rec.digest) {
+            ++attestationMismatches;
+            retry_.noteRoundFailed(active_ep_);
+            const std::string addr = activeEndpoint();
+            active_ep_ =
+                (active_ep_ + 1) % options_.endpoints.size();
+            throw SimError(
+                ErrorKind::Transport,
+                "replica attestation mismatch on '" + addr +
+                    "' at replayed quantum " + std::to_string(i) +
+                    ": digest " + std::to_string(digest) + " != " +
+                    std::to_string(rec.digest));
+        }
         // The replies' deliveries (and spec flags) were already
         // applied in the original run; only the clock mirror moves.
         server_time_ = rep.cur_time;
@@ -501,6 +653,8 @@ RemoteNetwork::applyReply(const ipc::AdvanceReply &rep)
 void
 RemoteNetwork::stepOnce(const ipc::StepRequest &req, bool count_flags)
 {
+    if (test_hooks.on_op)
+        test_hooks.on_op(op_counter_++);
     ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
     ipc::encodeStep(aw, req);
     ipc::sendMessage(*chan_, std::move(aw));
@@ -514,8 +668,13 @@ RemoteNetwork::stepOnce(const ipc::StepRequest &req, bool count_flags)
                            ipc::toString(msg.type));
     }
     std::uint8_t flags = 0;
-    ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags);
+    std::uint64_t digest = 0;
+    ipc::AdvanceReply rep = ipc::decodeStepReply(msg.ar, flags, &digest);
     msg.done();
+    last_step_attested_ = (flags & ipc::step_flag_attested) != 0;
+    last_step_digest_ = digest;
+    if (test_hooks.corrupt_attest)
+        last_step_digest_ ^= 1;
     if (count_flags) {
         if (flags & ipc::step_flag_spec_hit)
             ++specHits;
@@ -532,6 +691,8 @@ RemoteNetwork::advanceOnce(Tick t, const std::vector<PacketPtr> &packets)
 {
     // v1 blocking exchange, kept for old servers and as the
     // differential baseline (network.pipeline.enabled=false).
+    if (test_hooks.on_op)
+        test_hooks.on_op(op_counter_++);
     if (!packets.empty()) {
         ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::InjectBatch);
         ipc::encodePackets(aw, packets);
@@ -560,6 +721,10 @@ RemoteNetwork::advanceTo(Tick t)
     // The abort request is sticky until the next advanceTo() call.
     abort_.store(false, std::memory_order_relaxed);
 
+    // Quantum-boundary replica maintenance: act on anything the
+    // heartbeat prober flagged, and run a due re-prime.
+    maintainReplicas();
+
     // Idle elision: an idle fabric with nothing buffered cannot
     // produce a delivery, so the quantum needs no RPC at all — the
     // clock advances locally and the server's own idle fast-forward
@@ -587,17 +752,27 @@ RemoteNetwork::advanceTo(Tick t)
         req.target = t;
         req.speculate = options_.speculate;
         req.packets = std::move(packets);
+        // Periodic attestation: every attest_quanta-th pipelined
+        // quantum carries a digest request, journaled with its
+        // answer. The cadence counts issued quanta, so it is a pure
+        // function of simulated progress and survives retries (the
+        // identical request is re-sent).
+        ++attest_counter_;
+        req.attest = options_.attest_quanta != 0 &&
+                     attest_counter_ % options_.attest_quanta == 0;
         runWithRetry([&] {
             stepOnce(req, true);
             return 0;
         });
-        journal_.push_back({t, std::move(req.packets)});
+        journal_.push_back({t, std::move(req.packets),
+                            req.attest && last_step_attested_,
+                            last_step_digest_});
     } else {
         runWithRetry([&] {
             advanceOnce(t, packets);
             return 0;
         });
-        journal_.push_back({t, std::move(packets)});
+        journal_.push_back({t, std::move(packets), false, 0});
     }
     ++quanta_since_base_;
     if (options_.ckpt_quanta != 0 &&
@@ -617,6 +792,8 @@ RemoteNetwork::syncNow()
     // carry deliveries. Not journaled: a recovery replay ends at the
     // last journaled quantum and the next syncNow() repeats the
     // catch-up, deterministically.
+    if (test_hooks.on_op)
+        test_hooks.on_op(op_counter_++);
     ipc::StepRequest req;
     req.target = cur_time_;
     ArchiveWriter aw = ipc::beginMessage(ipc::MsgType::Step);
@@ -636,9 +813,13 @@ RemoteNetwork::syncNow()
     applyReply(rep);
 }
 
-std::string
+ipc::CkptReply
 RemoteNetwork::ckptSaveNow()
 {
+    if (test_hooks.on_op)
+        test_hooks.on_op(op_counter_++);
+    if (test_hooks.on_ckpt_save)
+        test_hooks.on_ckpt_save();
     ipc::sendMessage(*chan_, ipc::beginMessage(ipc::MsgType::CkptSave));
     ipc::Message msg = expectReply(options_.quantum_timeout_ms);
     if (msg.type == ipc::MsgType::ErrorReply)
@@ -648,9 +829,29 @@ RemoteNetwork::ckptSaveNow()
                        std::string("expected CkptData, got ") +
                            ipc::toString(msg.type));
     }
-    std::string image = ipc::decodeBlob(msg.ar);
+    ipc::CkptReply rep = ipc::decodeCkptReply(msg.ar);
     msg.done();
-    return image;
+    // The image's CRC64 is recomputed locally: what this client holds
+    // must be what the server attested, or the lineage built on it
+    // would replicate corruption instead of state.
+    if (crc64(rep.image) != rep.digest) {
+        throw SimError(ErrorKind::Transport,
+                       "checkpoint image failed its attestation digest "
+                       "(corrupted in transit)");
+    }
+    if (test_hooks.corrupt_attest)
+        rep.digest ^= 1;
+    return rep;
+}
+
+void
+RemoteNetwork::adoptBase(std::string image, std::uint64_t digest)
+{
+    base_image_ = std::move(image);
+    base_digest_ = digest;
+    journal_base_ = cur_time_;
+    journal_.clear();
+    quanta_since_base_ = 0;
 }
 
 void
@@ -658,18 +859,27 @@ RemoteNetwork::refreshBase()
 {
     try {
         syncNow();
-        std::string image = ckptSaveNow();
-        base_image_ = std::move(image);
-        journal_base_ = cur_time_;
-        journal_.clear();
-        quanta_since_base_ = 0;
+        ipc::CkptReply ckpt = ckptSaveNow();
+        adoptBase(std::move(ckpt.image), ckpt.digest);
         replicateToStandby();
     } catch (const SimError &) {
-        // Single attempt, failure swallowed: the old lineage (longer
-        // journal) is still valid, and the next operation's retry
-        // round recovers the dropped connection.
+        // Single attempt: the old lineage (longer journal) is still
+        // valid, and the next operation's retry round recovers the
+        // dropped connection.
         markDisconnected();
     }
+}
+
+void
+RemoteNetwork::scheduleReprime()
+{
+    reprime_pending_ = true;
+    reprime_countdown_ = reprime_backoff_;
+    // Exponential in successful quanta, capped: frequent enough to
+    // converge quickly once the supervisor has respawned the dead
+    // worker, sparse enough not to burn every quantum on a connect
+    // attempt to a corpse.
+    reprime_backoff_ = std::min<std::uint64_t>(reprime_backoff_ * 2, 64);
 }
 
 void
@@ -679,19 +889,159 @@ RemoteNetwork::replicateToStandby()
         return;
     const std::size_t ep = (active_ep_ + 1) % options_.endpoints.size();
     const std::string &addr = options_.endpoints[ep];
+    const bool was_pending = reprime_pending_;
     try {
         if (!standby_chan_ || !standby_chan_->valid()) {
             standby_chan_ =
                 openChannelTo(ep, options_.connect_timeout_ms);
             helloOn(*standby_chan_, addr, 0);
         }
-        standby_tick_ = ckptLoadOn(*standby_chan_, addr, base_image_);
+        ipc::CkptLoadReply ack =
+            ckptLoadOn(*standby_chan_, addr, base_image_);
+        standby_tick_ = ack.cur_time;
+        // Replica attestation: the standby re-serialized what it
+        // restored; if that digest is not the base's, the standby
+        // holds diverged state and must not be promoted — quarantine
+        // it and retry the priming from scratch later.
+        if (ack.digest != base_digest_) {
+            ++attestationMismatches;
+            throw SimError(ErrorKind::Transport,
+                           "standby '" + addr +
+                               "' failed attestation: digest " +
+                               std::to_string(ack.digest) + " != " +
+                               std::to_string(base_digest_));
+        }
         standby_valid_ = standby_tick_ == journal_base_;
+        if (standby_valid_) {
+            retry_.noteSuccess(ep);
+            if (was_pending) {
+                ++reprimes;
+                reprime_pending_ = false;
+                reprime_backoff_ = 1;
+            }
+        }
     } catch (const SimError &) {
-        // Best-effort: a dead standby costs nothing until the primary
-        // also dies, and the cold-open path covers that.
+        // A dead or diverged standby costs nothing until the primary
+        // also dies — but it is never silently forgotten: the failure
+        // is counted and a deterministic re-prime retry is queued, so
+        // the client regains a standby once the worker comes back.
         standby_chan_.reset();
         standby_valid_ = false;
+        ++standbyPrimeFailures;
+        scheduleReprime();
+    }
+}
+
+void
+RemoteNetwork::maintainReplicas()
+{
+    // Consume the prober's verdicts first: suspicions about the
+    // active endpoint drop the connection now (so the coming
+    // ensureSession fails over before wasting a quantum timeout on a
+    // corpse), suspicions about the standby quarantine it.
+    std::uint64_t suspects =
+        suspect_mask_.exchange(0, std::memory_order_acq_rel);
+    if (suspects != 0) {
+        syncHealthStats();
+        if (active_ep_ < 64 &&
+            (suspects & (std::uint64_t(1) << active_ep_)))
+            markDisconnected();
+        const std::size_t standby_ep =
+            (active_ep_ + 1) % options_.endpoints.size();
+        if (standby_valid_ && standby_ep < 64 &&
+            (suspects & (std::uint64_t(1) << standby_ep))) {
+            standby_chan_.reset();
+            standby_valid_ = false;
+            scheduleReprime();
+        }
+    }
+    if (reprime_pending_) {
+        if (reprime_countdown_ > 0)
+            --reprime_countdown_;
+        if (reprime_countdown_ == 0)
+            replicateToStandby();
+    }
+}
+
+void
+RemoteNetwork::startProber()
+{
+    if (options_.heartbeat_ms <= 0.0)
+        return;
+    prober_ = std::thread([this] { proberLoop(); });
+}
+
+void
+RemoteNetwork::stopProber()
+{
+    if (!prober_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(prober_mu_);
+        prober_stop_ = true;
+    }
+    prober_cv_.notify_all();
+    prober_.join();
+}
+
+void
+RemoteNetwork::proberLoop()
+{
+    // Dedicated plain connections, one per endpoint, reconnected on
+    // demand: never the RPC session channel (a probe must not race a
+    // quantum exchange) and never chaos-wrapped (a probe must not
+    // consume fault-schedule draws, or running the prober would
+    // change a chaos run's outcome).
+    std::vector<std::unique_ptr<ipc::ByteChannel>> probes;
+    std::uint64_t nonce = 0;
+    for (;;) {
+        std::vector<std::string> eps;
+        {
+            std::unique_lock<std::mutex> lk(prober_mu_);
+            prober_cv_.wait_for(
+                lk,
+                std::chrono::duration<double, std::milli>(
+                    options_.heartbeat_ms),
+                [this] { return prober_stop_; });
+            if (prober_stop_)
+                return;
+            eps = options_.endpoints;
+        }
+        if (probes.size() < eps.size())
+            probes.resize(eps.size());
+        for (std::size_t i = 0; i < eps.size() && i < 64; ++i) {
+            bool alive = false;
+            try {
+                if (!probes[i] || !probes[i]->valid()) {
+                    ipc::Fd fd =
+                        ipc::connectTo(eps[i], options_.heartbeat_ms);
+                    probes[i] = std::make_unique<ipc::FdChannel>(
+                        std::move(fd));
+                }
+                ipc::PingRequest req;
+                req.nonce = ++nonce;
+                ArchiveWriter aw =
+                    ipc::beginMessage(ipc::MsgType::Ping);
+                ipc::encodePing(aw, req);
+                ipc::sendMessage(*probes[i], std::move(aw));
+                auto msg = ipc::recvMessage(*probes[i],
+                                            options_.heartbeat_ms);
+                alive = msg && msg->type == ipc::MsgType::Pong &&
+                        ipc::decodePong(msg->ar).nonce == req.nonce;
+            } catch (const SimError &) {
+                alive = false;
+            }
+            if (!alive) {
+                // A missed beat is only a suspicion — the RPC path
+                // consumes it at the next quantum boundary and the
+                // retry machinery does the actual failing over.
+                probes[i].reset();
+                heartbeat_misses_.fetch_add(1,
+                                            std::memory_order_relaxed);
+                suspect_mask_.fetch_or(std::uint64_t(1) << i,
+                                       std::memory_order_acq_rel);
+            }
+        }
     }
 }
 
@@ -775,9 +1125,9 @@ RemoteNetwork::save(ArchiveWriter &aw)
     // image is omitted and restore opens a fresh session at the saved
     // tick (the deliveries still in the old fabric are lost — the same
     // loss the outage itself caused).
-    std::string image;
+    ipc::CkptReply ckpt;
     try {
-        image = runWithRetry([&] {
+        ckpt = runWithRetry([&] {
             // The paired image must be taken at the client's tick, not
             // wherever idle elision left the server's clock.
             syncNow();
@@ -787,17 +1137,14 @@ RemoteNetwork::save(ArchiveWriter &aw)
         warn("remote checkpoint unavailable (", err.what(),
              "); saving the client half only");
     }
-    if (!image.empty()) {
+    if (!ckpt.image.empty()) {
         // An explicit checkpoint is also a fresh recovery base.
-        base_image_ = image;
-        journal_base_ = cur_time_;
-        journal_.clear();
-        quanta_since_base_ = 0;
+        adoptBase(ckpt.image, ckpt.digest);
         replicateToStandby();
     }
-    aw.putBool(!image.empty());
-    if (!image.empty())
-        aw.putString(image);
+    aw.putBool(!ckpt.image.empty());
+    if (!ckpt.image.empty())
+        aw.putString(ckpt.image);
     aw.endSection();
 }
 
@@ -830,6 +1177,12 @@ RemoteNetwork::restore(ArchiveReader &ar)
     quanta_since_base_ = 0;
     journal_base_ = cur_time_;
     base_image_ = std::move(image);
+    // The image came from a trusted archive, not the wire: its digest
+    // is recomputed locally so the restored session's CkptLoadAck can
+    // still be attested against it.
+    base_digest_ = base_image_.empty() ? 0 : crc64(base_image_);
+    if (test_hooks.corrupt_attest && !base_image_.empty())
+        base_digest_ ^= 1;
 
     runWithRetry([] { return 0; });
     if (has_image)

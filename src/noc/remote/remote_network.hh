@@ -52,14 +52,49 @@
  * exactly reproducible — and, while every fault stays within the retry
  * budget, bit-identical to the fault-free run (the chaos differential
  * proof; see tests/noc/chaos_differential_test.cc).
+ *
+ * Self-healing (v3, DESIGN.md section 13): the client can run against
+ * a rasim-supervisor-managed worker fleet and survive any number of
+ * worker crashes, not just the first.
+ *
+ *  - Liveness: with network.remote.heartbeat_ms > 0 a background
+ *    prober Pings every endpoint over dedicated plain connections and
+ *    flags the ones that miss; the flags are consumed at the next
+ *    quantum boundary (a suspect primary is dropped pre-emptively, a
+ *    suspect standby is quarantined), so a dead peer is detected
+ *    within a bounded interval instead of at the next failing RPC.
+ *    Default 0 = off: the prober adds wall-clock-dependent connection
+ *    churn, so bit-reproducible chaos runs leave it disabled.
+ *
+ *  - Re-priming: a consumed standby (after a promotion) or a failed
+ *    priming attempt schedules a deterministic quanta-counted retry
+ *    with exponential backoff, so the client converges back to
+ *    one-primary-one-standby as soon as the supervisor respawns the
+ *    dead worker — N sequential failures are survivable, not one.
+ *
+ *  - Attestation: CkptData and CkptLoadAck carry CRC64 digests of the
+ *    serialized network state, and every network.remote.attest_quanta
+ *    quanta a Step requests one; the client cross-checks primary
+ *    against standby at priming time and the rebuilt replica against
+ *    the journal during replay, quarantining (and re-priming) any
+ *    replica whose state diverged instead of silently computing on it.
+ *
+ *  - Registry: with network.remote.registry pointing at a supervisor's
+ *    endpoints file, every cold open re-resolves the worker fleet
+ *    (liveness + restart counts) and prefers endpoints the supervisor
+ *    reports up.
  */
 
 #ifndef RASIM_NOC_REMOTE_REMOTE_NETWORK_HH
 #define RASIM_NOC_REMOTE_REMOTE_NETWORK_HH
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "abstractnet/latency_table.hh"
@@ -117,6 +152,19 @@ struct RemoteOptions
      *  checkpoints refresh the base, so the journal spans the whole
      *  lineage (network.remote.ckpt_quanta). */
     std::uint64_t ckpt_quanta = 256;
+    /** Probe every endpoint with a Ping each this many ms from a
+     *  background thread; 0 = prober off
+     *  (network.remote.heartbeat_ms). */
+    double heartbeat_ms = 0.0;
+    /** Request a CRC64 state attestation with every this many
+     *  pipelined quanta, journaling the digest so a recovery replay
+     *  can prove the rebuilt replica reconverged; 0 = attest only at
+     *  checkpoints (network.remote.attest_quanta). */
+    std::uint64_t attest_quanta = 0;
+    /** Path of a rasim-supervisor endpoints registry; when set, every
+     *  cold open re-resolves the worker fleet from it
+     *  (network.remote.registry). Empty = static endpoint list. */
+    std::string registry;
     /** Deterministic retry/backoff/breaker budgets
      *  (network.remote.retry.*). */
     ipc::RetryOptions retry;
@@ -230,7 +278,36 @@ class RemoteNetwork : public SimObject, public NetworkModel
     stats::Scalar failovers;      ///< sessions moved to a new endpoint
     stats::Scalar backoffMsTotal; ///< wall-clock slept in backoffs
     stats::Scalar breakerTrips;   ///< circuit breaker openings
+    stats::Scalar standbyPrimeFailures; ///< priming attempts that failed
+    stats::Scalar reprimes;       ///< standbys re-primed after loss/use
+    stats::Scalar heartbeatMisses; ///< liveness probes that went dead
+    stats::Scalar attestationMismatches; ///< replica digests that diverged
+    stats::Scalar workerRestarts; ///< fleet restarts (registry mirror)
     /// @}
+
+    /**
+     * Crash-window test instrumentation: callbacks fired at the exact
+     * client-side moments the crash-anywhere tests need to SIGKILL a
+     * worker in (inside a checkpoint stream, mid-replay, between
+     * promotion and the first Step). Never set outside tests; all
+     * default-empty. corrupt_attest flips every digest the client
+     * records, forcing the attestation cross-checks to fire.
+     */
+    struct TestHooks
+    {
+        /** Before each raw exchange hits the wire (Step, Advance,
+         *  sync, checkpoint), with a running operation index. */
+        std::function<void(std::uint64_t)> on_op;
+        /** Before the CkptSave request is sent. */
+        std::function<void()> on_ckpt_save;
+        /** Before journal record @p i is re-issued during replay. */
+        std::function<void(std::size_t)> on_replay;
+        /** After a standby promotion, before the journal replay. */
+        std::function<void()> on_promote;
+        /** Corrupt recorded digests (attestation negative tests). */
+        bool corrupt_attest = false;
+    };
+    TestHooks test_hooks;
 
   private:
     /** One quantum of the recovery journal: replaying these Step
@@ -240,6 +317,11 @@ class RemoteNetwork : public SimObject, public NetworkModel
     {
         Tick target;
         std::vector<PacketPtr> packets;
+        /** The original exchange carried an attestation request; the
+         *  digest it returned is the proof a recovery replay must
+         *  reproduce before the rebuilt replica is trusted. */
+        bool attested = false;
+        std::uint64_t digest = 0;
     };
 
     /** Run @p fn as one retry round: any retryable SimError drops the
@@ -256,14 +338,17 @@ class RemoteNetwork : public SimObject, public NetworkModel
             try {
                 ensureSession();
                 auto result = fn();
-                retry_.noteSuccess();
+                retry_.noteSuccess(active_ep_);
                 syncHealthStats();
                 return result;
             } catch (const SimError &err) {
                 markDisconnected();
                 retry_.noteFailure();
                 if (!retryable(err) || !retry_.shouldRetry()) {
-                    retry_.noteRoundFailed();
+                    // Only the endpoint the round died on feeds its
+                    // breaker: a healthy standby's scope stays closed,
+                    // so the next round may still reach it.
+                    retry_.noteRoundFailed(active_ep_);
                     giveUp();
                     syncHealthStats();
                     throw;
@@ -292,26 +377,43 @@ class RemoteNetwork : public SimObject, public NetworkModel
     ipc::HelloReply helloOn(ipc::ByteChannel &ch,
                             const std::string &addr, Tick start_tick);
     /** Push @p image into the session on @p ch; returns the restored
-     *  server tick. */
-    Tick ckptLoadOn(ipc::ByteChannel &ch, const std::string &addr,
-                    const std::string &image);
+     *  server tick plus the replica's own re-serialization digest. */
+    ipc::CkptLoadReply ckptLoadOn(ipc::ByteChannel &ch,
+                                  const std::string &addr,
+                                  const std::string &image);
     /** Promote the primed standby session to active, if it is valid
-     *  and at the journal base. */
+     *  and at the journal base; schedules a re-prime so the promoted
+     *  run regains a standby (the double-failure lineage). */
     bool promoteStandby();
     /** Open a fresh session on the first reachable endpoint (trying
-     *  from the active one onward) and restore the base image. */
+     *  from the active one onward, preferring closed-breaker and
+     *  registry-up endpoints) and restore the base image. */
     void coldOpen();
+    /** Re-read the supervisor registry (when configured): endpoint
+     *  liveness, fleet restart counts. Returns the per-endpoint up
+     *  mask (all-up when no registry is readable). */
+    std::uint64_t refreshRegistry();
     /** Re-issue every journaled quantum against the fresh session,
      *  discarding the replies (their deliveries were already applied
-     *  in the original run). */
+     *  in the original run) but cross-checking every journaled
+     *  attestation digest — a mismatch quarantines the replica. */
     void replayJournal();
     /** Capture a fresh base image at the current tick, truncate the
-     *  journal and prime the standby. Failure is swallowed (the old
-     *  lineage stays valid); the broken connection is dropped. */
+     *  journal and prime the standby. Failure drops the broken
+     *  connection and keeps the old (longer-journal) lineage. */
     void refreshBase();
-    /** Best-effort: push the base image into a warm session on the
-     *  next endpoint so failover needs no state transfer. */
+    /** Push the base image into a warm session on the next endpoint
+     *  so failover needs no state transfer. A failure or digest
+     *  mismatch is counted and schedules a deterministic re-prime
+     *  retry — never silently swallowed. */
     void replicateToStandby();
+    /** Queue a replicateToStandby() retry after an exponentially
+     *  backed-off number of successful quanta. */
+    void scheduleReprime();
+    /** Run a scheduled re-prime when its countdown expired, and
+     *  consume any endpoint suspicions the heartbeat prober raised
+     *  (quantum-boundary maintenance; no-op when nothing is due). */
+    void maintainReplicas();
     /** Drop the whole recovery lineage (exhausted round): buffered
      *  injections die with it and the next session starts from an
      *  empty fabric at the current tick. */
@@ -344,8 +446,17 @@ class RemoteNetwork : public SimObject, public NetworkModel
      *  stats, checkpoints) is read at the same tick on both sides. */
     void syncNow();
     /** Raw CkptSave exchange (no retry): the server's image at its
-     *  current tick. */
-    std::string ckptSaveNow();
+     *  current tick, verified against its attestation digest. */
+    ipc::CkptReply ckptSaveNow();
+    /** Adopt @p image (and its digest) as the new recovery base. */
+    void adoptBase(std::string image, std::uint64_t digest);
+
+    /** @name Heartbeat prober (background thread) */
+    /// @{
+    void startProber();
+    void stopProber();
+    void proberLoop();
+    /// @}
 
     NocParams params_;
     RemoteOptions options_;
@@ -365,11 +476,38 @@ class RemoteNetwork : public SimObject, public NetworkModel
 
     // Recovery lineage: base image + journal of quanta since.
     std::string base_image_;  ///< empty = cold Hello at journal_base_
+    std::uint64_t base_digest_ = 0; ///< CRC64 attestation of the base
     Tick journal_base_ = 0;   ///< tick the base image was taken at
     std::vector<QuantumRecord> journal_;
     std::uint64_t quanta_since_base_ = 0;
     Tick standby_tick_ = 0;   ///< tick the standby was primed to
     bool standby_valid_ = false;
+
+    // Re-prime scheduling: counted in successful quanta, so the retry
+    // cadence is a pure function of simulated progress (deterministic
+    // given the failure pattern), not of wall-clock time.
+    bool reprime_pending_ = false;
+    std::uint64_t reprime_countdown_ = 0;
+    std::uint64_t reprime_backoff_ = 1; ///< quanta; doubles per failure
+
+    // Attestation bookkeeping.
+    std::uint64_t attest_counter_ = 0; ///< pipelined quanta issued
+    std::uint64_t last_step_digest_ = 0; ///< from the last StepReply
+    bool last_step_attested_ = false;
+    std::uint64_t op_counter_ = 0; ///< raw exchanges (test_hooks.on_op)
+
+    // Heartbeat prober state. The prober thread owns its own plain
+    // (never chaos-wrapped) connections and communicates only through
+    // these atomics, consumed at quantum boundaries.
+    std::thread prober_;
+    std::mutex prober_mu_; ///< guards the cv + endpoint list snapshot
+    std::condition_variable prober_cv_;
+    bool prober_stop_ = false;
+    std::atomic<std::uint64_t> suspect_mask_{0};
+    std::atomic<std::uint64_t> heartbeat_misses_{0};
+
+    // Registry mirror (refreshRegistry).
+    std::uint64_t registry_restarts_ = 0;
 
     // Mirrored from the last quantum reply (or HelloAck).
     /** Where the server's clock actually is; trails cur_time_ while

@@ -40,6 +40,22 @@ buildCrcTable()
     crc_table_ready = true;
 }
 
+std::uint64_t crc64_table[256];
+bool crc64_table_ready = false;
+
+void
+buildCrc64Table()
+{
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        std::uint64_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) ? 0xc96c5795d7870f42ull ^ (c >> 1) : c >> 1;
+        }
+        crc64_table[i] = c;
+    }
+    crc64_table_ready = true;
+}
+
 } // namespace
 
 std::uint32_t
@@ -52,6 +68,24 @@ crc32(const void *data, std::size_t len)
     for (std::size_t i = 0; i < len; ++i)
         c = crc_table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
     return c ^ 0xffffffffu;
+}
+
+std::uint64_t
+crc64(const void *data, std::size_t len)
+{
+    if (!crc64_table_ready)
+        buildCrc64Table();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t c = ~0ull;
+    for (std::size_t i = 0; i < len; ++i)
+        c = crc64_table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return ~c;
+}
+
+std::uint64_t
+crc64(const std::string &bytes)
+{
+    return crc64(bytes.data(), bytes.size());
 }
 
 // ---------------------------------------------------------------------

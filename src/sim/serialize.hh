@@ -36,6 +36,14 @@ class Group;
 /** CRC-32 (IEEE, reflected polynomial 0xEDB88320) of a byte buffer. */
 std::uint32_t crc32(const void *data, std::size_t len);
 
+/** CRC-64 (ECMA-182, reflected polynomial 0xC96C5795D7870F42) of a
+ *  byte buffer. The replica-attestation digest of the remote backend:
+ *  two replicas whose serialized state archives agree bit for bit
+ *  produce the same digest, so a diverged (or corrupt) standby is
+ *  caught by comparing eight bytes instead of shipping the image. */
+std::uint64_t crc64(const void *data, std::size_t len);
+std::uint64_t crc64(const std::string &bytes);
+
 /**
  * Accumulates an archive in memory. Sections open with beginSection()
  * and close with endSection(); lengths are patched on close so callers

@@ -20,6 +20,7 @@
 #include "ipc/nocd_server.hh"
 #include "ipc/protocol.hh"
 #include "noc/packet.hh"
+#include "sim/serialize.hh"
 #include "sim/sim_error.hh"
 
 namespace
@@ -237,9 +238,12 @@ TEST_F(ServerFixture, CheckpointRoundTripRewindsTheSession)
 
     Message ck = call(fd, beginMessage(MsgType::CkptSave));
     ASSERT_EQ(ck.type, MsgType::CkptData);
-    std::string image = ck.ar.getString();
+    CkptReply saved = decodeCkptReply(ck.ar);
     ck.done();
+    std::string image = saved.image;
     EXPECT_FALSE(image.empty());
+    // The image travels with its attestation digest.
+    EXPECT_EQ(saved.digest, crc64(image));
 
     // Diverge, then rewind with the image.
     std::vector<noc::PacketPtr> more;
@@ -255,8 +259,12 @@ TEST_F(ServerFixture, CheckpointRoundTripRewindsTheSession)
     load.putString(image);
     Message ack = call(fd, std::move(load));
     ASSERT_EQ(ack.type, MsgType::CkptLoadAck);
-    EXPECT_EQ(ack.ar.getU64(), 1000u);
+    CkptLoadReply lr = decodeCkptLoadReply(ack.ar);
     ack.done();
+    EXPECT_EQ(lr.cur_time, 1000u);
+    // Replica attestation: what the session now holds re-serializes
+    // to exactly the image it was primed from.
+    EXPECT_EQ(lr.digest, crc64(image));
 
     // The restored session replays the diverged tail identically.
     ArchiveWriter inj3 = beginMessage(MsgType::InjectBatch);
@@ -285,6 +293,88 @@ TEST_F(ServerFixture, CorruptCheckpointImageIsRejected)
         EXPECT_NE(std::string(e.what()).find("corrupt checkpoint"),
                   std::string::npos);
     }
+}
+
+TEST_F(ServerFixture, PingIsLegalBeforeHello)
+{
+    // Liveness probes must work on a sessionless connection: this is
+    // what the supervisor's heartbeat and the client's prober send.
+    Fd fd = connect();
+    PingRequest req;
+    req.nonce = 0xfeedfacecafebeefull;
+    ArchiveWriter aw = beginMessage(MsgType::Ping);
+    encodePing(aw, req);
+    Message rep = call(fd, std::move(aw));
+    ASSERT_EQ(rep.type, MsgType::Pong);
+    PongReply pong = decodePong(rep.ar);
+    rep.done();
+    EXPECT_EQ(pong.nonce, req.nonce);
+    EXPECT_FALSE(pong.in_session);
+    EXPECT_EQ(pong.cur_time, 0u);
+}
+
+TEST_F(ServerFixture, PingInSessionReportsSessionState)
+{
+    Fd fd = connect();
+    HelloRequest hreq;
+    hello(fd, hreq);
+    step(fd, 500, false);
+
+    PingRequest req;
+    req.nonce = 42;
+    ArchiveWriter aw = beginMessage(MsgType::Ping);
+    encodePing(aw, req);
+    Message rep = call(fd, std::move(aw));
+    ASSERT_EQ(rep.type, MsgType::Pong);
+    PongReply pong = decodePong(rep.ar);
+    rep.done();
+    EXPECT_EQ(pong.nonce, 42u);
+    EXPECT_TRUE(pong.in_session);
+    EXPECT_EQ(pong.cur_time, 500u);
+    EXPECT_GE(pong.sessions_active, 1u);
+    EXPECT_GE(pong.sessions_served, 1u);
+}
+
+TEST_F(ServerFixture, AttestedStepCarriesAReproducibleDigest)
+{
+    Fd fd = connect();
+    HelloRequest hreq;
+    hreq.params.columns = 4;
+    hreq.params.rows = 4;
+    hello(fd, hreq);
+
+    auto attestedStep = [&](Tick target) {
+        StepRequest req;
+        req.target = target;
+        req.attest = true;
+        ArchiveWriter aw = beginMessage(MsgType::Step);
+        encodeStep(aw, req);
+        Message rep = call(fd, std::move(aw));
+        EXPECT_EQ(rep.type, MsgType::StepReply);
+        std::uint8_t flags = 0;
+        std::uint64_t digest = 0;
+        decodeStepReply(rep.ar, flags, &digest);
+        rep.done();
+        EXPECT_TRUE(flags & step_flag_attested);
+        return digest;
+    };
+
+    std::uint64_t d1 = attestedStep(1000);
+    EXPECT_NE(d1, 0u);
+    // An idle re-attest at the same tick must reproduce the digest
+    // (nothing moved), and it must equal the checkpoint image's own
+    // digest — they attest the same serialized state.
+    std::uint64_t d2 = attestedStep(1000);
+    EXPECT_EQ(d1, d2);
+    Message ck = call(fd, beginMessage(MsgType::CkptSave));
+    ASSERT_EQ(ck.type, MsgType::CkptData);
+    CkptReply saved = decodeCkptReply(ck.ar);
+    ck.done();
+    EXPECT_EQ(saved.digest, d1);
+    // Advancing the clock changes the serialized state, so the digest
+    // must move too.
+    std::uint64_t d3 = attestedStep(2000);
+    EXPECT_NE(d3, d1);
 }
 
 TEST_F(ServerFixture, ServerSurvivesAVanishedClient)

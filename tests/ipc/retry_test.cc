@@ -182,6 +182,80 @@ TEST(RetryPolicy, BreakerOpensAfterConsecutiveExhaustedRounds)
     EXPECT_FALSE(p.breakerOpen());
 }
 
+/** Exhaust one round against @p scope (max_attempts failures). */
+void
+exhaustRound(RetryPolicy &p, std::size_t scope)
+{
+    p.beginRound();
+    while (true) {
+        p.noteFailure();
+        if (!p.shouldRetry())
+            break;
+        p.backoff();
+    }
+    p.noteRoundFailed(scope);
+}
+
+TEST(RetryPolicy, BreakerIsScopedPerEndpoint)
+{
+    RetryOptions o = fastOptions();
+    o.breaker_failures = 2;
+    RetryPolicy p(o, Rng(1, 1));
+    p.setScopes(2);
+    ASSERT_EQ(p.scopes(), 2u);
+
+    // The primary (scope 0) dies repeatedly and trips its breaker.
+    exhaustRound(p, 0);
+    exhaustRound(p, 0);
+    EXPECT_TRUE(p.breakerOpen(0));
+    EXPECT_FALSE(p.breakerOpen(1)) << "the standby never failed";
+    EXPECT_EQ(p.breakerTrips(), 1u);
+
+    // This is the regression the scoping exists for: a dead primary's
+    // open breaker must not deny the round that would fail over to
+    // the healthy standby.
+    p.beginRound();
+    p.noteFailure();
+    EXPECT_TRUE(p.shouldRetry())
+        << "a healthy standby scope keeps the round alive";
+
+    // A success on the standby closes nothing of the primary's state.
+    p.noteSuccess(1);
+    EXPECT_TRUE(p.breakerOpen(0));
+    EXPECT_FALSE(p.breakerOpen(1));
+
+    // Only when every endpoint's breaker is open does the one-probe
+    // regime kick in.
+    exhaustRound(p, 1);
+    exhaustRound(p, 1);
+    EXPECT_TRUE(p.breakerAllOpen());
+    EXPECT_EQ(p.breakerTrips(), 2u);
+    p.beginRound();
+    p.noteFailure();
+    EXPECT_FALSE(p.shouldRetry()) << "all scopes open: one probe only";
+
+    // And one probe succeeding anywhere reopens the path.
+    p.noteSuccess(0);
+    EXPECT_FALSE(p.breakerAllOpen());
+    p.beginRound();
+    p.noteFailure();
+    EXPECT_TRUE(p.shouldRetry());
+}
+
+TEST(RetryPolicy, ScopeFreeCallsKeepLegacySingleEndpointBehaviour)
+{
+    RetryOptions o = fastOptions();
+    o.breaker_failures = 1;
+    RetryPolicy p(o, Rng(1, 1));
+    // No setScopes() call: scope 0 is the only bucket, so the legacy
+    // zero-arg API behaves exactly as the old global breaker did.
+    exhaustRound(p, 0);
+    EXPECT_TRUE(p.breakerOpen());
+    EXPECT_TRUE(p.breakerAllOpen());
+    p.noteSuccess();
+    EXPECT_FALSE(p.breakerOpen());
+}
+
 TEST(RetryOptions, FromConfigReadsAndValidates)
 {
     Config cfg;
