@@ -36,10 +36,14 @@
 
 #include "bench_util.hh"
 #include "cosim/full_system.hh"
+#include "noc/cycle_network.hh"
 #include "noc/packet.hh"
 #include "sim/callable.hh"
+#include "sim/cpuid.hh"
 #include "sim/flat_map.hh"
 #include "sim/pool.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
 
 // ---------------------------------------------------------------------
 // Counting global allocator (this binary only).
@@ -276,6 +280,81 @@ runSystem(Tick warm_ticks, Tick run_ticks)
     return r;
 }
 
+// ---------------------------------------------------------------------
+// Kernel lanes: the same detailed CycleNetwork run under each compute
+// backend — object (per-component reference), soa-scalar and, when the
+// build and host allow it, soa-avx2. All lanes see identical seeded
+// traffic and must deliver the identical packet stream (checksummed),
+// so the throughput ratio isolates the kernel: flat SoA state plus the
+// active-node worklist versus pointer-chasing every component every
+// cycle.
+// ---------------------------------------------------------------------
+
+struct KernelLaneResult
+{
+    double router_cycles_per_sec = 0.0; ///< routers x cycles / wall sec
+    double ns_per_router_cycle = 0.0;
+    double allocs_per_quantum = 0.0;
+    std::uint64_t checksum = 0;
+};
+
+KernelLaneResult
+runKernelLane(const char *kernel, const char *simd,
+              std::uint64_t warm_quanta, std::uint64_t quanta)
+{
+    constexpr Tick quantum = 1000;
+    constexpr int packets_per_kquantum = 48;
+
+    Simulation sim;
+    noc::NocParams p;
+    p.columns = 16;
+    p.rows = 16;
+    p.kernel = kernel;
+    p.simd = simd;
+    noc::CycleNetwork net(sim, "bench", p);
+
+    KernelLaneResult r;
+    net.setDeliveryHandler([&r](const noc::PacketPtr &pkt) {
+        r.checksum += pkt->deliver_tick ^ pkt->id;
+    });
+
+    Rng rng(0xbe7c, 9);
+    std::uint64_t next_id = 1;
+    std::size_t nodes = net.numNodes();
+    auto step = [&](std::uint64_t q) {
+        Tick base = q * quantum;
+        for (int i = 0; i < packets_per_kquantum; ++i) {
+            net.inject(noc::makePacket(
+                static_cast<PacketId>(next_id++),
+                static_cast<NodeId>(rng.range(nodes)),
+                static_cast<NodeId>(rng.range(nodes)),
+                static_cast<noc::MsgClass>(rng.range(3)),
+                rng.bernoulli(0.5) ? 8 : 64,
+                base + static_cast<Tick>(rng.range(quantum))));
+        }
+        net.advanceTo(base + quantum);
+    };
+
+    for (std::uint64_t q = 0; q < warm_quanta; ++q)
+        step(q);
+
+    std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    double secs = benchutil::timeIt([&] {
+        for (std::uint64_t q = 0; q < quanta; ++q)
+            step(warm_quanta + q);
+    });
+    std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+
+    double router_cycles =
+        static_cast<double>(quanta * quantum) *
+        static_cast<double>(nodes);
+    r.router_cycles_per_sec = router_cycles / secs;
+    r.ns_per_router_cycle = secs * 1e9 / router_cycles;
+    r.allocs_per_quantum = static_cast<double>(allocs1 - allocs0) /
+                           static_cast<double>(quanta);
+    return r;
+}
+
 } // namespace
 
 int
@@ -318,6 +397,47 @@ main(int argc, char **argv)
                 sys.packets_per_sec, sys.allocs_per_quantum,
                 static_cast<unsigned long long>(sys.quanta));
 
+    // Kernel lanes: 16x16 CycleNetwork, identical seeded traffic.
+    const std::uint64_t kwarm = quick ? 50 : 100;
+    const std::uint64_t kquanta = quick ? 40 : 300;
+    KernelLaneResult kobj = runKernelLane("object", "auto", kwarm, kquanta);
+    KernelLaneResult ksoa = runKernelLane("soa", "scalar", kwarm, kquanta);
+    bool have_avx2 = cpuid::simdCompiledIn() && cpuid::hostHasAvx2();
+    KernelLaneResult ksimd;
+    if (have_avx2)
+        ksimd = runKernelLane("soa", "avx2", kwarm, kquanta);
+    if (ksoa.checksum != kobj.checksum ||
+        (have_avx2 && ksimd.checksum != kobj.checksum)) {
+        std::fprintf(stderr, "kernel lane checksum mismatch\n");
+        return 1;
+    }
+    double soa_speedup =
+        ksoa.router_cycles_per_sec / kobj.router_cycles_per_sec;
+    double simd_speedup =
+        have_avx2
+            ? ksimd.router_cycles_per_sec / kobj.router_cycles_per_sec
+            : 0.0;
+
+    benchutil::printRow(
+        {"kernel lane", "Mrouter-cyc/s", "ns/router-cyc",
+         "allocs/quantum"});
+    auto kernelRow = [](const char *name, const KernelLaneResult &k) {
+        benchutil::printRow(
+            {name, benchutil::fmt(k.router_cycles_per_sec / 1e6, 1),
+             benchutil::fmt(k.ns_per_router_cycle, 3),
+             benchutil::fmt(k.allocs_per_quantum, 2)});
+    };
+    kernelRow("object", kobj);
+    kernelRow("soa-scalar", ksoa);
+    if (have_avx2)
+        kernelRow("soa-avx2", ksimd);
+    else
+        std::printf("soa-avx2: n/a (build or host lacks AVX2)\n");
+    std::printf("soa kernel speedup vs object: %.2fx scalar", soa_speedup);
+    if (have_avx2)
+        std::printf(", %.2fx avx2", simd_speedup);
+    std::printf(" (target >= 1.5x)\n");
+
     const char *path = "BENCH_hotpath.json";
     if (FILE *f = std::fopen(path, "w")) {
         std::fprintf(
@@ -338,14 +458,42 @@ main(int argc, char **argv)
             "    \"quanta\": %llu,\n"
             "    \"packets_per_sec\": %.1f,\n"
             "    \"allocs_per_quantum\": %.3f\n"
-            "  }\n"
-            "}\n",
+            "  },\n"
+            "  \"kernel\": {\n"
+            "    \"mesh\": \"16x16\",\n"
+            "    \"quanta\": %llu,\n"
+            "    \"object\": {\"router_cycles_per_sec\": %.1f, "
+            "\"ns_per_router_cycle\": %.4f, "
+            "\"allocs_per_quantum\": %.3f},\n"
+            "    \"soa_scalar\": {\"router_cycles_per_sec\": %.1f, "
+            "\"ns_per_router_cycle\": %.4f, "
+            "\"allocs_per_quantum\": %.3f},\n",
             quick ? "true" : "false",
             static_cast<unsigned long long>(quanta), packets_per_quantum,
             legacy.packets_per_sec, legacy.allocs_per_quantum,
             pooled.packets_per_sec, pooled.allocs_per_quantum, speedup,
             static_cast<unsigned long long>(sys.quanta),
-            sys.packets_per_sec, sys.allocs_per_quantum);
+            sys.packets_per_sec, sys.allocs_per_quantum,
+            static_cast<unsigned long long>(kquanta),
+            kobj.router_cycles_per_sec, kobj.ns_per_router_cycle,
+            kobj.allocs_per_quantum, ksoa.router_cycles_per_sec,
+            ksoa.ns_per_router_cycle, ksoa.allocs_per_quantum);
+        if (have_avx2)
+            std::fprintf(
+                f,
+                "    \"soa_avx2\": {\"router_cycles_per_sec\": %.1f, "
+                "\"ns_per_router_cycle\": %.4f, "
+                "\"allocs_per_quantum\": %.3f},\n"
+                "    \"soa_avx2_speedup\": %.3f,\n",
+                ksimd.router_cycles_per_sec, ksimd.ns_per_router_cycle,
+                ksimd.allocs_per_quantum, simd_speedup);
+        else
+            std::fprintf(f, "    \"soa_avx2\": null,\n");
+        std::fprintf(f,
+                     "    \"soa_speedup\": %.3f\n"
+                     "  }\n"
+                     "}\n",
+                     soa_speedup);
         std::fclose(f);
         std::printf("wrote %s\n", path);
     } else {

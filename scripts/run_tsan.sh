@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build the simulator with ThreadSanitizer and run the test labels
 # that exercise concurrency: sim (engine unit/property tests), noc
-# (serial-vs-parallel differential tests), cosim (overlapped bridge
-# determinism) and ipc (the multiplexing rasim-nocd daemon — session
-# threads, fair scheduler, speculation, and the multi-session soak).
+# (serial-vs-parallel differentials, including the network.kernel=soa
+# lanes whose flat occupancy arrays rely on the single-writer-per-phase
+# discipline TSan validates), cosim (overlapped bridge determinism) and
+# ipc (the multiplexing rasim-nocd daemon — session threads, fair
+# scheduler, speculation, and the multi-session soak).
 #
 # Usage: scripts/run_tsan.sh [build-dir]
 set -euo pipefail

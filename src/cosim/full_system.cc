@@ -217,7 +217,8 @@ FullSystem::FullSystem(Config cfg, FullSystemOptions options)
     // ("noc.colums") silently falling back to a default.
     sim_->config().warnUnread({"system.", "noc.", "mem.", "abstract.",
                                "fault.", "health.", "sim.",
-                               "checkpoint.", "network.", "remote."});
+                               "checkpoint.", "network.", "remote.",
+                               "kernel."});
 
     if (!options_.checkpoint.restore.empty())
         restoreFromPath(options_.checkpoint.restore);

@@ -92,6 +92,8 @@ encodeHello(ArchiveWriter &aw, const HelloRequest &req)
     aw.putU32(static_cast<std::uint32_t>(req.params.link_latency));
     aw.putU32(static_cast<std::uint32_t>(req.params.pipeline_stages));
     aw.putU32(req.params.flit_bytes);
+    aw.putString(req.params.kernel);
+    aw.putString(req.params.simd);
     aw.putU32(static_cast<std::uint32_t>(req.engine_workers));
     aw.putU64(req.start_tick);
     aw.putDouble(req.table_alpha);
@@ -116,6 +118,8 @@ decodeHello(ArchiveReader &ar)
         req.params.link_latency = static_cast<int>(ar.getU32());
         req.params.pipeline_stages = static_cast<int>(ar.getU32());
         req.params.flit_bytes = ar.getU32();
+        req.params.kernel = ar.getString();
+        req.params.simd = ar.getString();
         req.engine_workers = static_cast<int>(ar.getU32());
         req.start_tick = ar.getU64();
         req.table_alpha = ar.getDouble();

@@ -61,8 +61,10 @@ namespace ipc
  *  v2 added the coalesced Step/StepReply exchange and server-side
  *  speculation; v3 added Ping/Pong liveness frames and the CRC64
  *  replica-attestation digests carried by CkptData, CkptLoadAck and
- *  attested StepReplies. */
-constexpr std::uint32_t protocol_version = 3;
+ *  attested StepReplies; v4 carries the compute-kernel selection
+ *  (network.kernel, kernel.simd) in Hello so the server builds the
+ *  same backend the client configured. */
+constexpr std::uint32_t protocol_version = 4;
 
 /** Session-opening handshake: everything the server needs to build a
  *  deterministic twin of the in-process backend. */

@@ -38,45 +38,10 @@ CycleNetwork::CycleNetwork(Simulation &sim, const std::string &name,
             "total latency on vnet " + std::to_string(v)));
     }
 
-    int n = topo_->numNodes();
-    stalled_.assign(n, 0);
-    routers_.reserve(n);
-    nics_.reserve(n);
-    for (int i = 0; i < n; ++i) {
-        routers_.push_back(std::make_unique<Router>(
-            this, i, params_, *topo_, *routing_));
-        nics_.push_back(
-            std::make_unique<Nic>(this, static_cast<NodeId>(i), params_));
-    }
-
-    // Router-to-router links.
-    for (int i = 0; i < n; ++i) {
-        for (int p = 1; p < topo_->numPorts(); ++p) {
-            int j = topo_->neighbor(i, p);
-            if (j < 0)
-                continue;
-            auto link = std::make_unique<Link>(params_.link_latency);
-            routers_[i]->connectOutput(p, link.get(),
-                                       params_.buffer_depth);
-            routers_[j]->connectInput(topo_->inputPortAt(i, p),
-                                      link.get());
-            links_.push_back(std::move(link));
-        }
-    }
-
-    // NIC <-> router local-port links (latency 1).
-    for (int i = 0; i < n; ++i) {
-        auto inj = std::make_unique<Link>(1);
-        nics_[i]->connectInjection(inj.get(), params_.buffer_depth);
-        routers_[i]->connectInput(port_local, inj.get());
-        links_.push_back(std::move(inj));
-
-        auto ej = std::make_unique<Link>(1);
-        routers_[i]->connectOutput(port_local, ej.get(),
-                                   params_.buffer_depth);
-        nics_[i]->connectEjection(ej.get());
-        links_.push_back(std::move(ej));
-    }
+    stalled_.assign(topo_->numNodes(), 0);
+    fabric_ = kernel::makeCycleFabric(this, params_, *topo_, *routing_);
+    inform("network '", name, "': compute kernel ",
+           fabric_->description());
 }
 
 CycleNetwork::~CycleNetwork() = default;
@@ -160,14 +125,13 @@ void
 CycleNetwork::stepCycle()
 {
     Cycle now = time_;
-    std::size_t n = routers_.size();
 
     // Sequential: packets whose injection tick has arrived enter the
     // NIC queues. Late packets (overlapped co-simulation) enter now;
     // the slip shows up as source queueing latency.
     while (!pending_.empty() && pending_.top()->inject_tick <= now) {
         const PacketPtr &pkt = pending_.top();
-        nics_[pkt->src]->enqueue(pkt, now);
+        fabric_->enqueue(pkt->src, pkt, now);
         ++in_fabric_;
         pending_.pop();
     }
@@ -176,24 +140,18 @@ CycleNetwork::stepCycle()
     // A stalled router freezes mid-pipeline: it neither allocates nor
     // returns credits, so upstream backpressure builds into a genuine
     // deadlock the watchdog has to catch.
-    engine_->forEach(n, [this, now](std::size_t i) {
-        nics_[i]->compute(now);
-        if (!stalled_[i])
-            routers_[i]->compute(now);
-    });
+    fabric_->compute(*engine_, now, stalled_);
 
     // Phase 2: buffer writes and credit returns (pops incoming links).
-    engine_->forEach(n, [this, now](std::size_t i) {
-        if (!stalled_[i])
-            routers_[i]->commit(now);
-        nics_[i]->commit(now);
-    });
+    fabric_->commit(*engine_, now, stalled_);
 
     // Sequential: fire delivery callbacks in node order.
-    for (auto &nic : nics_) {
-        for (const PacketPtr &pkt : nic->completed())
+    std::size_t n = numNodes();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<PacketPtr> &done = fabric_->completed(i);
+        for (const PacketPtr &pkt : done)
             applyDelivery(pkt);
-        nic->completed().clear();
+        done.clear();
     }
 
     ++time_;
@@ -243,23 +201,7 @@ CycleNetwork::save(ArchiveWriter &aw) const
     for (const PacketPtr &pkt : queued)
         savePacket(aw, *pkt);
 
-    // Every flit of a packet shares one Packet object; archive each
-    // referenced packet once and let flits point at it by id.
-    PacketTable table;
-    for (const auto &router : routers_)
-        router->collectPackets(table);
-    for (const auto &nic : nics_)
-        nic->collectPackets(table);
-    for (const auto &link : links_)
-        link->collectPackets(table);
-    savePacketTable(aw, table);
-
-    for (const auto &router : routers_)
-        router->save(aw);
-    for (const auto &nic : nics_)
-        nic->save(aw);
-    for (const auto &link : links_)
-        link->save(aw);
+    fabric_->save(aw);
     aw.endSection();
 }
 
@@ -279,14 +221,7 @@ CycleNetwork::restore(ArchiveReader &ar)
     for (std::uint64_t i = 0; i < n_pending; ++i)
         pending_.push(restorePacket(ar));
 
-    PacketTable table = restorePacketTable(ar);
-
-    for (const auto &router : routers_)
-        router->restore(ar, table);
-    for (const auto &nic : nics_)
-        nic->restore(ar, table);
-    for (const auto &link : links_)
-        link->restore(ar, table);
+    fabric_->restore(ar);
     ar.endSection();
 }
 

@@ -1,8 +1,11 @@
 /**
  * @file
- * The parallel cycle-level NoC: routers, links and NICs assembled on a
- * topology, advanced one cycle at a time through an exchangeable
- * execution engine.
+ * The parallel cycle-level NoC, advanced one cycle at a time through an
+ * exchangeable execution engine. The network itself is a thin
+ * orchestrator — injection heap, aggregate statistics, delivery
+ * callbacks — while the per-cycle router/NIC/link state machine lives
+ * behind a swappable compute backend (see noc/kernel/backend.hh)
+ * selected by `network.kernel`.
  */
 
 #ifndef RASIM_NOC_CYCLE_NETWORK_HH
@@ -12,10 +15,9 @@
 #include <queue>
 #include <vector>
 
+#include "noc/kernel/backend.hh"
 #include "noc/network_model.hh"
-#include "noc/nic.hh"
 #include "noc/params.hh"
-#include "noc/router.hh"
 #include "noc/routing.hh"
 #include "noc/topology.hh"
 #include "sim/step_engine.hh"
@@ -58,6 +60,9 @@ class CycleNetwork : public SimObject, public NetworkModel
     const NocParams &params() const { return params_; }
     const Topology &topology() const { return *topo_; }
 
+    /** The active compute backend (object or soa). */
+    const kernel::CycleFabric &fabric() const { return *fabric_; }
+
     /** Run exactly one cycle (tests; advanceTo is the public driver). */
     void stepCycle();
 
@@ -68,8 +73,12 @@ class CycleNetwork : public SimObject, public NetworkModel
     /** Packets currently inside the network (or queued for it). */
     std::uint64_t inFlight() const { return injected_ - delivered_; }
 
-    Router &router(std::size_t i) { return *routers_[i]; }
-    Nic &nic(std::size_t i) { return *nics_[i]; }
+    /** Per-router activity counters (power model, tests). */
+    kernel::RouterActivity
+    routerActivity(std::size_t i) const
+    {
+        return fabric_->routerActivity(i);
+    }
 
     /** Checkpoint the full fabric state between cycles. */
     void save(ArchiveWriter &aw) const;
@@ -108,9 +117,7 @@ class CycleNetwork : public SimObject, public NetworkModel
     SerialEngine serial_engine_;
     StepEngine *engine_;
 
-    std::vector<std::unique_ptr<Router>> routers_;
-    std::vector<std::unique_ptr<Nic>> nics_;
-    std::vector<std::unique_ptr<Link>> links_;
+    std::unique_ptr<kernel::CycleFabric> fabric_;
     /** Fault hook: routers whose pipeline is wedged (see
      *  setNodeStalled). Written only between cycles. */
     std::vector<char> stalled_;

@@ -34,25 +34,10 @@ DeflectionNetwork::DeflectionNetwork(Simulation &sim,
         fatal("deflection network needs a mesh or torus topology");
     topo_ = makeTopology(params_.topology, params_.columns,
                          params_.rows);
-    int n = topo_->numNodes();
-    arriving_.resize(n);
-    out_.resize(n);
-    sources_.resize(n);
-    inject_queues_.resize(n);
-    stalled_.assign(n, 0);
-    rx_.resize(n);
-    scratch_.resize(n);
-    for (int i = 0; i < n; ++i)
-        out_[i].resize(topo_->numPorts());
-    // Gather order: upstream node index ascending (then port), the
-    // same order the pre-refactor per-node loop produced arrivals in.
-    for (int i = 0; i < n; ++i) {
-        for (int p = 1; p < topo_->numPorts(); ++p) {
-            int j = topo_->neighbor(i, p);
-            if (j >= 0)
-                sources_[j].emplace_back(i, p);
-        }
-    }
+    stalled_.assign(topo_->numNodes(), 0);
+    fabric_ = kernel::makeDeflectFabric(params_, *topo_);
+    inform("network '", name, "': compute kernel ",
+           fabric_->description());
 }
 
 DeflectionNetwork::~DeflectionNetwork() = default;
@@ -117,153 +102,13 @@ DeflectionNetwork::setNodeStalled(std::size_t node, bool stalled)
 }
 
 void
-DeflectionNetwork::routeNode(int i, Cycle now)
-{
-    std::vector<DFlit> &cand = arriving_[i];
-    NodeScratch &s = scratch_[i];
-
-    // Ejection: one flit per cycle, oldest first. Reassembly state is
-    // per destination node, so only this partition touches rx_[i].
-    // A stalled node's ejection port is wedged: its flits keep routing
-    // (bufferless fabrics cannot hold them) but never leave — a
-    // livelock only the progress watchdog can detect.
-    if (!cand.empty() && !stalled_[i]) {
-        int eject = -1;
-        for (std::size_t k = 0; k < cand.size(); ++k) {
-            if (cand[k].pkt->dst != static_cast<NodeId>(i))
-                continue;
-            if (eject < 0 || cand[k].birth < cand[eject].birth ||
-                (cand[k].birth == cand[eject].birth &&
-                 cand[k].pkt->id < cand[eject].pkt->id)) {
-                eject = static_cast<int>(k);
-            }
-        }
-        if (eject >= 0) {
-            DFlit f = std::move(cand[eject]);
-            cand.erase(cand.begin() + eject);
-            --s.fabric_delta;
-            s.eject_deflections.push_back(f.deflections);
-            PacketPtr pkt = f.pkt;
-            // Hop accounting happens at ejection (not en route) so a
-            // packet's flits never race on the shared Packet: every
-            // flit of a packet ejects at the same node's partition.
-            pkt->hops = std::max(pkt->hops, f.hops);
-            std::uint32_t want = params_.flitsPerPacket(pkt->size_bytes);
-            auto &rx = rx_[i];
-            if (++rx[pkt->id] == want) {
-                rx.erase(pkt->id);
-                pkt->deliver_tick = now + 1;
-                s.delivered.push_back(pkt);
-            }
-        }
-    }
-
-    // Count usable (connected) output ports.
-    std::vector<int> free_ports;
-    for (int p = 1; p < topo_->numPorts(); ++p)
-        if (topo_->neighbor(i, p) >= 0)
-            free_ports.push_back(p);
-
-    // Injection: one flit per cycle when a slot remains.
-    if (!inject_queues_[i].empty()) {
-        if (cand.size() < free_ports.size()) {
-            DFlit f = std::move(inject_queues_[i].front());
-            inject_queues_[i].pop_front();
-            --s.queued_delta;
-            ++s.fabric_delta;
-            f.birth = now;
-            if (f.seq == 0)
-                f.pkt->enter_tick = now;
-            cand.push_back(std::move(f));
-        } else {
-            ++s.stalls;
-        }
-    }
-
-    if (cand.size() > free_ports.size())
-        panic("deflection: more flits than ports at node ", i);
-
-    // Oldest-first port assignment.
-    std::sort(cand.begin(), cand.end(),
-              [](const DFlit &a, const DFlit &b) {
-                  if (a.birth != b.birth)
-                      return a.birth < b.birth;
-                  if (a.pkt->id != b.pkt->id)
-                      return a.pkt->id < b.pkt->id;
-                  return a.seq < b.seq;
-              });
-
-    for (DFlit &f : cand) {
-        auto [x, y] = topo_->coords(static_cast<NodeId>(i));
-        auto [tx, ty] = topo_->coords(f.pkt->dst);
-        // Productive direction preference: X first, then Y,
-        // honouring torus wrap via the shorter way.
-        std::vector<int> prefs;
-        int dx = tx - x, dy = ty - y;
-        if (topo_->isWrapLink(topo_->nodeAt(topo_->columns() - 1, y),
-                              port_east)) {
-            if (dx > topo_->columns() / 2)
-                dx -= topo_->columns();
-            else if (dx < -(topo_->columns() / 2))
-                dx += topo_->columns();
-            if (dy > topo_->rows() / 2)
-                dy -= topo_->rows();
-            else if (dy < -(topo_->rows() / 2))
-                dy += topo_->rows();
-        }
-        if (dx > 0)
-            prefs.push_back(port_east);
-        else if (dx < 0)
-            prefs.push_back(port_west);
-        if (dy > 0)
-            prefs.push_back(port_south);
-        else if (dy < 0)
-            prefs.push_back(port_north);
-
-        int chosen = -1;
-        for (int p : prefs) {
-            auto it =
-                std::find(free_ports.begin(), free_ports.end(), p);
-            if (it != free_ports.end()) {
-                chosen = p;
-                free_ports.erase(it);
-                break;
-            }
-        }
-        if (chosen < 0) {
-            // Deflected: take any remaining port.
-            if (free_ports.empty())
-                panic("deflection: no port left for a flit");
-            chosen = free_ports.front();
-            free_ports.erase(free_ports.begin());
-            ++f.deflections;
-            ++s.deflected;
-        }
-        ++f.hops;
-        out_[i][chosen] = std::move(f);
-    }
-    cand.clear();
-}
-
-void
-DeflectionNetwork::gatherNode(int j)
-{
-    std::vector<DFlit> &arr = arriving_[j];
-    for (const auto &[i, p] : sources_[j]) {
-        DFlit &slot = out_[i][p];
-        if (!slot.pkt)
-            continue;
-        arr.push_back(std::move(slot));
-        slot.pkt.reset();
-    }
-}
-
-void
 DeflectionNetwork::reduceScratch(Cycle now)
 {
-    int n = topo_->numNodes();
-    for (int i = 0; i < n; ++i) {
-        NodeScratch &s = scratch_[i];
+    // Folding an untouched scratch slot is the identity, so iterating
+    // the backend's (ascending) active-node list accumulates — and
+    // float-rounds — exactly like the full 0..n-1 sweep.
+    for (int i : fabric_->scratchNodes()) {
+        kernel::NodeScratch &s = fabric_->scratch(i);
         in_fabric_flits_ += s.fabric_delta;
         queued_flits_ += s.queued_delta;
         flitsDeflected += static_cast<double>(s.deflected);
@@ -292,7 +137,6 @@ void
 DeflectionNetwork::stepCycle()
 {
     Cycle now = time_;
-    int n = topo_->numNodes();
 
     // Sequential: move due packets into the per-node injection queues,
     // flit by flit.
@@ -313,28 +157,17 @@ DeflectionNetwork::stepCycle()
             continue;
         }
         std::uint32_t flits = params_.flitsPerPacket(pkt->size_bytes);
-        for (std::uint32_t s = 0; s < flits; ++s) {
-            DFlit f;
-            f.pkt = pkt;
-            f.seq = s;
-            inject_queues_[pkt->src].push_back(std::move(f));
-            ++queued_flits_;
-        }
+        fabric_->enqueue(pkt->src, pkt, flits);
+        queued_flits_ += flits;
     }
 
-    // Phase 1: eject/inject/route — node i writes only arriving_[i],
-    // out_[i], rx_[i], inject_queues_[i] and scratch_[i].
-    engine_->forEach(static_cast<std::size_t>(n),
-                     [this, now](std::size_t i) {
-                         routeNode(static_cast<int>(i), now);
-                     });
+    // Phase 1: eject/inject/route — node i writes only its own
+    // arrival set, staging slots, reassembly map and scratch.
+    fabric_->route(*engine_, now, stalled_);
 
-    // Phase 2: gather — node j rebuilds arriving_[j] from its
+    // Phase 2: gather — node j rebuilds its arrival set from its
     // upstream staging slots (sole reader of each slot).
-    engine_->forEach(static_cast<std::size_t>(n),
-                     [this](std::size_t j) {
-                         gatherNode(static_cast<int>(j));
-                     });
+    fabric_->gather(*engine_);
 
     // Sequential: fold per-node side effects in fixed index order.
     reduceScratch(now);
@@ -358,23 +191,6 @@ DeflectionNetwork::advanceTo(Tick t)
     }
 }
 
-namespace
-{
-
-void
-saveDFlitFields(ArchiveWriter &aw, std::uint32_t seq,
-                std::uint32_t deflections, std::uint32_t hops,
-                Tick birth, PacketId id)
-{
-    aw.putU64(id);
-    aw.putU32(seq);
-    aw.putU32(deflections);
-    aw.putU32(hops);
-    aw.putU64(birth);
-}
-
-} // namespace
-
 void
 DeflectionNetwork::save(ArchiveWriter &aw) const
 {
@@ -387,14 +203,6 @@ DeflectionNetwork::save(ArchiveWriter &aw) const
     for (char s : stalled_)
         aw.putU8(static_cast<std::uint8_t>(s));
 
-    // out_ staging is drained every cycle; a populated slot would mean
-    // the checkpoint was taken mid-cycle.
-    for (const auto &slots : out_)
-        for (const DFlit &df : slots)
-            if (df.pkt)
-                panic("deflection net: checkpoint mid-cycle "
-                      "(staging slot occupied)");
-
     auto pending = pending_;
     std::vector<PacketPtr> queued;
     queued.reserve(pending.size());
@@ -406,36 +214,7 @@ DeflectionNetwork::save(ArchiveWriter &aw) const
     for (const PacketPtr &pkt : queued)
         savePacket(aw, *pkt);
 
-    PacketTable table;
-    for (const auto &flits : arriving_)
-        for (const DFlit &df : flits)
-            collectPacket(table, df.pkt);
-    for (const auto &q : inject_queues_)
-        for (const DFlit &df : q)
-            collectPacket(table, df.pkt);
-    savePacketTable(aw, table);
-
-    for (const auto &flits : arriving_) {
-        aw.putU64(flits.size());
-        for (const DFlit &df : flits)
-            saveDFlitFields(aw, df.seq, df.deflections, df.hops,
-                            df.birth, df.pkt->id);
-    }
-    for (const auto &q : inject_queues_) {
-        aw.putU64(q.size());
-        for (const DFlit &df : q)
-            saveDFlitFields(aw, df.seq, df.deflections, df.hops,
-                            df.birth, df.pkt->id);
-    }
-    // FlatMap iterates in ascending id order — same bytes as the
-    // sort-before-save loop this replaces.
-    for (const auto &rx : rx_) {
-        aw.putU64(rx.size());
-        for (const auto &[id, count] : rx) {
-            aw.putU64(id);
-            aw.putU32(count);
-        }
-    }
+    fabric_->save(aw);
     aw.endSection();
 }
 
@@ -456,43 +235,7 @@ DeflectionNetwork::restore(ArchiveReader &ar)
     for (std::uint64_t i = 0; i < n_pending; ++i)
         pending_.push(restorePacket(ar));
 
-    PacketTable table = restorePacketTable(ar);
-
-    auto read_dflit = [&](std::vector<DFlit> *vec,
-                          std::deque<DFlit> *dq) {
-        DFlit df;
-        PacketId id = ar.getU64();
-        df.seq = ar.getU32();
-        df.deflections = ar.getU32();
-        df.hops = ar.getU32();
-        df.birth = ar.getU64();
-        df.pkt = table.at(id);
-        if (vec)
-            vec->push_back(std::move(df));
-        else
-            dq->push_back(std::move(df));
-    };
-
-    for (auto &flits : arriving_) {
-        flits.clear();
-        std::uint64_t n = ar.getU64();
-        for (std::uint64_t i = 0; i < n; ++i)
-            read_dflit(&flits, nullptr);
-    }
-    for (auto &q : inject_queues_) {
-        q.clear();
-        std::uint64_t n = ar.getU64();
-        for (std::uint64_t i = 0; i < n; ++i)
-            read_dflit(nullptr, &q);
-    }
-    for (auto &rx : rx_) {
-        rx.clear();
-        std::uint64_t n = ar.getU64();
-        for (std::uint64_t i = 0; i < n; ++i) {
-            PacketId id = ar.getU64();
-            rx[id] = ar.getU32();
-        }
-    }
+    fabric_->restore(ar);
     ar.endSection();
 }
 

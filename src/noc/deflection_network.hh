@@ -12,7 +12,9 @@
  * alone and is reassembled at the destination NIC), the classic
  * bufferless formulation.
  *
- * Like CycleNetwork, the per-cycle update is phase-structured so an
+ * Like CycleNetwork, the network is a thin orchestrator over a
+ * swappable compute backend (see noc/kernel/backend.hh) selected by
+ * `network.kernel`. The per-cycle update is phase-structured so an
  * exchangeable StepEngine can run it data-parallel and bit-identical
  * to serial execution: a route phase in which node i consumes its own
  * arrival set and writes only its own per-port output staging, a
@@ -24,16 +26,15 @@
 #ifndef RASIM_NOC_DEFLECTION_NETWORK_HH
 #define RASIM_NOC_DEFLECTION_NETWORK_HH
 
-#include <deque>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "noc/kernel/backend.hh"
 #include "noc/network_model.hh"
 #include "noc/packet.hh"
 #include "noc/params.hh"
 #include "noc/topology.hh"
-#include "sim/flat_map.hh"
 #include "sim/sim_object.hh"
 #include "sim/step_engine.hh"
 #include "stats/distribution.hh"
@@ -80,6 +81,9 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     const NocParams &params() const { return params_; }
     const Topology &topology() const { return *topo_; }
 
+    /** The active compute backend (object or soa). */
+    const kernel::DeflectFabric &fabric() const { return *fabric_; }
+
     /** Checkpoint the full fabric state between cycles. */
     void save(ArchiveWriter &aw) const;
     void restore(ArchiveReader &ar);
@@ -93,42 +97,7 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     stats::Distribution deflectionsPerFlit;
 
   private:
-    /** A flit in flight, with its age for oldest-first arbitration. */
-    struct DFlit
-    {
-        PacketPtr pkt;
-        std::uint32_t seq = 0;
-        std::uint32_t deflections = 0;
-        std::uint32_t hops = 0;
-        Tick birth = 0; ///< cycle the flit entered the fabric
-    };
-
-    /**
-     * Per-node side effects produced inside a parallel phase. Only
-     * node i touches scratch_[i]; reduceScratch() folds the slots
-     * into the aggregate stats and fires delivery callbacks in node
-     * index order, so serial and parallel runs accumulate (and
-     * float-round) identically.
-     */
-    struct NodeScratch
-    {
-        /** Deflection count of each flit ejected this cycle. */
-        std::vector<std::uint32_t> eject_deflections;
-        /** Packets whose last flit ejected this cycle. */
-        std::vector<PacketPtr> delivered;
-        std::uint64_t deflected = 0;
-        std::uint64_t stalls = 0;
-        std::int64_t fabric_delta = 0;
-        std::int64_t queued_delta = 0;
-    };
-
     void stepCycle();
-    /** Phase 1: eject, inject and route node i's arrival set into its
-     *  own output staging (partition-local). */
-    void routeNode(int i, Cycle now);
-    /** Phase 2: rebuild node j's arrival set from upstream staging in
-     *  the fixed sources_[j] order (partition-local). */
-    void gatherNode(int j);
     /** Fold scratch into stats/deliveries in node index order. */
     void reduceScratch(Cycle now);
 
@@ -137,27 +106,10 @@ class DeflectionNetwork : public SimObject, public NetworkModel
     SerialEngine serial_engine_;
     StepEngine *engine_;
 
-    /** Flits arriving at router i this cycle. */
-    std::vector<std::vector<DFlit>> arriving_;
-    /** Flit leaving node i through port p this cycle (out_[i][p]);
-     *  a null pkt marks an empty slot. Written only by node i in the
-     *  route phase, drained only by neighbor(i, p) in the gather
-     *  phase — each slot has exactly one reader. */
-    std::vector<std::vector<DFlit>> out_;
-    /** Upstream (node, port) pairs feeding node j, ordered by node
-     *  index: the fixed gather order that keeps arrival sets (and so
-     *  the whole simulation) deterministic. */
-    std::vector<std::vector<std::pair<int, int>>> sources_;
-    /** Per-node injection queues (flits waiting for a free slot). */
-    std::vector<std::deque<DFlit>> inject_queues_;
+    std::unique_ptr<kernel::DeflectFabric> fabric_;
     /** Fault hook: nodes whose ejection port is wedged — their flits
      *  circulate forever (livelock). Written only between cycles. */
     std::vector<char> stalled_;
-    /** Reassembly state per destination node: flits received per
-     *  packet id. Split per node so the route phase stays
-     *  partition-local. */
-    std::vector<FlatMap<PacketId, std::uint32_t>> rx_;
-    std::vector<NodeScratch> scratch_;
 
     struct InjectOrder
     {

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The per-object reference backend of the buffered VC network: the
+ * Router/Nic/Link components assembled on the topology exactly as
+ * CycleNetwork built them before the kernel split. Kept as the
+ * readable reference implementation the SoA kernel is differentially
+ * tested against.
+ */
+
+#ifndef RASIM_NOC_KERNEL_OBJECT_CYCLE_HH
+#define RASIM_NOC_KERNEL_OBJECT_CYCLE_HH
+
+#include <memory>
+#include <vector>
+
+#include "noc/kernel/backend.hh"
+#include "noc/link.hh"
+#include "noc/nic.hh"
+#include "noc/router.hh"
+
+namespace rasim
+{
+namespace noc
+{
+namespace kernel
+{
+
+class ObjectCycleFabric : public CycleFabric
+{
+  public:
+    ObjectCycleFabric(stats::Group *parent, const NocParams &params,
+                      const Topology &topo,
+                      const RoutingAlgorithm &routing);
+
+    const char *kindName() const override { return "object"; }
+    std::string description() const override;
+
+    void enqueue(std::size_t node, const PacketPtr &pkt,
+                 Cycle now) override;
+    void compute(StepEngine &engine, Cycle now,
+                 const std::vector<char> &stalled) override;
+    void commit(StepEngine &engine, Cycle now,
+                const std::vector<char> &stalled) override;
+    std::vector<PacketPtr> &completed(std::size_t node) override;
+    RouterActivity routerActivity(std::size_t node) const override;
+
+    void save(ArchiveWriter &aw) const override;
+    void restore(ArchiveReader &ar) override;
+
+  private:
+    const NocParams &params_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<std::unique_ptr<Link>> links_;
+};
+
+} // namespace kernel
+} // namespace noc
+} // namespace rasim
+
+#endif // RASIM_NOC_KERNEL_OBJECT_CYCLE_HH

@@ -25,6 +25,8 @@ NocParams::fromConfig(const Config &cfg)
         static_cast<int>(cfg.getUInt("noc.pipeline_stages", 2));
     p.flit_bytes =
         static_cast<std::uint32_t>(cfg.getUInt("noc.flit_bytes", 16));
+    p.kernel = cfg.getString("network.kernel", "object");
+    p.simd = cfg.getString("kernel.simd", "auto");
     p.validate();
     return p;
 }
@@ -51,6 +53,12 @@ NocParams::validate() const
         fatal("noc: flit_bytes must be > 0");
     if (topology != "mesh" && topology != "torus")
         fatal("noc: unknown topology '", topology, "'");
+    if (kernel != "object" && kernel != "soa")
+        fatal("noc: unknown network.kernel '", kernel,
+              "' (expected object or soa)");
+    if (simd != "auto" && simd != "scalar" && simd != "avx2")
+        fatal("noc: unknown kernel.simd '", simd,
+              "' (expected auto, scalar or avx2)");
 }
 
 } // namespace noc

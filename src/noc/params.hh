@@ -45,8 +45,17 @@ struct NocParams
     int pipeline_stages = 2;
     /** Link width: bytes carried per flit. */
     std::uint32_t flit_bytes = 16;
+    /**
+     * Compute backend for the detailed models: "object" steps the
+     * per-object Router/Nic/Link reference path, "soa" runs the
+     * batched structure-of-arrays kernel (bit-identical results).
+     */
+    std::string kernel = "object";
+    /** SIMD policy for the SoA kernel: "auto", "scalar" or "avx2". */
+    std::string simd = "auto";
 
-    /** Read "noc.*" keys, applying topology-dependent defaults. */
+    /** Read "noc.*" keys (plus "network.kernel" / "kernel.simd"),
+     *  applying topology-dependent defaults. */
     static NocParams fromConfig(const Config &cfg);
 
     /** Abort with fatal() on inconsistent values. */

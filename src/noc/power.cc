@@ -34,13 +34,13 @@ activityOf(CycleNetwork &net)
     a.routers = static_cast<int>(net.numNodes());
     a.cycles = static_cast<std::uint64_t>(net.cyclesRun.value());
     for (std::size_t i = 0; i < net.numNodes(); ++i) {
-        Router &r = net.router(i);
+        kernel::RouterActivity r = net.routerActivity(i);
         a.buffer_writes +=
-            static_cast<std::uint64_t>(r.bufferWrites.value());
+            static_cast<std::uint64_t>(r.buffer_writes);
         a.switch_traversals +=
-            static_cast<std::uint64_t>(r.flitsRouted.value());
+            static_cast<std::uint64_t>(r.flits_routed);
         a.link_traversals +=
-            static_cast<std::uint64_t>(r.linkTraversals.value());
+            static_cast<std::uint64_t>(r.link_traversals);
     }
     return a;
 }

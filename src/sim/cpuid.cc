@@ -1,0 +1,102 @@
+#include "sim/cpuid.hh"
+
+#include "sim/logging.hh"
+
+namespace rasim
+{
+namespace cpuid
+{
+
+namespace
+{
+
+enum class Override : int
+{
+    None,
+    ForceOff,
+    ForceOn,
+};
+
+Override host_override = Override::None;
+
+bool
+probeAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "scalar";
+      case SimdLevel::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+bool
+simdCompiledIn()
+{
+#if defined(RASIM_SIMD_AVX2)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+hostHasAvx2()
+{
+    if (host_override != Override::None)
+        return host_override == Override::ForceOn;
+    static const bool has = probeAvx2();
+    return has;
+}
+
+SimdLevel
+resolveSimdLevel(const std::string &requested)
+{
+    if (requested == "scalar")
+        return SimdLevel::Scalar;
+    if (requested == "avx2") {
+        if (!simdCompiledIn())
+            fatal("kernel.simd=avx2 requested but this build has no "
+                  "AVX2 kernel (configure with -DRASIM_SIMD=on on an "
+                  "x86-64 toolchain)");
+        if (!hostHasAvx2())
+            fatal("kernel.simd=avx2 requested but this CPU does not "
+                  "support AVX2; use kernel.simd=auto for a scalar "
+                  "fallback");
+        return SimdLevel::Avx2;
+    }
+    if (requested == "auto") {
+        return (simdCompiledIn() && hostHasAvx2()) ? SimdLevel::Avx2
+                                                   : SimdLevel::Scalar;
+    }
+    fatal("unknown kernel.simd value '", requested,
+          "' (expected auto, scalar or avx2)");
+}
+
+void
+setHostOverrideForTest(bool has)
+{
+    host_override = has ? Override::ForceOn : Override::ForceOff;
+}
+
+void
+clearHostOverrideForTest()
+{
+    host_override = Override::None;
+}
+
+} // namespace cpuid
+} // namespace rasim

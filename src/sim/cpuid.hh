@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Runtime CPU-feature detection for the SIMD kernel dispatch. The
+ * structure-of-arrays NoC kernel ships a scalar implementation plus an
+ * AVX2 specialization compiled behind the RASIM_SIMD build switch;
+ * this helper decides, once per process, which one a run may use.
+ *
+ * Policy: "auto" silently falls back to scalar when AVX2 is missing
+ * (compile-time or runtime), because the two paths are bit-identical
+ * by construction. Explicitly requesting "avx2" on a host that cannot
+ * run it is a configuration error and raises a typed SimError rather
+ * than silently degrading — a forced kernel choice is a reproducibility
+ * statement the simulator must not quietly override.
+ */
+
+#ifndef RASIM_SIM_CPUID_HH
+#define RASIM_SIM_CPUID_HH
+
+#include <string>
+
+namespace rasim
+{
+namespace cpuid
+{
+
+enum class SimdLevel
+{
+    Scalar,
+    Avx2,
+};
+
+/** Short lower-case name for logs, stats and bench JSON. */
+const char *simdLevelName(SimdLevel level);
+
+/** True when the AVX2 kernel translation unit was compiled in
+ *  (-DRASIM_SIMD=on on an x86-64 toolchain). */
+bool simdCompiledIn();
+
+/** Runtime probe: does this CPU execute AVX2? Cached after the first
+ *  call; honours the test override below. */
+bool hostHasAvx2();
+
+/**
+ * Resolve a requested SIMD policy string ("auto", "scalar", "avx2")
+ * to the level this process will actually run. Unknown strings and
+ * an unsatisfiable explicit "avx2" request report through fatal(), so
+ * under logging::ThrowOnError they surface as
+ * SimError(ErrorKind::Config).
+ */
+SimdLevel resolveSimdLevel(const std::string &requested);
+
+/**
+ * Test hook: force hostHasAvx2() to return @p has regardless of the
+ * real CPU, so unit tests can exercise both the graceful-fallback and
+ * the explicit-rejection paths on any build host. Call
+ * clearHostOverrideForTest() to restore real detection.
+ */
+void setHostOverrideForTest(bool has);
+void clearHostOverrideForTest();
+
+} // namespace cpuid
+} // namespace rasim
+
+#endif // RASIM_SIM_CPUID_HH

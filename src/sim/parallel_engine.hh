@@ -47,6 +47,10 @@ class ParallelEngine : public StepEngine
     void forEach(std::size_t n,
                  const std::function<void(std::size_t)> &fn) override;
 
+    void forRange(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>
+                      &fn) override;
+
     const char *name() const override { return "parallel"; }
 
     int numWorkers() const { return static_cast<int>(workers_.size()); }
@@ -59,9 +63,16 @@ class ParallelEngine : public StepEngine
 
   private:
     void workerLoop(int worker_index);
+    /** Exactly one of @p fn / @p range_fn is non-null per phase. */
     void runPartition(int slot, std::size_t n,
-                      const std::function<void(std::size_t)> &fn,
+                      const std::function<void(std::size_t)> *fn,
+                      const std::function<void(std::size_t, std::size_t)>
+                          *range_fn,
                       std::exception_ptr &error) noexcept;
+    void runPhase(std::size_t n,
+                  const std::function<void(std::size_t)> *fn,
+                  const std::function<void(std::size_t, std::size_t)>
+                      *range_fn);
 
     std::vector<std::thread> workers_;
     /** Captured per slot (caller = 0); first non-null is rethrown. */
@@ -77,6 +88,8 @@ class ParallelEngine : public StepEngine
     std::atomic<bool> shutdown_{false};
     std::size_t job_n_ = 0;
     const std::function<void(std::size_t)> *job_fn_ = nullptr;
+    const std::function<void(std::size_t, std::size_t)> *job_range_fn_ =
+        nullptr;
 
     std::uint64_t phases_ = 0;
 };

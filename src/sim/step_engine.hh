@@ -39,6 +39,25 @@ class StepEngine
     virtual void forEach(std::size_t n,
                          const std::function<void(std::size_t)> &fn) = 0;
 
+    /**
+     * Apply @p fn to contiguous, disjoint ranges that exactly cover
+     * [0, n). Each index is inside exactly one range; ranges may run
+     * concurrently but all complete before forRange() returns. This is
+     * the batched counterpart of forEach(): a structure-of-arrays
+     * kernel wants one call per worker over a contiguous index block
+     * so it can stream through flat state, not one call per index.
+     * The default executes the whole interval as a single range on
+     * the calling thread, which satisfies the contract for any serial
+     * engine.
+     */
+    virtual void
+    forRange(std::size_t n,
+             const std::function<void(std::size_t, std::size_t)> &fn)
+    {
+        if (n > 0)
+            fn(0, n);
+    }
+
     /** Human-readable engine name for logs and reports. */
     virtual const char *name() const = 0;
 };

@@ -83,12 +83,13 @@ driveTraffic(Net &net, std::size_t nodes)
 
 template <typename Net>
 RunResult
-runNetwork(StepEngine *engine)
+runNetwork(StepEngine *engine, const std::string &kernel = "object")
 {
     Simulation sim;
     NocParams p;
     p.columns = 8;
     p.rows = 8;
+    p.kernel = kernel;
     Net net(sim, "net", p);
     if (engine)
         net.setEngine(engine);
@@ -103,33 +104,48 @@ runNetwork(StepEngine *engine)
     return r;
 }
 
+void
+expectSameRun(const RunResult &ref, const RunResult &got,
+              const std::string &label)
+{
+    ASSERT_EQ(got.deliveries.size(), ref.deliveries.size()) << label;
+    for (std::size_t k = 0; k < ref.deliveries.size(); ++k)
+        ASSERT_TRUE(got.deliveries[k] == ref.deliveries[k])
+            << label << " delivery #" << k << " packet "
+            << ref.deliveries[k].id;
+
+    // Rendered statistics must match bit for bit: identical sample
+    // order (fixed-order reduction) means identical float rounding,
+    // not merely close means.
+    ASSERT_EQ(got.stats.size(), ref.stats.size()) << label;
+    for (std::size_t k = 0; k < ref.stats.size(); ++k)
+        ASSERT_EQ(got.stats[k], ref.stats[k])
+            << label << " stat " << std::get<0>(ref.stats[k]) << "."
+            << std::get<1>(ref.stats[k]);
+}
+
 template <typename Net>
 void
 expectEngineEquivalence()
 {
+    // Object-kernel serial is the single reference; every other
+    // (kernel × engine) cell must be bit-identical to it.
     RunResult serial = runNetwork<Net>(nullptr);
     ASSERT_EQ(serial.deliveries.size(), 600u);
 
-    for (int workers : {1, 2, 8}) {
-        ParallelEngine pool(workers);
-        RunResult parallel = runNetwork<Net>(&pool);
-
-        ASSERT_EQ(parallel.deliveries.size(), serial.deliveries.size())
-            << "workers=" << workers;
-        for (std::size_t k = 0; k < serial.deliveries.size(); ++k)
-            ASSERT_TRUE(parallel.deliveries[k] == serial.deliveries[k])
-                << "workers=" << workers << " delivery #" << k
-                << " packet " << serial.deliveries[k].id;
-
-        // Rendered statistics must match bit for bit: identical
-        // sample order (fixed-order reduction) means identical float
-        // rounding, not merely close means.
-        ASSERT_EQ(parallel.stats.size(), serial.stats.size());
-        for (std::size_t k = 0; k < serial.stats.size(); ++k)
-            ASSERT_EQ(parallel.stats[k], serial.stats[k])
-                << "workers=" << workers << " stat "
-                << std::get<0>(serial.stats[k]) << "."
-                << std::get<1>(serial.stats[k]);
+    for (const char *kernel : {"object", "soa"}) {
+        if (std::string(kernel) != "object") {
+            RunResult alt = runNetwork<Net>(nullptr, kernel);
+            expectSameRun(serial, alt,
+                          std::string("kernel=") + kernel + " serial");
+        }
+        for (int workers : {1, 2, 8}) {
+            ParallelEngine pool(workers);
+            RunResult parallel = runNetwork<Net>(&pool, kernel);
+            expectSameRun(serial, parallel,
+                          std::string("kernel=") + kernel +
+                              " workers=" + std::to_string(workers));
+        }
     }
 }
 

@@ -251,6 +251,47 @@ TEST_F(RemoteEquivalence, DeflectionNetworkBitIdentical)
     expectRemoteMatchesDirect<DeflectionNetwork>("deflection");
 }
 
+TEST_F(RemoteEquivalence, SoaKernelHostedRemotelyBitIdentical)
+{
+    // The Hello handshake carries network.kernel / kernel.simd (proto
+    // v4), so the server builds the SoA backend the client configured.
+    // The hosted SoA fabric must be bit-identical to the *object*
+    // kernel running in-process: deliveries, the stats tree and the
+    // shadow-tuned table — closing the kernel × process-boundary
+    // equivalence square.
+    NocParams obj;
+    obj.columns = 8;
+    obj.rows = 8;
+    NocParams soa = obj;
+    soa.kernel = "soa";
+
+    auto check = [&](const std::string &model, RunResult &direct) {
+        for (int workers : {0, 4}) {
+            RunResult remote = runRemote(soa, addr_, model, workers);
+            ASSERT_EQ(remote.deliveries.size(),
+                      direct.deliveries.size())
+                << model << " soa workers=" << workers;
+            for (std::size_t k = 0; k < direct.deliveries.size(); ++k)
+                ASSERT_TRUE(remote.deliveries[k] ==
+                            direct.deliveries[k])
+                    << model << " soa workers=" << workers
+                    << " delivery #" << k;
+            ASSERT_EQ(remote.stats, direct.stats)
+                << model << " soa workers=" << workers;
+            EXPECT_TRUE(remote.table->identicalTo(*direct.table))
+                << model << " soa workers=" << workers;
+        }
+    };
+
+    RunResult cyc = runDirect<CycleNetwork>(obj);
+    ASSERT_EQ(cyc.deliveries.size(), 600u);
+    check("cycle", cyc);
+
+    RunResult def = runDirect<DeflectionNetwork>(obj);
+    ASSERT_EQ(def.deliveries.size(), 600u);
+    check("deflection", def);
+}
+
 TEST_F(RemoteEquivalence, PipelineFlavoursAllBitIdentical)
 {
     // The three transport flavours — blocking v1, coalesced Step

@@ -67,11 +67,12 @@ struct RunResult
 };
 
 NocParams
-testParams()
+testParams(const std::string &kernel = "object")
 {
     NocParams p;
     p.columns = 8;
     p.rows = 8;
+    p.kernel = kernel;
     return p;
 }
 
@@ -112,9 +113,15 @@ runStraight(StepEngine *engine)
     return r;
 }
 
+/** Run to `mid`, archive, restore into a fresh network and finish.
+ *  The save-side and restore-side compute kernels are independent:
+ *  both backends emit and accept the same archive bytes, so a
+ *  checkpoint can hop between them in either direction. */
 template <typename Net>
 RunResult
-runSplit(StepEngine *engine, Tick mid)
+runSplit(StepEngine *engine, Tick mid,
+         const std::string &save_kernel = "object",
+         const std::string &restore_kernel = "object")
 {
     RunResult r;
     auto record = [&r](const PacketPtr &pkt) {
@@ -125,7 +132,7 @@ runSplit(StepEngine *engine, Tick mid)
     std::string image;
     {
         Simulation sim;
-        Net net(sim, "net", testParams());
+        Net net(sim, "net", testParams(save_kernel));
         if (engine)
             net.setEngine(engine);
         net.setDeliveryHandler(record);
@@ -141,7 +148,7 @@ runSplit(StepEngine *engine, Tick mid)
     } // the original network is gone — restore starts from scratch
 
     Simulation sim;
-    Net net(sim, "net", testParams());
+    Net net(sim, "net", testParams(restore_kernel));
     if (engine)
         net.setEngine(engine);
     net.setDeliveryHandler(record);
@@ -194,6 +201,21 @@ expectResumeEquivalence()
         RunResult parallel = runSplit<Net>(&pool, mid);
         expectIdentical(ref, parallel,
                         "parallel split at " + std::to_string(mid));
+
+        // The SoA kernel emits and accepts the same archive bytes, so
+        // the full matrix — soa→soa, and a checkpoint hopping between
+        // kernels in either direction — must land on the same run.
+        RunResult soa = runSplit<Net>(nullptr, mid, "soa", "soa");
+        expectIdentical(ref, soa,
+                        "soa split at " + std::to_string(mid));
+        RunResult obj_to_soa =
+            runSplit<Net>(nullptr, mid, "object", "soa");
+        expectIdentical(ref, obj_to_soa,
+                        "object->soa split at " + std::to_string(mid));
+        RunResult soa_to_obj =
+            runSplit<Net>(nullptr, mid, "soa", "object");
+        expectIdentical(ref, soa_to_obj,
+                        "soa->object split at " + std::to_string(mid));
     }
 }
 
